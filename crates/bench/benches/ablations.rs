@@ -1,0 +1,59 @@
+//! Criterion benchmarks of configuration alternatives whose *results* are
+//! compared by the `ablations` binary: what do the design choices cost in
+//! compute? (Thermal sub-stepping granularity, activity-interval length,
+//! and worst-case synthesis modes.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ramp_core::mechanisms::standard_models;
+use ramp_core::{run_app_on_node, PipelineConfig, TechNode};
+use ramp_microarch::{simulate, MachineConfig, SimulationLength};
+use ramp_trace::{spec, TraceGenerator};
+
+fn bench_time_compression_cost(c: &mut Criterion) {
+    let models = standard_models();
+    let profile = spec::profile("gzip").unwrap();
+    let mut group = c.benchmark_group("pipeline_time_compression");
+    group.sample_size(10);
+    for compression in [1.0, 8.0, 32.0] {
+        let cfg = PipelineConfig {
+            time_compression: compression,
+            ..PipelineConfig::quick()
+        };
+        group.bench_function(format!("x{compression}"), |b| {
+            b.iter(|| {
+                black_box(
+                    run_app_on_node(&profile, &TechNode::reference(), &cfg, &models, None)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_interval_granularity_cost(c: &mut Criterion) {
+    let cfg = MachineConfig::power4_180nm();
+    let profile = spec::profile("mesa").unwrap();
+    let mut group = c.benchmark_group("activity_interval_cycles");
+    group.sample_size(10);
+    for interval in [275u64, 1_100, 11_000] {
+        group.bench_function(format!("{interval}cyc"), |b| {
+            b.iter(|| {
+                black_box(simulate(
+                    &cfg,
+                    TraceGenerator::new(&profile),
+                    SimulationLength::Instructions(100_000),
+                    interval,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_time_compression_cost, bench_interval_granularity_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the RAMP failure models: single-mechanism rate
+//! evaluation, the full per-interval accumulation step, and report
+//! generation — the inner loop of the reliability engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ramp_core::mechanisms::{standard_models, PerMechanism};
+use ramp_core::{NodeId, OperatingPoint, Qualification, RateAccumulator, TechNode};
+use ramp_microarch::PerStructure;
+use ramp_units::{ActivityFactor, Kelvin, Volts};
+
+fn ops() -> PerStructure<OperatingPoint> {
+    PerStructure::from_fn(|s| {
+        OperatingPoint::new(
+            Kelvin::new(345.0 + 3.0 * s.index() as f64).unwrap(),
+            Volts::new(1.3).unwrap(),
+            ActivityFactor::new(0.1 + 0.1 * s.index() as f64).unwrap(),
+        )
+    })
+}
+
+fn bench_single_rates(c: &mut Criterion) {
+    let models = standard_models();
+    let node = TechNode::reference();
+    let point = ops()[ramp_microarch::Structure::Lsu];
+    let mut group = c.benchmark_group("mechanism_rate");
+    for model in &models {
+        group.bench_function(model.kind().label(), |b| {
+            b.iter(|| black_box(model.relative_rate(black_box(&point), &node)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_observe_interval(c: &mut Criterion) {
+    let models = standard_models();
+    let node = TechNode::get(NodeId::N65HighV);
+    let point = ops();
+    c.bench_function("accumulator_observe_100_intervals", |b| {
+        b.iter_batched(
+            || RateAccumulator::new(&models, node),
+            |mut acc| {
+                for _ in 0..100 {
+                    acc.observe(black_box(&point), 1.0);
+                }
+                acc.finish()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fit_report(c: &mut Criterion) {
+    let models = standard_models();
+    let node = TechNode::reference();
+    let mut acc = RateAccumulator::new(&models, node);
+    acc.observe(&ops(), 1.0);
+    let rates = acc.finish();
+    let qual = Qualification::from_constants(PerMechanism::from_fn(|_| 1.0)).unwrap();
+    c.bench_function("fit_report_and_sofr_total", |b| {
+        b.iter(|| {
+            let report = qual.fit_report(black_box(&rates));
+            black_box(report.total())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_single_rates, bench_observe_interval, bench_fit_report
+}
+criterion_main!(benches);

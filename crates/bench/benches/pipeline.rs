@@ -1,0 +1,46 @@
+//! Criterion benchmark of the full evaluation pipeline — the unit of work
+//! behind every cell of the paper's figures — at reference and scaled
+//! nodes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ramp_core::mechanisms::standard_models;
+use ramp_core::{run_app_on_node, NodeId, PipelineConfig, TechNode};
+use ramp_trace::spec;
+use ramp_units::Watts;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let models = standard_models();
+    let cfg = PipelineConfig::quick();
+    let profile = spec::profile("gzip").unwrap();
+    let mut group = c.benchmark_group("pipeline_quick_run");
+    group.sample_size(10);
+    group.bench_function("180nm", |b| {
+        b.iter(|| {
+            black_box(
+                run_app_on_node(&profile, &TechNode::reference(), &cfg, &models, None).unwrap(),
+            )
+        })
+    });
+    group.bench_function("65nm_1.0V", |b| {
+        b.iter(|| {
+            black_box(
+                run_app_on_node(
+                    &profile,
+                    &TechNode::get(NodeId::N65HighV),
+                    &cfg,
+                    &models,
+                    Some(Watts::new(29.0).unwrap()),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_full_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the workload substrate: trace generation and
+//! timing-simulation throughput for contrasting benchmark characters.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ramp_microarch::{simulate, MachineConfig, SimulationLength};
+use ramp_trace::{spec, TraceGenerator};
+
+const INSTRUCTIONS: u64 = 100_000;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(INSTRUCTIONS));
+    for name in ["gzip", "ammp"] {
+        let profile = spec::profile(name).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let n = TraceGenerator::new(&profile)
+                    .take(INSTRUCTIONS as usize)
+                    .count();
+                black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_timing_simulation(c: &mut Criterion) {
+    let cfg = MachineConfig::power4_180nm();
+    let mut group = c.benchmark_group("timing_simulation");
+    group.throughput(Throughput::Elements(INSTRUCTIONS));
+    group.sample_size(10);
+    // gzip: cache-friendly, high IPC. ammp: miss-heavy FP. gcc: big code
+    // footprint, mispredict-heavy. Together they cover the simulator's
+    // fast and slow paths.
+    for name in ["gzip", "ammp", "gcc"] {
+        let profile = spec::profile(name).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = simulate(
+                    &cfg,
+                    TraceGenerator::new(&profile),
+                    SimulationLength::Instructions(INSTRUCTIONS),
+                    1_100,
+                );
+                black_box(out.stats.ipc())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_trace_generation, bench_timing_simulation
+}
+criterion_main!(benches);

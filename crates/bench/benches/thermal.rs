@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the thermal substrate: steady-state solves and
+//! transient stepping at both ends of the die-size range.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ramp_microarch::PerStructure;
+use ramp_thermal::{Floorplan, RcNetwork, ThermalParams, ThermalSimulator};
+use ramp_units::{Seconds, SquareMillimeters, Watts};
+
+fn powers() -> PerStructure<Watts> {
+    PerStructure::from_fn(|s| Watts::new(2.0 + 0.5 * s.index() as f64).unwrap())
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_steady_state");
+    for (label, area) in [("180nm_81mm2", 81.0), ("65nm_12.96mm2", 81.0 * 0.16)] {
+        let fp = Floorplan::power4(SquareMillimeters::new(area).unwrap());
+        let net = RcNetwork::build(&fp, ThermalParams::reference()).unwrap();
+        let p = powers();
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(net.steady_state(black_box(&p)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient_step(c: &mut Criterion) {
+    let sim = ThermalSimulator::new(
+        SquareMillimeters::new(81.0).unwrap(),
+        ThermalParams::reference(),
+    )
+    .unwrap();
+    let p = powers();
+    let state = sim.initial_state(&p).unwrap();
+    c.bench_function("thermal_transient_1us_step", |b| {
+        b.iter(|| black_box(sim.step(black_box(&state), &p, Seconds::MICROSECOND)))
+    });
+}
+
+fn bench_two_pass_init(c: &mut Criterion) {
+    let p = powers();
+    c.bench_function("thermal_two_pass_initialisation", |b| {
+        b.iter(|| {
+            let sim = ThermalSimulator::new(
+                SquareMillimeters::new(81.0).unwrap(),
+                ThermalParams::reference(),
+            )
+            .unwrap();
+            black_box(sim.initial_state(&p).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_steady_state, bench_transient_step, bench_two_pass_init
+}
+criterion_main!(benches);

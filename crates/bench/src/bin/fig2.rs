@@ -1,0 +1,76 @@
+//! Figure 2: the maximum temperature reached by any structure, per
+//! application and technology generation, plus the (constant) average
+//! heat-sink temperature.
+//!
+//! The paper draws two panels — SpecFP (2a) and SpecInt (2b) — with one
+//! line per application across the five nodes; this binary prints each
+//! panel as a table with the same series.
+
+use ramp_bench::load_or_run_study;
+use ramp_core::NodeId;
+use ramp_trace::{spec, Suite};
+
+fn main() {
+    let results = load_or_run_study();
+
+    for (panel, suite) in [("(a) SpecFP", Suite::Fp), ("(b) SpecInt", Suite::Int)] {
+        println!("Figure 2 {panel}: max structure temperature (K)");
+        print!("{:<10}", "app");
+        for id in NodeId::ALL {
+            print!(" {:>12}", id.label());
+        }
+        println!();
+        for profile in spec::suite_profiles(suite) {
+            print!("{:<10}", profile.name);
+            for id in NodeId::ALL {
+                let r = results
+                    .result(&profile.name, id)
+                    .expect("study covers all app/node pairs");
+                print!(" {:>12.1}", r.max_temperature().value());
+            }
+            println!();
+        }
+        print!("{:<10}", "heat sink");
+        for id in NodeId::ALL {
+            print!(" {:>12.1}", results.average_sink_temperature(id).value());
+        }
+        println!();
+        println!();
+        if ramp_bench::plot::plot_requested() {
+            let labels: Vec<&str> = NodeId::ALL.iter().map(|id| id.label()).collect();
+            let mut series: Vec<ramp_bench::plot::Series> = spec::suite_profiles(suite)
+                .iter()
+                .map(|p| ramp_bench::plot::Series {
+                    label: p.name.clone(),
+                    values: NodeId::ALL
+                        .iter()
+                        .map(|&id| {
+                            results
+                                .result(&p.name, id)
+                                .unwrap()
+                                .max_temperature()
+                                .value()
+                        })
+                        .collect(),
+                })
+                .collect();
+            series.push(ramp_bench::plot::Series {
+                label: "heat sink".into(),
+                values: NodeId::ALL
+                    .iter()
+                    .map(|&id| results.average_sink_temperature(id).value())
+                    .collect(),
+            });
+            println!("{}", ramp_bench::plot::render(&labels, &series, 16));
+        }
+    }
+
+    // The paper's headline temperature observation.
+    let delta_fp = results.average_max_temperature(Suite::Fp, NodeId::N65HighV)
+        - results.average_max_temperature(Suite::Fp, NodeId::N180);
+    let delta_int = results.average_max_temperature(Suite::Int, NodeId::N65HighV)
+        - results.average_max_temperature(Suite::Int, NodeId::N180);
+    println!(
+        "hottest-structure rise 180nm -> 65nm (1.0V): SpecFP +{delta_fp:.1} K, SpecInt +{delta_int:.1} K (paper: ~+15 K average)"
+    );
+}

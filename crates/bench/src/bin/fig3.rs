@@ -1,0 +1,73 @@
+//! Figure 3: total processor FIT value for each application across
+//! technology generations, plus the worst-case (`max`) curve computed from
+//! the highest temperature and activity seen by any application.
+
+use ramp_bench::{fit_cell, load_or_run_study};
+use ramp_core::NodeId;
+use ramp_trace::{spec, Suite};
+
+fn main() {
+    let results = load_or_run_study();
+
+    for (panel, suite) in [("(a) SpecFP", Suite::Fp), ("(b) SpecInt", Suite::Int)] {
+        println!("Figure 3 {panel}: total processor FIT");
+        print!("{:<10}", "app");
+        for id in NodeId::ALL {
+            print!(" {:>12}", id.label());
+        }
+        println!();
+        for profile in spec::suite_profiles(suite) {
+            print!("{:<10}", profile.name);
+            for id in NodeId::ALL {
+                let r = results
+                    .result(&profile.name, id)
+                    .expect("study covers all app/node pairs");
+                print!(" {:>12}", fit_cell(r.fit.total()));
+            }
+            println!();
+        }
+        print!("{:<10}", "max");
+        for id in NodeId::ALL {
+            let wc = results.worst_case(id).expect("worst case per node");
+            print!(" {:>12}", fit_cell(wc.fit.total()));
+        }
+        println!();
+        println!();
+        if ramp_bench::plot::plot_requested() {
+            let labels: Vec<&str> = NodeId::ALL.iter().map(|id| id.label()).collect();
+            let mut series: Vec<ramp_bench::plot::Series> = spec::suite_profiles(suite)
+                .iter()
+                .map(|p| ramp_bench::plot::Series {
+                    label: p.name.clone(),
+                    values: NodeId::ALL
+                        .iter()
+                        .map(|&id| results.result(&p.name, id).unwrap().fit.total().value())
+                        .collect(),
+                })
+                .collect();
+            series.push(ramp_bench::plot::Series {
+                label: "max (worst case)".into(),
+                values: NodeId::ALL
+                    .iter()
+                    .map(|&id| results.worst_case(id).unwrap().fit.total().value())
+                    .collect(),
+            });
+            println!("{}", ramp_bench::plot::render(&labels, &series, 18));
+        }
+    }
+
+    println!("workload dependence (paper §5.2):");
+    for id in [NodeId::N180, NodeId::N65LowV, NodeId::N65HighV] {
+        println!(
+            "  {:<12} worst-case vs hottest app {:+.0}%  vs average {:+.0}%  app range {:.0} FIT ({:.0}% of average)",
+            id.label(),
+            results.worst_case_margin_over_max(id).expect("node present"),
+            results
+                .worst_case_margin_over_average(id)
+                .expect("node present"),
+            results.fit_range(id),
+            results.fit_range(id) / results.overall_average_fit(id).value() * 100.0,
+        );
+    }
+    println!("(paper: margins 25%→90% and 67%→206%; range 2479 FIT (62%) → 17272 FIT (104%))");
+}

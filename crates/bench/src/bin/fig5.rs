@@ -1,0 +1,53 @@
+//! Figure 5: failure rates for each individual mechanism (EM, SM, TDDB,
+//! TC), per application and technology generation, with the worst-case
+//! (`max`) curve for each mechanism — the paper's eight panels rendered as
+//! eight tables.
+
+use ramp_bench::{fit_cell, load_or_run_study};
+use ramp_core::mechanisms::MechanismKind;
+use ramp_core::NodeId;
+use ramp_trace::{spec, Suite};
+
+fn main() {
+    let results = load_or_run_study();
+
+    for m in MechanismKind::ALL {
+        for (panel, suite) in [("SpecFP", Suite::Fp), ("SpecInt", Suite::Int)] {
+            println!("Figure 5: {m} FIT, {panel}");
+            print!("{:<10}", "app");
+            for id in NodeId::ALL {
+                print!(" {:>12}", id.label());
+            }
+            println!();
+            for profile in spec::suite_profiles(suite) {
+                print!("{:<10}", profile.name);
+                for id in NodeId::ALL {
+                    let r = results
+                        .result(&profile.name, id)
+                        .expect("study covers all app/node pairs");
+                    print!(" {:>12}", fit_cell(r.fit.mechanism_total(m)));
+                }
+                println!();
+            }
+            print!("{:<10}", "max");
+            for id in NodeId::ALL {
+                let wc = results.worst_case(id).expect("worst case per node");
+                print!(" {:>12}", fit_cell(wc.fit.mechanism_total(m)));
+            }
+            println!();
+            // Suite-average growth headline for this mechanism.
+            let base = results.average_mechanism_fit(suite, NodeId::N180, m);
+            let low = results.average_mechanism_fit(suite, NodeId::N65LowV, m);
+            let high = results.average_mechanism_fit(suite, NodeId::N65HighV, m);
+            println!(
+                "{:<10} 180→65nm: {:+.0}% (0.9V), {:+.0}% (1.0V)",
+                "avg",
+                low.percent_increase_over(base),
+                high.percent_increase_over(base)
+            );
+            println!();
+        }
+    }
+    println!("paper (FP/INT): EM +97/128% (0.9V) +303/447% (1.0V); SM +43/52%, +76/106%;");
+    println!("                TDDB +106/127%, +667/812%; TC +32/36%, +52/66%");
+}

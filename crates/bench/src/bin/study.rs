@@ -1,0 +1,76 @@
+//! Full scaling study driver: runs 16 benchmarks × 5 nodes and prints the
+//! headline comparisons against the paper's reported numbers.
+
+use ramp_core::mechanisms::MechanismKind;
+use ramp_core::{run_study, NodeId, StudyConfig};
+use ramp_trace::Suite;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let results = run_study(&StudyConfig::default()).expect("study should run");
+    eprintln!("study completed in {:.1}s", start.elapsed().as_secs_f64());
+
+    // `--csv <dir>` dumps the raw data for external plotting.
+    let mut args = std::env::args();
+    if args.any(|a| a == "--csv") {
+        let dir = std::path::PathBuf::from(
+            std::env::args()
+                .skip_while(|a| a != "--csv")
+                .nth(1)
+                .unwrap_or_else(|| ".".into()),
+        );
+        std::fs::create_dir_all(&dir).expect("create csv output dir");
+        std::fs::write(dir.join("apps.csv"), results.to_csv()).expect("write apps.csv");
+        std::fs::write(dir.join("worst_case.csv"), results.worst_case_csv())
+            .expect("write worst_case.csv");
+        std::fs::write(dir.join("nodes.csv"), results.node_summary_csv())
+            .expect("write nodes.csv");
+        eprintln!("wrote apps.csv / worst_case.csv / nodes.csv to {}", dir.display());
+    }
+
+    println!("{}", results.summary());
+
+    println!("--- headline vs paper ---");
+    let base = NodeId::N180;
+    for (label, node) in [("65nm(0.9V)", NodeId::N65LowV), ("65nm(1.0V)", NodeId::N65HighV)] {
+        for suite in [Suite::Fp, Suite::Int] {
+            let b = results.average_total_fit(suite, base);
+            let s = results.average_total_fit(suite, node);
+            println!(
+                "{label} {suite}: total FIT {:+.0}%  (paper: 0.9V +70/+86, 1.0V +274/+357)",
+                s.percent_increase_over(b)
+            );
+        }
+    }
+    println!();
+    for m in MechanismKind::ALL {
+        for suite in [Suite::Fp, Suite::Int] {
+            let b = results.average_mechanism_fit(suite, base, m);
+            let lo = results.average_mechanism_fit(suite, NodeId::N65LowV, m);
+            let hi = results.average_mechanism_fit(suite, NodeId::N65HighV, m);
+            println!(
+                "{m:<4} {suite}: 0.9V {:+.0}%, 1.0V {:+.0}%",
+                lo.percent_increase_over(b),
+                hi.percent_increase_over(b)
+            );
+        }
+    }
+    println!("(paper: EM +97/128, +303/447 | SM +43/52, +76/106 | TDDB +106/127, +667/812 | TC +32/36, +52/66)");
+    println!();
+    for node in NodeId::ALL {
+        let avg_max_fp = results.average_max_temperature(Suite::Fp, node);
+        let avg_max_int = results.average_max_temperature(Suite::Int, node);
+        println!(
+            "{:<12} avg max temp FP {:.1} INT {:.1}  sink {:.1}  wc-margins: vs-max {:.0}% vs-avg {:.0}%  range {:.0} FIT ({:.0}% of avg)",
+            node.label(),
+            avg_max_fp.value(),
+            avg_max_int.value(),
+            results.average_sink_temperature(node).value(),
+            results.worst_case_margin_over_max(node).unwrap(),
+            results.worst_case_margin_over_average(node).unwrap(),
+            results.fit_range(node),
+            results.fit_range(node) / results.overall_average_fit(node).value() * 100.0,
+        );
+    }
+    println!("(paper: +15K max temp 180→65(1.0V); wc-vs-max 25%→90%; wc-vs-avg 67%→206%; range 62%→104% of avg)");
+}

@@ -1,0 +1,65 @@
+//! Table 2: the base 180 nm POWER4-like processor configuration.
+//!
+//! Prints the modelled machine parameters in the paper's layout so they
+//! can be checked row-by-row against the publication.
+
+use ramp_core::TechNode;
+use ramp_microarch::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::power4_180nm();
+    let node = TechNode::reference();
+
+    println!("Table 2. Base 180nm POWER4-like processor.");
+    println!();
+    println!("Technology Parameters");
+    println!("  Process technology             {}", node.feature);
+    println!("  Vdd                            {}", node.vdd);
+    println!("  Processor frequency            {}", node.frequency);
+    println!(
+        "  Processor core size            {} (9mm x 9mm), excluding L2",
+        node.core_area()
+    );
+    println!(
+        "  Leakage power density at 383K  {}",
+        node.leakage_density
+    );
+    println!();
+    println!("Base Processor Parameters");
+    println!("  Fetch rate                     {} per cycle", cfg.fetch_width);
+    println!(
+        "  Retirement rate                1 dispatch-group (={}, max)",
+        cfg.retire_width
+    );
+    println!(
+        "  Functional units               {} Int, {} FP, {} Load-Store, {} Branch, {} LCR",
+        cfg.int_units, cfg.fp_units, cfg.ls_units, cfg.branch_units, cfg.cr_units
+    );
+    println!(
+        "  Integer FU latencies           {}/{}/{} add/multiply/divide",
+        cfg.int_alu_latency, cfg.int_mul_latency, cfg.int_div_latency
+    );
+    println!(
+        "  FP FU latencies                {} default, {} divide",
+        cfg.fp_latency, cfg.fp_div_latency
+    );
+    println!("  Reorder buffer size            {}", cfg.rob_entries);
+    println!(
+        "  Register file size             {} integer, {} FP",
+        cfg.int_regs, cfg.fp_regs
+    );
+    println!("  Memory queue size              {} entries", cfg.mem_queue);
+    println!();
+    println!("Base Memory Hierarchy Parameters");
+    println!(
+        "  L1 D/L1 I/L2 unified           {}KB/{}KB/{}MB",
+        cfg.l1d.bytes >> 10,
+        cfg.l1i.bytes >> 10,
+        cfg.l2.bytes >> 20
+    );
+    println!("Base Contentionless Memory Latencies");
+    println!(
+        "  L1 D/L2/Main memory            {}/{}/{} cycles",
+        cfg.l1d.hit_latency, cfg.l2.hit_latency, cfg.memory_latency
+    );
+}

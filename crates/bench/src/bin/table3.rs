@@ -1,0 +1,62 @@
+//! Table 3: per-benchmark IPC and average total power (dynamic + leakage)
+//! for the 180 nm base processor, with the paper's published values for
+//! side-by-side comparison.
+
+use ramp_bench::load_or_run_study;
+use ramp_core::NodeId;
+use ramp_trace::{spec, Suite};
+
+fn main() {
+    let results = load_or_run_study();
+
+    println!("Table 3. Average IPC and power for the 180nm base processor.");
+    println!();
+    println!(
+        "{:<10} {:>6} {:>6} | {:>9} {:>9}    {:<10} {:>6} {:>6} | {:>9} {:>9}",
+        "SpecFP", "IPC", "pub", "power(W)", "pub", "SpecInt", "IPC", "pub", "power(W)", "pub"
+    );
+
+    let fp = spec::suite_profiles(Suite::Fp);
+    let int = spec::suite_profiles(Suite::Int);
+    for (f, i) in fp.iter().zip(&int) {
+        let rf = results
+            .result(&f.name, NodeId::N180)
+            .expect("study covers all benchmarks");
+        let ri = results
+            .result(&i.name, NodeId::N180)
+            .expect("study covers all benchmarks");
+        println!(
+            "{:<10} {:>6.2} {:>6.2} | {:>9.2} {:>9.2}    {:<10} {:>6.2} {:>6.2} | {:>9.2} {:>9.2}",
+            f.name,
+            rf.ipc,
+            f.published.ipc,
+            rf.avg_total_power().value(),
+            f.published.power_w,
+            i.name,
+            ri.ipc,
+            i.published.ipc,
+            ri.avg_total_power().value(),
+            i.published.power_w,
+        );
+    }
+
+    let avg = |suite: Suite, f: &dyn Fn(&ramp_core::AppNodeResult) -> f64| -> f64 {
+        let rs = results.suite_results(suite, NodeId::N180);
+        rs.iter().map(|r| f(r)).sum::<f64>() / rs.len() as f64
+    };
+    println!(
+        "{:<10} {:>6.2} {:>6.2} | {:>9.2} {:>9.2}    {:<10} {:>6.2} {:>6.2} | {:>9.2} {:>9.2}",
+        "Average",
+        avg(Suite::Fp, &|r| r.ipc),
+        1.52,
+        avg(Suite::Fp, &|r| r.avg_total_power().value()),
+        28.51,
+        "Average",
+        avg(Suite::Int, &|r| r.ipc),
+        1.79,
+        avg(Suite::Int, &|r| r.avg_total_power().value()),
+        29.66,
+    );
+    println!();
+    println!("(`pub` columns are the paper's Table-3 values.)");
+}

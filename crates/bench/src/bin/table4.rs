@@ -1,0 +1,67 @@
+//! Table 4: the scaled technology parameters, including the *measured*
+//! average total power and relative total power density from our
+//! simulations (the last two columns of the paper's table are outputs of
+//! its simulation flow, not inputs).
+
+use ramp_bench::load_or_run_study;
+use ramp_core::{NodeId, TechNode};
+
+fn main() {
+    let results = load_or_run_study();
+
+    println!("Table 4. Scaled parameters used (last two columns simulated).");
+    println!();
+    println!(
+        "{:<12} {:>5} {:>6} {:>7} {:>7} {:>6} {:>8} {:>9} {:>11} {:>10}",
+        "Tech gen",
+        "Vdd",
+        "f GHz",
+        "RelCap",
+        "RelArea",
+        "tox Å",
+        "J mA/µm²",
+        "leak W/mm²",
+        "avg power W",
+        "rel dens"
+    );
+
+    let reference_density = {
+        let n = NodeId::N180;
+        let power = average_power(&results, n);
+        power / TechNode::get(n).core_area().value()
+    };
+
+    for &id in &NodeId::ALL {
+        let node = TechNode::get(id);
+        let power = average_power(&results, id);
+        let density = power / node.core_area().value();
+        println!(
+            "{:<12} {:>5.1} {:>6.2} {:>7.2} {:>7.2} {:>6.0} {:>8.1} {:>9.2} {:>11.1} {:>10.2}",
+            node.id.label(),
+            node.vdd.value(),
+            node.frequency.value(),
+            node.capacitance_rel,
+            node.area_rel,
+            node.tox.value(),
+            node.j_max.value(),
+            node.leakage_density.value(),
+            power,
+            density / reference_density,
+        );
+    }
+    println!();
+    println!("paper avg power:   29.1 / 19.0 / 14.7 / 14.4 / 16.9 W");
+    println!("paper rel density:  1.0 / 1.31 / 2.02 / 3.09 / 3.63");
+}
+
+fn average_power(results: &ramp_core::StudyResults, node: NodeId) -> f64 {
+    let rs: Vec<_> = results
+        .app_results()
+        .iter()
+        .filter(|r| r.node == node)
+        .collect();
+    rs.iter()
+        .map(|r| r.avg_total_power().value())
+        .sum::<f64>()
+        / rs.len() as f64
+}

@@ -1,0 +1,109 @@
+//! Experiment harness for regenerating every table and figure of the
+//! paper's evaluation.
+//!
+//! The full 16-benchmark × 5-node study takes a few minutes on one core;
+//! since every table/figure binary consumes the same [`StudyResults`], the
+//! harness runs the study once and caches the serialized results under
+//! `target/`. Delete the cache (or pass `--fresh` to any binary) to force
+//! a re-run.
+//!
+//! Binaries (one per table/figure of the paper):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — numeric sensitivity of each mechanism |
+//! | `table2` | Table 2 — base machine configuration |
+//! | `table3` | Table 3 — per-benchmark IPC and average power at 180 nm |
+//! | `table4` | Table 4 — scaled parameters incl. measured power |
+//! | `fig2`   | Figure 2 — max structure temperature per app per node |
+//! | `fig3`   | Figure 3 — total FIT per app per node + worst case |
+//! | `fig4`   | Figure 4 — suite-average FIT with mechanism breakdown |
+//! | `fig5`   | Figure 5 — per-mechanism FIT per app per node + worst case |
+//! | `study`  | headline summary against every paper claim |
+//! | `ablations` | design-choice ablations (DESIGN.md §6) |
+//! | `calibrate` | refit the workload-profile knobs |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod plot;
+
+use ramp_core::{run_study, StudyConfig, StudyResults};
+use std::path::PathBuf;
+
+/// Location of the cached study results, relative to the workspace root.
+#[must_use]
+pub fn cache_path() -> PathBuf {
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    target.join("ramp-study-cache.json")
+}
+
+/// Loads the cached full-study results, running the study (and writing the
+/// cache) if absent or if `--fresh` was passed on the command line.
+///
+/// # Panics
+///
+/// Panics if the study itself fails — the experiment binaries have no
+/// useful way to continue without results.
+#[must_use]
+pub fn load_or_run_study() -> StudyResults {
+    let fresh = std::env::args().any(|a| a == "--fresh");
+    let path = cache_path();
+    if !fresh {
+        if let Ok(bytes) = std::fs::read(&path) {
+            match serde_json::from_slice::<StudyResults>(&bytes) {
+                Ok(results) => {
+                    eprintln!("[harness] loaded cached study from {}", path.display());
+                    return results;
+                }
+                Err(e) => {
+                    eprintln!("[harness] cache unreadable ({e}); re-running study");
+                }
+            }
+        }
+    }
+    eprintln!(
+        "[harness] running full study (16 benchmarks x 5 nodes; a few minutes single-threaded)…"
+    );
+    let start = std::time::Instant::now();
+    let results = run_study(&StudyConfig::default()).expect("full study should run");
+    eprintln!(
+        "[harness] study completed in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    match serde_json::to_vec(&results) {
+        Ok(bytes) => {
+            if let Err(e) = std::fs::write(&path, bytes) {
+                eprintln!("[harness] could not write cache {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[harness] could not serialise results: {e}"),
+    }
+    results
+}
+
+/// Formats a FIT value the way the paper's figures label their axes.
+#[must_use]
+pub fn fit_cell(fit: ramp_units::Fit) -> String {
+    format!("{:>7.0}", fit.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_path_is_under_target() {
+        let p = cache_path();
+        assert!(p.to_string_lossy().contains("target"));
+        assert!(p.extension().is_some());
+    }
+
+    #[test]
+    fn fit_cell_is_fixed_width() {
+        let f = ramp_units::Fit::new(1234.56).unwrap();
+        assert_eq!(fit_cell(f).len(), 7);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the RAMP core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the RAMP pipeline and its configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RampError {
+    /// A benchmark name was not one of the paper's 16 SPEC2K programs.
+    UnknownBenchmark(String),
+    /// A model or simulator rejected its configuration.
+    InvalidConfiguration(String),
+    /// The thermal solve failed (degenerate network).
+    ThermalSolve(String),
+    /// Qualification could not be derived from the reference runs.
+    Qualification(String),
+}
+
+impl fmt::Display for RampError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RampError::UnknownBenchmark(name) => {
+                write!(f, "unknown benchmark `{name}`")
+            }
+            RampError::InvalidConfiguration(msg) => {
+                write!(f, "invalid configuration: {msg}")
+            }
+            RampError::ThermalSolve(msg) => write!(f, "thermal solve failed: {msg}"),
+            RampError::Qualification(msg) => write!(f, "qualification failed: {msg}"),
+        }
+    }
+}
+
+impl Error for RampError {}
+
+impl From<ramp_trace::spec::UnknownBenchmark> for RampError {
+    fn from(e: ramp_trace::spec::UnknownBenchmark) -> Self {
+        RampError::UnknownBenchmark(e.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(RampError::UnknownBenchmark("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(RampError::InvalidConfiguration("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<RampError>();
+    }
+}

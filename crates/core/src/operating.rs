@@ -1,0 +1,102 @@
+//! Operating points: the instantaneous conditions a failure model sees.
+
+use ramp_units::{ActivityFactor, Kelvin, Volts};
+use serde::{Deserialize, Serialize};
+
+/// The instantaneous operating condition of one structure: temperature,
+/// supply voltage, and activity factor.
+///
+/// RAMP evaluates every failure model against an operating point at each
+/// sampling interval (1 µs in the paper) and averages the resulting
+/// instantaneous failure rates over the run.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_core::OperatingPoint;
+/// use ramp_units::{ActivityFactor, Kelvin, Volts};
+///
+/// let op = OperatingPoint::new(
+///     Kelvin::new(356.0)?,
+///     Volts::new(1.3)?,
+///     ActivityFactor::new(0.4)?,
+/// );
+/// assert_eq!(op.temperature.value(), 356.0);
+/// # Ok::<(), ramp_units::UnitError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Junction temperature of the structure.
+    pub temperature: Kelvin,
+    /// Supply voltage (the node's V_dd, or a DVS level).
+    pub voltage: Volts,
+    /// Activity factor of the structure.
+    pub activity: ActivityFactor,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point.
+    #[must_use]
+    pub fn new(temperature: Kelvin, voltage: Volts, activity: ActivityFactor) -> Self {
+        OperatingPoint {
+            temperature,
+            voltage,
+            activity,
+        }
+    }
+
+    /// The component-wise worst case of two operating points: the higher
+    /// temperature and the higher activity (voltage must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two points have different voltages — worst-casing
+    /// across voltage levels is not meaningful for a single node.
+    #[must_use]
+    pub fn worst_of(self, other: OperatingPoint) -> OperatingPoint {
+        assert_eq!(
+            self.voltage, other.voltage,
+            "worst-case combination requires a common supply voltage"
+        );
+        OperatingPoint {
+            temperature: if other.temperature > self.temperature {
+                other.temperature
+            } else {
+                self.temperature
+            },
+            voltage: self.voltage,
+            activity: self.activity.max(other.activity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(t: f64, p: f64) -> OperatingPoint {
+        OperatingPoint::new(
+            Kelvin::new(t).unwrap(),
+            Volts::new(1.3).unwrap(),
+            ActivityFactor::new(p).unwrap(),
+        )
+    }
+
+    #[test]
+    fn worst_of_takes_maxima() {
+        let a = op(350.0, 0.8);
+        let b = op(360.0, 0.4);
+        let w = a.worst_of(b);
+        assert_eq!(w.temperature.value(), 360.0);
+        assert_eq!(w.activity.value(), 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "common supply voltage")]
+    fn worst_of_rejects_mixed_voltages() {
+        let a = op(350.0, 0.5);
+        let mut b = op(350.0, 0.5);
+        b.voltage = Volts::new(1.0).unwrap();
+        let _ = a.worst_of(b);
+    }
+}

@@ -1,0 +1,468 @@
+//! The end-to-end RAMP evaluation pipeline for one (benchmark, node) pair.
+//!
+//! This reproduces the paper's simulation flow (§4):
+//!
+//! 1. **Timing** — the Turandot-like simulator runs the benchmark trace on
+//!    the Table-2 machine, producing activity factors per 1 µs interval
+//!    (the interval length in cycles follows the node's frequency).
+//! 2. **First pass (power/thermal)** — average activity feeds a
+//!    power↔steady-state-temperature fixed point, yielding the heat-sink
+//!    temperature used to initialise the transient run. When a 180 nm
+//!    reference power is supplied, the sink resistance is rescaled so the
+//!    application's sink temperature stays constant across nodes.
+//! 3. **Second pass** — the activity trace is replayed (several times) at
+//!    1 µs steps with the leakage↔temperature feedback closed, and RAMP
+//!    accumulates instantaneous failure rates per structure.
+
+use crate::mechanisms::FailureModel;
+use crate::rates::{AveragedRates, RateAccumulator};
+use crate::{OperatingPoint, RampError, TechNode};
+use ramp_microarch::{
+    simulate, ActivityTrace, MachineConfig, PerStructure, SimulationLength,
+};
+use ramp_power::{
+    DynamicPowerModel, DynamicScaling, LeakageModel, PowerModel, StructureBudgets,
+};
+use ramp_thermal::{ThermalParams, ThermalSimulator, ThermalState};
+use ramp_trace::{BenchmarkProfile, TraceGenerator};
+use ramp_units::{ActivityFactor, Kelvin, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the evaluation pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Instructions simulated per benchmark.
+    pub instructions: u64,
+    /// How many times the activity trace is replayed in the second pass
+    /// (extends simulated wall-clock so silicon transients develop).
+    pub trace_repeats: u32,
+    /// Package/thermal-stack parameters.
+    pub thermal: ThermalParams,
+    /// Per-structure dynamic power budgets.
+    pub budgets: StructureBudgets,
+    /// Leakage-temperature coefficient β.
+    pub leakage_beta: f64,
+    /// Fixed-point iterations for the first (steady-state) pass.
+    pub first_pass_iterations: u32,
+    /// Record the per-interval structure temperatures of the second pass
+    /// into [`AppNodeRun::thermal_trace`] (off by default: a production
+    /// run stores tens of thousands of intervals).
+    pub record_thermal_trace: bool,
+    /// Thermal time-compression factor: silicon/spreader transients run
+    /// this many times faster than wall-clock. Our traces compress the
+    /// paper's 100 M-instruction runs ~8×; compressing the thermal time
+    /// constants by the same factor preserves the ratio of program-phase
+    /// dwell to thermal τ, and therefore the transient temperature swings
+    /// the worst-case analysis depends on. Steady-state temperatures are
+    /// unaffected (capacitance cancels at equilibrium). Set to 1.0 for
+    /// uncompressed physics.
+    pub time_compression: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            instructions: 12_000_000,
+            trace_repeats: 2,
+            thermal: ThermalParams::reference(),
+            budgets: StructureBudgets::power4_reference(),
+            leakage_beta: ramp_power::DEFAULT_BETA,
+            first_pass_iterations: 8,
+            record_thermal_trace: false,
+            time_compression: 8.0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A reduced-cost configuration for tests and examples.
+    #[must_use]
+    pub fn quick() -> Self {
+        PipelineConfig {
+            instructions: 200_000,
+            trace_repeats: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RampError::InvalidConfiguration`] on the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), RampError> {
+        if self.instructions == 0 {
+            return Err(RampError::InvalidConfiguration(
+                "instructions must be positive".into(),
+            ));
+        }
+        if self.trace_repeats == 0 {
+            return Err(RampError::InvalidConfiguration(
+                "trace_repeats must be positive".into(),
+            ));
+        }
+        if self.first_pass_iterations == 0 {
+            return Err(RampError::InvalidConfiguration(
+                "first_pass_iterations must be positive".into(),
+            ));
+        }
+        if !self.time_compression.is_finite() || self.time_compression < 1.0 {
+            return Err(RampError::InvalidConfiguration(
+                "time_compression must be >= 1".into(),
+            ));
+        }
+        self.thermal
+            .validate()
+            .map_err(RampError::InvalidConfiguration)?;
+        Ok(())
+    }
+}
+
+/// Raw (pre-qualification) outcome of one benchmark on one node.
+#[derive(Debug, Clone)]
+pub struct AppNodeRun {
+    /// Benchmark name.
+    pub app: String,
+    /// Node simulated.
+    pub node: TechNode,
+    /// IPC measured by the timing pass.
+    pub ipc: f64,
+    /// Average dynamic power over the run.
+    pub avg_dynamic: Watts,
+    /// Average leakage power over the run.
+    pub avg_leakage: Watts,
+    /// Heat-sink temperature (constant over the second pass).
+    pub sink_temperature: Kelvin,
+    /// Time-averaged failure rates and temperature statistics.
+    pub rates: AveragedRates,
+    /// Time-average activity factor per structure.
+    pub avg_activity: PerStructure<ActivityFactor>,
+    /// Peak interval activity factor per structure.
+    pub peak_activity: PerStructure<ActivityFactor>,
+    /// Per-interval structure temperatures of the second pass, recorded
+    /// only when [`PipelineConfig::record_thermal_trace`] is set.
+    pub thermal_trace: Option<Vec<PerStructure<Kelvin>>>,
+}
+
+impl AppNodeRun {
+    /// Average total (dynamic + leakage) power.
+    #[must_use]
+    pub fn avg_total(&self) -> Watts {
+        self.avg_dynamic + self.avg_leakage
+    }
+
+    /// Maximum temperature reached by any structure (Figure 2's metric).
+    #[must_use]
+    pub fn max_temperature(&self) -> Kelvin {
+        self.rates.max_temperature()
+    }
+}
+
+/// Cycles per 1 µs sampling interval at the node's clock.
+fn interval_cycles(node: &TechNode) -> u64 {
+    node.frequency.cycles_in(Seconds::MICROSECOND)
+}
+
+/// Builds the node's power model for a benchmark.
+fn power_model(
+    profile: &BenchmarkProfile,
+    node: &TechNode,
+    cfg: &PipelineConfig,
+) -> Result<PowerModel, RampError> {
+    let reference = TechNode::reference();
+    let scaling = DynamicScaling::new(
+        node.capacitance_rel,
+        node.vdd.ratio_to(reference.vdd),
+        node.frequency.ratio_to(reference.frequency),
+    )
+    .map_err(RampError::InvalidConfiguration)?;
+    let leakage = LeakageModel::new(
+        node.leakage_density,
+        node.core_area(),
+        cfg.leakage_beta,
+    )
+    .map_err(RampError::InvalidConfiguration)?;
+    let residual =
+        ramp_trace::spec::power_residual(&profile.name).unwrap_or(1.0);
+    PowerModel::new(
+        DynamicPowerModel::new(cfg.budgets.clone(), scaling),
+        leakage,
+        residual,
+    )
+    .map_err(RampError::InvalidConfiguration)
+}
+
+/// First pass: power ↔ steady-state-temperature fixed point. Returns the
+/// initial thermal state and the converged average power sample.
+fn first_pass(
+    sim_builder: impl Fn(Watts) -> Result<ThermalSimulator, RampError>,
+    power: &PowerModel,
+    avg_activity: &PerStructure<ActivityFactor>,
+    iterations: u32,
+) -> Result<(ThermalSimulator, ThermalState), RampError> {
+    let mut temps = PerStructure::from_fn(|_| Kelvin::new_const(345.0));
+    let mut sim = sim_builder(Watts::new(1.0).expect("literal"))?;
+    let mut state = ThermalState::uniform(Kelvin::new_const(345.0));
+    for _ in 0..iterations {
+        let sample = power.sample(avg_activity, &temps);
+        sim = sim_builder(sample.total())?;
+        state = sim
+            .initial_state(&sample.per_structure_total())
+            .map_err(RampError::ThermalSolve)?;
+        temps = state.structures;
+    }
+    Ok((sim, state))
+}
+
+/// Runs the full pipeline for one benchmark on one node.
+///
+/// `reference_power` is the benchmark's average total power at 180 nm; when
+/// provided, the heat-sink resistance is rescaled so the sink temperature
+/// matches the 180 nm run (the paper's constant-sink rule). Pass `None`
+/// for the 180 nm run itself.
+///
+/// # Errors
+///
+/// Returns [`RampError`] if the configuration is invalid or a thermal
+/// solve fails.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_core::{run_app_on_node, NodeId, PipelineConfig, TechNode};
+/// use ramp_core::mechanisms::standard_models;
+/// use ramp_trace::spec;
+///
+/// let models = standard_models();
+/// let run = run_app_on_node(
+///     &spec::profile("gzip")?,
+///     &TechNode::get(NodeId::N180),
+///     &PipelineConfig::quick(),
+///     &models,
+///     None,
+/// )?;
+/// assert!(run.ipc > 1.0);
+/// assert!(run.max_temperature().value() > run.sink_temperature.value());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_app_on_node(
+    profile: &BenchmarkProfile,
+    node: &TechNode,
+    cfg: &PipelineConfig,
+    models: &[Box<dyn FailureModel>],
+    reference_power: Option<Watts>,
+) -> Result<AppNodeRun, RampError> {
+    cfg.validate()?;
+    profile
+        .validate()
+        .map_err(RampError::InvalidConfiguration)?;
+
+    // ---- Timing pass ----------------------------------------------------
+    let machine = MachineConfig::power4_180nm();
+    let out = simulate(
+        &machine,
+        TraceGenerator::new(profile),
+        SimulationLength::Instructions(cfg.instructions),
+        interval_cycles(node),
+    );
+    let activity: &ActivityTrace = &out.activity;
+    if activity.intervals().is_empty() {
+        return Err(RampError::InvalidConfiguration(
+            "simulation produced no complete activity interval".into(),
+        ));
+    }
+    let avg_activity = activity.average();
+    let peak_activity = activity.peak();
+
+    // ---- First pass: steady state / sink initialisation ------------------
+    let power = power_model(profile, node, cfg)?;
+    let thermal_params = cfg.thermal;
+    let area = node.core_area();
+    let sim_builder = |avg_power: Watts| -> Result<ThermalSimulator, RampError> {
+        match reference_power {
+            Some(ref_p) => ThermalSimulator::with_constant_sink_temperature(
+                area,
+                thermal_params,
+                ref_p,
+                avg_power,
+            )
+            .map_err(RampError::InvalidConfiguration),
+            None => ThermalSimulator::new(area, thermal_params)
+                .map_err(RampError::InvalidConfiguration),
+        }
+    };
+    let (sim, initial) = first_pass(
+        sim_builder,
+        &power,
+        &avg_activity,
+        cfg.first_pass_iterations,
+    )?;
+
+    // ---- Second pass: transient + RAMP accumulation ----------------------
+    let mut state = initial;
+    let mut acc = RateAccumulator::new(models, *node);
+    let mut dyn_sum = 0.0;
+    let mut leak_sum = 0.0;
+    let mut samples = 0u64;
+    let mut thermal_trace: Option<Vec<PerStructure<Kelvin>>> = cfg
+        .record_thermal_trace
+        .then(|| Vec::with_capacity(activity.intervals().len() * cfg.trace_repeats as usize));
+    // Time compression: each 1 µs sampling interval advances the thermal
+    // state by `time_compression` µs, split into explicitly stable
+    // sub-steps.
+    let total_dt = 1e-6 * cfg.time_compression;
+    let stable = sim.network().max_stable_step().value();
+    let substeps = (total_dt / stable).ceil().max(1.0) as u32;
+    let dt = Seconds::new(total_dt / f64::from(substeps))
+        .expect("positive sub-step duration");
+    for _ in 0..cfg.trace_repeats {
+        for interval in activity.intervals() {
+            let sample = power.sample(&interval.factors, &state.structures);
+            for _ in 0..substeps {
+                state = sim.step(&state, &sample.per_structure_total(), dt);
+            }
+            let ops = PerStructure::from_fn(|s| {
+                OperatingPoint::new(state.structures[s], node.vdd, interval.factors[s])
+            });
+            acc.observe(&ops, 1.0);
+            if let Some(trace) = thermal_trace.as_mut() {
+                trace.push(state.structures);
+            }
+            dyn_sum += sample.dynamic_total().value();
+            leak_sum += sample.leakage_total().value();
+            samples += 1;
+        }
+    }
+    let rates = acc.finish();
+
+    Ok(AppNodeRun {
+        app: profile.name.clone(),
+        node: *node,
+        ipc: out.stats.ipc(),
+        avg_dynamic: Watts::new(dyn_sum / samples as f64)
+            .expect("mean of valid powers is valid"),
+        avg_leakage: Watts::new(leak_sum / samples as f64)
+            .expect("mean of valid powers is valid"),
+        sink_temperature: state.sink,
+        rates,
+        avg_activity,
+        peak_activity,
+        thermal_trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::standard_models;
+    use crate::NodeId;
+    use ramp_microarch::Structure;
+    use ramp_trace::spec;
+
+    fn quick_run(app: &str, node: NodeId, reference: Option<Watts>) -> AppNodeRun {
+        let models = standard_models();
+        run_app_on_node(
+            &spec::profile(app).unwrap(),
+            &TechNode::get(node),
+            &PipelineConfig::quick(),
+            &models,
+            reference,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn base_run_produces_sane_physics() {
+        let run = quick_run("gzip", NodeId::N180, None);
+        assert!(run.ipc > 1.0 && run.ipc < 3.0, "ipc {}", run.ipc);
+        let total = run.avg_total().value();
+        assert!((15.0..45.0).contains(&total), "power {total} W");
+        let sink = run.sink_temperature.value();
+        assert!((330.0..355.0).contains(&sink), "sink {sink} K");
+        let max = run.max_temperature().value();
+        assert!(max > sink && max < 400.0, "max temp {max} K");
+    }
+
+    #[test]
+    fn interval_cycles_follow_frequency() {
+        assert_eq!(interval_cycles(&TechNode::get(NodeId::N180)), 1100);
+        assert_eq!(interval_cycles(&TechNode::get(NodeId::N90)), 1650);
+        assert_eq!(interval_cycles(&TechNode::get(NodeId::N65HighV)), 2000);
+    }
+
+    #[test]
+    fn scaled_node_runs_hotter_with_constant_sink() {
+        let base = quick_run("wupwise", NodeId::N180, None);
+        let scaled = quick_run("wupwise", NodeId::N65HighV, Some(base.avg_total()));
+        // Constant-sink rule: sink temperatures match across nodes.
+        assert!(
+            (scaled.sink_temperature.value() - base.sink_temperature.value()).abs() < 1.5,
+            "sink moved: {} vs {}",
+            base.sink_temperature,
+            scaled.sink_temperature
+        );
+        // Junctions run hotter on the smaller die.
+        assert!(
+            scaled.max_temperature().value() > base.max_temperature().value() + 4.0,
+            "65 nm {} should exceed 180 nm {}",
+            scaled.max_temperature(),
+            base.max_temperature()
+        );
+        // Total power drops with scaling (Table 4).
+        assert!(scaled.avg_total().value() < base.avg_total().value());
+    }
+
+    #[test]
+    fn thermal_trace_recording_is_opt_in() {
+        let models = standard_models();
+        let profile = spec::profile("mesa").unwrap();
+        let off = run_app_on_node(
+            &profile,
+            &TechNode::reference(),
+            &PipelineConfig::quick(),
+            &models,
+            None,
+        )
+        .unwrap();
+        assert!(off.thermal_trace.is_none());
+        let cfg = PipelineConfig {
+            record_thermal_trace: true,
+            ..PipelineConfig::quick()
+        };
+        let on =
+            run_app_on_node(&profile, &TechNode::reference(), &cfg, &models, None).unwrap();
+        let trace = on.thermal_trace.as_ref().expect("trace recorded");
+        assert!(!trace.is_empty());
+        // Trace peak must agree with the run's reported peak temperature.
+        let traced_peak = trace
+            .iter()
+            .flat_map(|t| Structure::ALL.iter().map(move |&s| t[s].value()))
+            .fold(f64::MIN, f64::max);
+        assert!((traced_peak - on.max_temperature().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = quick_run("twolf", NodeId::N130, None);
+        let b = quick_run("twolf", NodeId::N130, None);
+        assert_eq!(a.rates, b.rates);
+        assert_eq!(a.avg_dynamic, b.avg_dynamic);
+    }
+
+    #[test]
+    fn zero_instruction_config_rejected() {
+        let mut cfg = PipelineConfig::quick();
+        cfg.instructions = 0;
+        let models = standard_models();
+        let err = run_app_on_node(
+            &spec::profile("gcc").unwrap(),
+            &TechNode::reference(),
+            &cfg,
+            &models,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RampError::InvalidConfiguration(_)));
+    }
+}

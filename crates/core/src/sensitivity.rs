@@ -1,0 +1,297 @@
+//! Parameter-sensitivity analysis for the failure models.
+//!
+//! Several of the paper's model constants are empirical fits with real
+//! uncertainty (activation energies, the Coffin–Manson exponent, the
+//! oxide-thinning sensitivity). This module quantifies how much each
+//! constant moves the study's headline number — the 180 nm → 65 nm (1.0 V)
+//! FIT growth — producing the data for a tornado chart and making explicit
+//! which conclusions are robust to the fits and which are not.
+
+use crate::mechanisms::{
+    DielectricBreakdown, Electromigration, FailureModel, MechanismKind, StressMigration,
+    ThermalCycling,
+};
+use crate::{NodeId, OperatingPoint, TechNode};
+use ramp_units::{ActivityFactor, Kelvin};
+use serde::{Deserialize, Serialize};
+
+/// One parameter's sensitivity result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityRow {
+    /// Mechanism the parameter belongs to.
+    pub mechanism: MechanismKind,
+    /// Human-readable parameter name.
+    pub parameter: String,
+    /// Nominal value.
+    pub nominal: f64,
+    /// The headline ratio (65 nm rate ÷ 180 nm rate) with the parameter at
+    /// `nominal × (1 − spread)`.
+    pub ratio_low: f64,
+    /// The headline ratio at the nominal value.
+    pub ratio_nominal: f64,
+    /// The headline ratio with the parameter at `nominal × (1 + spread)`.
+    pub ratio_high: f64,
+}
+
+impl SensitivityRow {
+    /// Total swing of the headline ratio across the parameter's range,
+    /// normalised by the nominal ratio — the tornado-chart bar length.
+    #[must_use]
+    pub fn relative_swing(&self) -> f64 {
+        (self.ratio_high - self.ratio_low).abs() / self.ratio_nominal
+    }
+}
+
+/// The representative operating points used for the headline ratio: the
+/// study's FIT-weighted average conditions at 180 nm and 65 nm (1.0 V).
+fn probe_points() -> (OperatingPoint, TechNode, OperatingPoint, TechNode) {
+    let n180 = TechNode::reference();
+    let n65 = TechNode::get(NodeId::N65HighV);
+    let p = ActivityFactor::new(0.4).expect("static probe activity");
+    (
+        OperatingPoint::new(Kelvin::new_const(356.0), n180.vdd, p),
+        n180,
+        OperatingPoint::new(Kelvin::new_const(366.0), n65.vdd, p),
+        n65,
+    )
+}
+
+fn headline_ratio(model: &dyn FailureModel) -> f64 {
+    let (op180, n180, op65, n65) = probe_points();
+    model.relative_rate(&op65, &n65) / model.relative_rate(&op180, &n180)
+}
+
+/// Computes the sensitivity table: every fitted constant perturbed by
+/// ±`spread` (fractional, e.g. 0.1 for ±10 %).
+///
+/// # Panics
+///
+/// Panics if `spread` is not within `(0, 0.9)` — larger perturbations push
+/// some constants out of their physical domain.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_core::sensitivity::sensitivity_table;
+/// let rows = sensitivity_table(0.1);
+/// assert!(rows.len() >= 8);
+/// // The oxide-thinning sensitivity dominates everything else.
+/// let top = rows.iter().max_by(|a, b| {
+///     a.relative_swing().total_cmp(&b.relative_swing())
+/// }).unwrap();
+/// assert_eq!(top.parameter, "TDDB nm per decade");
+/// ```
+#[must_use]
+pub fn sensitivity_table(spread: f64) -> Vec<SensitivityRow> {
+    assert!(
+        spread > 0.0 && spread < 0.9,
+        "spread must be a small positive fraction, got {spread}"
+    );
+    let mut rows = Vec::new();
+
+    let mut push = |mechanism: MechanismKind,
+                    parameter: &str,
+                    nominal: f64,
+                    build: &dyn Fn(f64) -> Box<dyn FailureModel>| {
+        let ratio_at = |v: f64| headline_ratio(build(v).as_ref());
+        rows.push(SensitivityRow {
+            mechanism,
+            parameter: parameter.to_string(),
+            nominal,
+            ratio_low: ratio_at(nominal * (1.0 - spread)),
+            ratio_nominal: ratio_at(nominal),
+            ratio_high: ratio_at(nominal * (1.0 + spread)),
+        });
+    };
+
+    // Electromigration.
+    let em = Electromigration::default();
+    push(MechanismKind::Em, "EM current exponent n", em.current_exponent, &|v| {
+        Box::new(Electromigration {
+            current_exponent: v,
+            ..em
+        })
+    });
+    push(
+        MechanismKind::Em,
+        "EM activation energy (eV)",
+        em.activation_energy_ev,
+        &|v| {
+            Box::new(Electromigration {
+                activation_energy_ev: v,
+                ..em
+            })
+        },
+    );
+    push(
+        MechanismKind::Em,
+        "EM geometry exponent",
+        em.geometry_exponent,
+        &|v| {
+            Box::new(Electromigration {
+                geometry_exponent: v,
+                ..em
+            })
+        },
+    );
+
+    // Stress migration.
+    let sm = StressMigration::default();
+    push(MechanismKind::Sm, "SM stress exponent m", sm.stress_exponent, &|v| {
+        Box::new(StressMigration {
+            stress_exponent: v,
+            ..sm
+        })
+    });
+    push(
+        MechanismKind::Sm,
+        "SM activation energy (eV)",
+        sm.activation_energy_ev,
+        &|v| {
+            Box::new(StressMigration {
+                activation_energy_ev: v,
+                ..sm
+            })
+        },
+    );
+
+    // TDDB.
+    let tddb = DielectricBreakdown::default();
+    push(MechanismKind::Tddb, "TDDB voltage exponent a", tddb.a, &|v| {
+        Box::new(DielectricBreakdown { a: v, ..tddb })
+    });
+    push(
+        MechanismKind::Tddb,
+        "TDDB nm per decade",
+        tddb.nm_per_decade,
+        &|v| Box::new(DielectricBreakdown {
+            nm_per_decade: v,
+            ..tddb
+        }),
+    );
+    push(MechanismKind::Tddb, "TDDB X (eV)", tddb.x_ev, &|v| {
+        Box::new(DielectricBreakdown { x_ev: v, ..tddb })
+    });
+
+    // Thermal cycling.
+    let tc = ThermalCycling::default();
+    push(
+        MechanismKind::Tc,
+        "TC Coffin-Manson exponent q",
+        tc.coffin_manson_exponent,
+        &|v| {
+            Box::new(ThermalCycling {
+                coffin_manson_exponent: v,
+                ..tc
+            })
+        },
+    );
+
+    rows
+}
+
+/// Convenience: checks whether the paper's qualitative conclusion — TDDB
+/// and EM dominate the 65 nm increase — survives a ±`spread` perturbation
+/// of **every** fitted constant simultaneously in its least favourable
+/// direction.
+#[must_use]
+pub fn ordering_is_robust(spread: f64) -> bool {
+    // Weakest TDDB & EM vs strongest SM & TC.
+    let tddb = DielectricBreakdown::default();
+    let weak_tddb = DielectricBreakdown {
+        nm_per_decade: tddb.nm_per_decade * (1.0 + spread),
+        a: tddb.a * (1.0 + spread),
+        ..tddb
+    };
+    let em = Electromigration::default();
+    let weak_em = Electromigration {
+        geometry_exponent: em.geometry_exponent * (1.0 - spread),
+        activation_energy_ev: em.activation_energy_ev * (1.0 - spread),
+        ..em
+    };
+    let sm = StressMigration::default();
+    let strong_sm = StressMigration {
+        activation_energy_ev: sm.activation_energy_ev * (1.0 + spread),
+        ..sm
+    };
+    let tc = ThermalCycling::default();
+    let strong_tc = ThermalCycling {
+        coffin_manson_exponent: tc.coffin_manson_exponent * (1.0 + spread),
+        ..tc
+    };
+    let r_tddb = headline_ratio(&weak_tddb);
+    let r_em = headline_ratio(&weak_em);
+    let r_sm = headline_ratio(&strong_sm);
+    let r_tc = headline_ratio(&strong_tc);
+    r_tddb > r_sm && r_tddb > r_tc && r_em > r_sm && r_em > r_tc
+}
+
+/// The voltage exponent is sampled through `OperatingPoint`, so keep the
+/// probe's voltage wiring honest.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_all_mechanisms() {
+        let rows = sensitivity_table(0.1);
+        for m in MechanismKind::ALL {
+            assert!(
+                rows.iter().any(|r| r.mechanism == m),
+                "{m} missing from sensitivity table"
+            );
+        }
+    }
+
+    #[test]
+    fn nominal_ratios_are_consistent_within_a_mechanism() {
+        let rows = sensitivity_table(0.05);
+        for m in MechanismKind::ALL {
+            let ratios: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.mechanism == m)
+                .map(|r| r.ratio_nominal)
+                .collect();
+            for r in &ratios {
+                assert!((r - ratios[0]).abs() < 1e-9 * ratios[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn tddb_tox_sensitivity_dominates() {
+        let rows = sensitivity_table(0.1);
+        let top = rows
+            .iter()
+            .max_by(|a, b| a.relative_swing().total_cmp(&b.relative_swing()))
+            .unwrap();
+        assert_eq!(top.parameter, "TDDB nm per decade");
+    }
+
+    #[test]
+    fn low_nominal_high_are_ordered_for_monotone_parameters() {
+        let rows = sensitivity_table(0.1);
+        // EM activation energy: higher Ea ⇒ smaller rate at both nodes, but
+        // ratio moves monotonically; check the bracket actually brackets.
+        for row in rows {
+            let lo = row.ratio_low.min(row.ratio_high);
+            let hi = row.ratio_low.max(row.ratio_high);
+            assert!(
+                row.ratio_nominal >= lo * 0.999 && row.ratio_nominal <= hi * 1.001,
+                "{}: nominal outside bracket",
+                row.parameter
+            );
+        }
+    }
+
+    #[test]
+    fn headline_ordering_robust_to_ten_percent() {
+        assert!(ordering_is_robust(0.10));
+    }
+
+    #[test]
+    #[should_panic(expected = "spread")]
+    fn rejects_out_of_domain_spread() {
+        let _ = sensitivity_table(1.5);
+    }
+}

@@ -1,0 +1,357 @@
+//! The full scaling study: 16 benchmarks × 5 technology points, plus
+//! worst-case operating-point analysis and reliability qualification.
+//!
+//! This is the driver behind every figure in the paper's evaluation:
+//!
+//! 1. run all benchmarks at 180 nm;
+//! 2. qualify (each mechanism → 1000 FIT average across benchmarks);
+//! 3. re-run every benchmark at every scaled node with the
+//!    constant-sink-temperature rule anchored to its 180 nm power;
+//! 4. per node, synthesise the worst-case run (highest per-structure
+//!    temperature and activity seen by any benchmark, held steady).
+
+use crate::mechanisms::{standard_models, FailureModel};
+use crate::pipeline::{run_app_on_node, AppNodeRun, PipelineConfig};
+use crate::rates::RateAccumulator;
+use crate::results::{AppNodeResult, StudyResults, WorstCaseResult};
+use crate::{NodeId, OperatingPoint, Qualification, RampError, TechNode};
+use ramp_microarch::{PerStructure, Structure};
+use ramp_trace::{spec, BenchmarkProfile};
+use ramp_units::{ActivityFactor, Watts};
+
+/// How the per-node worst-case operating point is synthesised from the
+/// application runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorstCaseMode {
+    /// The paper's literal construction (§5.2): *the* highest temperature
+    /// and *the* highest activity factor observed by any structure of any
+    /// application, applied uniformly to every structure. Produces large
+    /// margins because cool structures are evaluated at hot-spot
+    /// temperatures.
+    GlobalPeak,
+    /// A structure-aware refinement: each structure gets its own maximum
+    /// temperature and activity across applications. Strictly tighter
+    /// (lower) than [`WorstCaseMode::GlobalPeak`]; its 180 nm margins
+    /// reproduce the paper's best, so it is the default.
+    #[default]
+    PerStructurePeak,
+}
+
+/// Configuration of the scaling study.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Per-run pipeline configuration.
+    pub pipeline: PipelineConfig,
+    /// Benchmarks to run (defaults to the paper's 16).
+    pub benchmarks: Vec<BenchmarkProfile>,
+    /// Nodes to evaluate (defaults to all five Table-4 points).
+    pub nodes: Vec<NodeId>,
+    /// Worker threads for the app×node sweep.
+    pub threads: usize,
+    /// Worst-case synthesis mode.
+    pub worst_case: WorstCaseMode,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            pipeline: PipelineConfig::default(),
+            benchmarks: spec::all_profiles(),
+            nodes: NodeId::ALL.to_vec(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            worst_case: WorstCaseMode::default(),
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A reduced-cost configuration for tests and examples.
+    #[must_use]
+    pub fn quick() -> Self {
+        StudyConfig {
+            pipeline: PipelineConfig::quick(),
+            ..Self::default()
+        }
+    }
+
+    /// Restricts the study to the named benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RampError::UnknownBenchmark`] for an unrecognised name.
+    pub fn with_benchmarks(mut self, names: &[&str]) -> Result<Self, RampError> {
+        self.benchmarks = names
+            .iter()
+            .map(|n| spec::profile(n).map_err(RampError::from))
+            .collect::<Result<_, _>>()?;
+        Ok(self)
+    }
+}
+
+/// Runs a closure over items on a small scoped thread pool, preserving
+/// input order in the output.
+fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let items_ref = &items;
+    let f_ref = &f;
+    crossbeam::thread::scope(|scope| {
+        let mut remaining: &mut [Option<R>] = &mut out;
+        let mut handles = Vec::new();
+        for chunk in split_indices(n, threads.max(1)) {
+            let (head, tail) = remaining.split_at_mut(chunk.len());
+            remaining = tail;
+            handles.push(scope.spawn(move |_| {
+                for (slot, idx) in head.iter_mut().zip(chunk) {
+                    *slot = Some(f_ref(&items_ref[idx]));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("study worker panicked");
+        }
+    })
+    .expect("thread scope failed");
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Splits `0..n` into at most `k` contiguous index ranges.
+fn split_indices(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let k = k.min(n.max(1));
+    let mut out = Vec::with_capacity(k);
+    let base = n / k;
+    let extra = n % k;
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push((start..start + len).collect());
+        start += len;
+    }
+    out
+}
+
+/// Runs the complete scaling study.
+///
+/// # Errors
+///
+/// Returns the first [`RampError`] encountered by any run.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ramp_core::{run_study, StudyConfig};
+/// let results = run_study(&StudyConfig::default())?;
+/// println!("{}", results.summary());
+/// # Ok::<(), ramp_core::RampError>(())
+/// ```
+pub fn run_study(config: &StudyConfig) -> Result<StudyResults, RampError> {
+    if config.benchmarks.is_empty() {
+        return Err(RampError::InvalidConfiguration(
+            "study needs at least one benchmark".into(),
+        ));
+    }
+    if !config.nodes.contains(&NodeId::N180) {
+        return Err(RampError::InvalidConfiguration(
+            "study must include the 180 nm reference node for qualification".into(),
+        ));
+    }
+    let models = standard_models();
+
+    // Phase 1: reference (180 nm) runs, in parallel over benchmarks.
+    let reference_node = TechNode::reference();
+    let ref_runs: Vec<Result<AppNodeRun, RampError>> = parallel_map(
+        config.benchmarks.clone(),
+        config.threads,
+        |profile| {
+            run_app_on_node(profile, &reference_node, &config.pipeline, &models, None)
+        },
+    );
+    let ref_runs: Vec<AppNodeRun> = ref_runs.into_iter().collect::<Result<_, _>>()?;
+
+    // Phase 2: qualification from the reference runs.
+    let rates: Vec<_> = ref_runs.iter().map(|r| r.rates).collect();
+    let qualification =
+        Qualification::from_reference_runs(&rates).map_err(RampError::Qualification)?;
+
+    // Phase 3: scaled nodes, anchored to each benchmark's 180 nm power.
+    let mut jobs: Vec<(BenchmarkProfile, NodeId, Watts)> = Vec::new();
+    for (profile, ref_run) in config.benchmarks.iter().zip(&ref_runs) {
+        for &node in &config.nodes {
+            if node != NodeId::N180 {
+                jobs.push((profile.clone(), node, ref_run.avg_total()));
+            }
+        }
+    }
+    let scaled: Vec<Result<AppNodeRun, RampError>> =
+        parallel_map(jobs, config.threads, |(profile, node, ref_power)| {
+            run_app_on_node(
+                profile,
+                &TechNode::get(*node),
+                &config.pipeline,
+                &models,
+                Some(*ref_power),
+            )
+        });
+    let scaled: Vec<AppNodeRun> = scaled.into_iter().collect::<Result<_, _>>()?;
+
+    // Collect all runs into results.
+    let mut app_results: Vec<AppNodeResult> = Vec::new();
+    for run in ref_runs.iter().chain(scaled.iter()) {
+        let suite = config
+            .benchmarks
+            .iter()
+            .find(|p| p.name == run.app)
+            .map(|p| p.suite)
+            .expect("run came from a configured benchmark");
+        app_results.push(AppNodeResult::from_run(
+            run,
+            suite,
+            qualification.fit_report(&run.rates),
+        ));
+    }
+
+    // Phase 4: per-node worst case.
+    let worst = config
+        .nodes
+        .iter()
+        .map(|&node| {
+            worst_case_for_node(node, &app_results, &models, &qualification, config.worst_case)
+        })
+        .collect();
+
+    Ok(StudyResults::new(app_results, worst, qualification))
+}
+
+/// Synthesises the paper's worst-case operating point for a node (see
+/// [`WorstCaseMode`]), held steady for an entire run.
+fn worst_case_for_node(
+    node: NodeId,
+    results: &[AppNodeResult],
+    models: &[Box<dyn FailureModel>],
+    qualification: &Qualification,
+    mode: WorstCaseMode,
+) -> WorstCaseResult {
+    let tech = TechNode::get(node);
+    let node_results: Vec<_> = results.iter().filter(|r| r.node == node).collect();
+    assert!(
+        !node_results.is_empty(),
+        "worst case requested for a node with no runs"
+    );
+    let per_structure_temp = PerStructure::from_fn(|s| {
+        node_results
+            .iter()
+            .map(|r| r.peak_temperature[s])
+            .max_by(|a, b| a.value().total_cmp(&b.value()))
+            .expect("non-empty results")
+    });
+    let per_structure_activity = PerStructure::from_fn(|s| {
+        node_results
+            .iter()
+            .map(|r| r.peak_activity[s])
+            .fold(ActivityFactor::IDLE, ActivityFactor::max)
+    });
+    let (worst_temp, worst_activity) = match mode {
+        WorstCaseMode::PerStructurePeak => (per_structure_temp, per_structure_activity),
+        WorstCaseMode::GlobalPeak => {
+            let t_max = *Structure::ALL
+                .iter()
+                .map(|&s| &per_structure_temp[s])
+                .max_by(|a, b| a.value().total_cmp(&b.value()))
+                .expect("non-empty structure set");
+            let p_max = Structure::ALL
+                .iter()
+                .map(|&s| per_structure_activity[s])
+                .fold(ActivityFactor::IDLE, ActivityFactor::max);
+            (
+                PerStructure::from_fn(|_| t_max),
+                PerStructure::from_fn(|_| p_max),
+            )
+        }
+    };
+    let ops = PerStructure::from_fn(|s| {
+        OperatingPoint::new(worst_temp[s], tech.vdd, worst_activity[s])
+    });
+    let mut acc = RateAccumulator::new(models, tech);
+    acc.observe(&ops, 1.0);
+    let rates = acc.finish();
+    WorstCaseResult {
+        node,
+        max_temperature: rates.max_temperature(),
+        fit: qualification.fit_report(&rates),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_indices_covers_everything() {
+        for (n, k) in [(10, 3), (16, 8), (5, 16), (0, 4), (7, 1)] {
+            let chunks = split_indices(n, k);
+            let all: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(all, (0..n).collect::<Vec<_>>(), "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, 7, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn study_requires_reference_node() {
+        let mut cfg = StudyConfig::quick();
+        cfg.nodes = vec![NodeId::N90];
+        assert!(matches!(
+            run_study(&cfg),
+            Err(RampError::InvalidConfiguration(_))
+        ));
+    }
+
+    #[test]
+    fn small_study_end_to_end() {
+        let cfg = StudyConfig::quick()
+            .with_benchmarks(&["gzip", "ammp"])
+            .unwrap();
+        let results = run_study(&cfg).unwrap();
+        // 2 apps × 5 nodes, 5 worst-case entries.
+        assert_eq!(results.app_results().len(), 10);
+        assert_eq!(results.worst_cases().len(), 5);
+        // Scaling must raise the total FIT for every app.
+        for app in ["gzip", "ammp"] {
+            let base = results.result(app, NodeId::N180).unwrap().fit.total();
+            let scaled = results.result(app, NodeId::N65HighV).unwrap().fit.total();
+            assert!(
+                scaled.value() > base.value() * 1.5,
+                "{app}: {scaled} vs {base}"
+            );
+        }
+        // Worst case dominates every individual app at each node.
+        for &node in &[NodeId::N180, NodeId::N65HighV] {
+            let wc = results.worst_case(node).unwrap().fit.total();
+            for app in ["gzip", "ammp"] {
+                let app_fit = results.result(app, node).unwrap().fit.total();
+                assert!(
+                    wc.value() >= app_fit.value(),
+                    "worst case {wc} below {app} {app_fit} at {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_benchmark_rejected() {
+        let err = StudyConfig::quick().with_benchmarks(&["dhrystone"]);
+        assert!(matches!(err, Err(RampError::UnknownBenchmark(_))));
+    }
+}

@@ -1,0 +1,280 @@
+//! Machine configuration for the Table-2 POWER4-like base processor.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache geometry and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Associativity (ways).
+    pub ways: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero-sized or non-dividing).
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        assert!(self.bytes > 0 && self.line_bytes > 0 && self.ways > 0);
+        let sets = self.bytes / (u64::from(self.line_bytes) * u64::from(self.ways));
+        assert!(sets > 0, "cache too small for its ways/line size");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// Full configuration of the simulated machine (Table 2 defaults).
+///
+/// Construct with [`MachineConfig::power4_180nm`] and adjust fields as
+/// needed; [`validate`](MachineConfig::validate) checks consistency.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_microarch::MachineConfig;
+/// let cfg = MachineConfig::power4_180nm();
+/// assert_eq!(cfg.fetch_width, 8);
+/// assert_eq!(cfg.rob_entries, 150);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions dispatched (one group) per cycle.
+    pub dispatch_width: u32,
+    /// Instructions retired (one group) per cycle.
+    pub retire_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: u32,
+    /// Physical integer registers (architectural + rename).
+    pub int_regs: u32,
+    /// Physical floating-point registers (architectural + rename).
+    pub fp_regs: u32,
+    /// Memory (load/store) queue entries.
+    pub mem_queue: u32,
+    /// Number of integer units.
+    pub int_units: u32,
+    /// Number of floating-point units.
+    pub fp_units: u32,
+    /// Number of load-store units.
+    pub ls_units: u32,
+    /// Number of branch units.
+    pub branch_units: u32,
+    /// Number of condition-register logical units.
+    pub cr_units: u32,
+    /// Integer add/logical latency.
+    pub int_alu_latency: u32,
+    /// Integer multiply latency.
+    pub int_mul_latency: u32,
+    /// Integer divide latency.
+    pub int_div_latency: u32,
+    /// FP default (add/mul) latency.
+    pub fp_latency: u32,
+    /// FP divide latency.
+    pub fp_div_latency: u32,
+    /// Branch/CR op execute latency.
+    pub branch_latency: u32,
+    /// Front-end depth in cycles from fetch to dispatch.
+    pub frontend_depth: u32,
+    /// Extra redirect penalty after a mispredicted branch resolves.
+    pub mispredict_penalty: u32,
+    /// In-flight fetch buffer (instructions) between fetch and dispatch.
+    pub fetch_buffer: u32,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles (contention-less, Table 2).
+    pub memory_latency: u32,
+    /// Outstanding-miss registers (per cache level) bounding memory-level
+    /// parallelism.
+    pub miss_registers: u32,
+}
+
+impl MachineConfig {
+    /// The Table-2 base 180 nm POWER4-like configuration.
+    #[must_use]
+    pub fn power4_180nm() -> Self {
+        MachineConfig {
+            fetch_width: 8,
+            dispatch_width: 5,
+            retire_width: 5,
+            rob_entries: 150,
+            int_regs: 120,
+            fp_regs: 96,
+            mem_queue: 32,
+            int_units: 2,
+            fp_units: 2,
+            ls_units: 2,
+            branch_units: 1,
+            cr_units: 1,
+            int_alu_latency: 1,
+            int_mul_latency: 7,
+            int_div_latency: 35,
+            fp_latency: 4,
+            fp_div_latency: 12,
+            branch_latency: 1,
+            frontend_depth: 6,
+            mispredict_penalty: 6,
+            fetch_buffer: 48,
+            l1i: CacheConfig {
+                bytes: 32 << 10,
+                line_bytes: 128,
+                ways: 2,
+                hit_latency: 1,
+            },
+            l1d: CacheConfig {
+                bytes: 32 << 10,
+                line_bytes: 128,
+                ways: 2,
+                hit_latency: 2,
+            },
+            l2: CacheConfig {
+                bytes: 2 << 20,
+                line_bytes: 128,
+                ways: 8,
+                hit_latency: 20,
+            },
+            memory_latency: 102,
+            miss_registers: 8,
+        }
+    }
+
+    /// Number of architectural integer registers assumed renamed onto
+    /// `int_regs` (PowerPC: 32).
+    pub const ARCH_INT_REGS: u32 = 32;
+    /// Number of architectural FP registers (PowerPC: 32).
+    pub const ARCH_FP_REGS: u32 = 32;
+
+    /// Integer rename registers available for in-flight producers.
+    #[must_use]
+    pub fn int_rename_regs(&self) -> u32 {
+        self.int_regs.saturating_sub(Self::ARCH_INT_REGS)
+    }
+
+    /// FP rename registers available for in-flight producers.
+    #[must_use]
+    pub fn fp_rename_regs(&self) -> u32 {
+        self.fp_regs.saturating_sub(Self::ARCH_FP_REGS)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = [
+            ("fetch_width", self.fetch_width),
+            ("dispatch_width", self.dispatch_width),
+            ("retire_width", self.retire_width),
+            ("rob_entries", self.rob_entries),
+            ("mem_queue", self.mem_queue),
+            ("int_units", self.int_units),
+            ("fp_units", self.fp_units),
+            ("ls_units", self.ls_units),
+            ("branch_units", self.branch_units),
+            ("cr_units", self.cr_units),
+            ("miss_registers", self.miss_registers),
+            ("fetch_buffer", self.fetch_buffer),
+        ];
+        for (name, v) in positive {
+            if v == 0 {
+                return Err(format!("{name} must be positive"));
+            }
+        }
+        if self.int_rename_regs() == 0 {
+            return Err("int_regs must exceed the 32 architectural registers".into());
+        }
+        if self.fp_rename_regs() == 0 {
+            return Err("fp_regs must exceed the 32 architectural registers".into());
+        }
+        if self.retire_width > self.rob_entries {
+            return Err("retire_width exceeds rob_entries".into());
+        }
+        for (name, c) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            if c.bytes == 0 || c.line_bytes == 0 || c.ways == 0 {
+                return Err(format!("{name} has zero-sized geometry"));
+            }
+            let sets = c.bytes / (u64::from(c.line_bytes) * u64::from(c.ways));
+            if sets == 0 || !sets.is_power_of_two() {
+                return Err(format!("{name} set count must be a positive power of two"));
+            }
+        }
+        if self.l2.hit_latency <= self.l1d.hit_latency {
+            return Err("L2 must be slower than L1D".into());
+        }
+        if self.memory_latency <= self.l2.hit_latency {
+            return Err("memory must be slower than L2".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::power4_180nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let c = MachineConfig::power4_180nm();
+        assert_eq!(c.rob_entries, 150);
+        assert_eq!(c.int_regs, 120);
+        assert_eq!(c.fp_regs, 96);
+        assert_eq!(c.mem_queue, 32);
+        assert_eq!(c.l1d.bytes, 32 << 10);
+        assert_eq!(c.l2.bytes, 2 << 20);
+        assert_eq!(c.l1d.hit_latency, 2);
+        assert_eq!(c.l2.hit_latency, 20);
+        assert_eq!(c.memory_latency, 102);
+        assert_eq!(c.int_div_latency, 35);
+        assert_eq!(c.fp_div_latency, 12);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn cache_sets() {
+        let c = MachineConfig::power4_180nm();
+        assert_eq!(c.l1d.sets(), 128);
+        assert_eq!(c.l2.sets(), 2048);
+    }
+
+    #[test]
+    fn rename_register_counts() {
+        let c = MachineConfig::power4_180nm();
+        assert_eq!(c.int_rename_regs(), 88);
+        assert_eq!(c.fp_rename_regs(), 64);
+    }
+
+    #[test]
+    fn validation_catches_bad_geometry() {
+        let mut c = MachineConfig::power4_180nm();
+        c.l1d.bytes = 33 << 10; // not a power-of-two set count
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::power4_180nm();
+        c.int_regs = 32;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::power4_180nm();
+        c.memory_latency = 10;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Aggregate simulation statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one timing-simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_microarch::{simulate, MachineConfig, SimulationLength};
+/// use ramp_trace::{spec, TraceGenerator};
+/// let cfg = MachineConfig::power4_180nm();
+/// let p = spec::profile("bzip2").unwrap();
+/// let out = simulate(&cfg, TraceGenerator::new(&p),
+///                    SimulationLength::Instructions(50_000), 1_100);
+/// assert!(out.stats.ipc() > 0.5);
+/// assert!(out.stats.ipc() < 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Total cycles from first fetch to last retirement.
+    pub cycles: u64,
+    /// Conditional/unconditional branches executed.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 misses (data side).
+    pub l2_misses: u64,
+    /// L1I misses.
+    pub l1i_misses: u64,
+    /// Estimated wrong-path instructions fetched after mispredictions.
+    pub wrong_path_fetches: u64,
+    /// Fetch cycles lost to I-cache fill (sequential and redirect misses).
+    pub icache_stall_cycles: u64,
+    /// Fetch cycles lost waiting for mispredict redirects.
+    pub redirect_stall_cycles: u64,
+    /// Dispatches delayed by a full reorder buffer.
+    pub rob_stalls: u64,
+    /// Dispatches delayed by rename-register exhaustion (either class).
+    pub rename_stalls: u64,
+    /// Dispatches delayed by a full memory queue.
+    pub memq_stalls: u64,
+}
+
+impl SimStats {
+    /// Retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch mispredict rate.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// L1D misses per kilo-instruction.
+    #[must_use]
+    pub fn l1d_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l1d_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// L2 (data) misses per kilo-instruction.
+    #[must_use]
+    pub fn l2_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of all cycles the front end spent stalled (I-cache fills
+    /// plus mispredict redirects).
+    #[must_use]
+    pub fn frontend_stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.icache_stall_cycles + self.redirect_stall_cycles) as f64
+                / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.l1d_mpki(), 0.0);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = SimStats {
+            instructions: 1000,
+            cycles: 500,
+            branches: 100,
+            mispredicts: 5,
+            l1d_misses: 20,
+            l2_misses: 2,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.05).abs() < 1e-12);
+        assert!((s.l1d_mpki() - 20.0).abs() < 1e-12);
+        assert!((s.l2_mpki() - 2.0).abs() < 1e-12);
+    }
+}

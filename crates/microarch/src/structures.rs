@@ -1,0 +1,202 @@
+//! The seven microarchitectural structures tracked for power, temperature,
+//! and reliability.
+//!
+//! Following the paper (§4.3), the POWER4-like core is combined into 7
+//! distinct structures; HotSpot produces per-structure temperatures and
+//! RAMP per-structure failure rates at this granularity.
+
+use serde::{Deserialize, Serialize};
+
+/// A microarchitectural structure of the modeled core.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_microarch::Structure;
+/// assert_eq!(Structure::ALL.len(), 7);
+/// assert_eq!(Structure::Fpu.index(), Structure::ALL.iter().position(|&s| s == Structure::Fpu).unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Structure {
+    /// Instruction fetch unit: I-cache, fetch logic, branch predictor.
+    Ifu,
+    /// Instruction decode unit: decode, crack, group formation.
+    Idu,
+    /// Instruction sequencing unit: rename, issue queues, reorder buffer.
+    Isu,
+    /// Fixed-point execution: two integer units + integer register file.
+    Fxu,
+    /// Floating-point execution: two FP units + FP register file.
+    Fpu,
+    /// Load-store unit: two LS pipes, D-cache, memory (load/store) queue.
+    Lsu,
+    /// Branch and condition-register execution unit.
+    Bxu,
+}
+
+impl Structure {
+    /// All structures in canonical (floorplan) order.
+    pub const ALL: [Structure; 7] = [
+        Structure::Ifu,
+        Structure::Idu,
+        Structure::Isu,
+        Structure::Fxu,
+        Structure::Fpu,
+        Structure::Lsu,
+        Structure::Bxu,
+    ];
+
+    /// Number of tracked structures.
+    pub const COUNT: usize = 7;
+
+    /// Dense index of this structure within [`Structure::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Structure::Ifu => 0,
+            Structure::Idu => 1,
+            Structure::Isu => 2,
+            Structure::Fxu => 3,
+            Structure::Fpu => 4,
+            Structure::Lsu => 5,
+            Structure::Bxu => 6,
+        }
+    }
+
+    /// Fraction of the core's die area occupied by this structure
+    /// (POWER4-like floorplan; sums to 1 across [`Structure::ALL`]).
+    ///
+    /// The caches and queues of the LSU make it the largest unit; the
+    /// IFU's I-cache and the FPU's register file and pipes follow.
+    #[must_use]
+    pub fn area_fraction(self) -> f64 {
+        match self {
+            Structure::Ifu => 0.16,
+            Structure::Idu => 0.08,
+            Structure::Isu => 0.14,
+            Structure::Fxu => 0.12,
+            Structure::Fpu => 0.15,
+            Structure::Lsu => 0.25,
+            Structure::Bxu => 0.10,
+        }
+    }
+
+    /// Short uppercase mnemonic (POWER4 unit naming).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Structure::Ifu => "IFU",
+            Structure::Idu => "IDU",
+            Structure::Isu => "ISU",
+            Structure::Fxu => "FXU",
+            Structure::Fpu => "FPU",
+            Structure::Lsu => "LSU",
+            Structure::Bxu => "BXU",
+        }
+    }
+}
+
+impl std::fmt::Display for Structure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A dense per-structure map, indexed by [`Structure`].
+///
+/// # Examples
+///
+/// ```
+/// use ramp_microarch::{PerStructure, Structure};
+/// let mut m: PerStructure<f64> = PerStructure::default();
+/// m[Structure::Lsu] = 0.5;
+/// assert_eq!(m[Structure::Lsu], 0.5);
+/// assert_eq!(m.iter().count(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerStructure<T>(pub [T; Structure::COUNT]);
+
+impl<T: Default + Copy> Default for PerStructure<T> {
+    fn default() -> Self {
+        PerStructure([T::default(); Structure::COUNT])
+    }
+}
+
+impl<T> PerStructure<T> {
+    /// Builds a map by evaluating `f` for each structure.
+    pub fn from_fn(mut f: impl FnMut(Structure) -> T) -> Self {
+        PerStructure(Structure::ALL.map(&mut f))
+    }
+
+    /// Iterates `(structure, &value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Structure, &T)> {
+        Structure::ALL.iter().map(move |&s| (s, &self.0[s.index()]))
+    }
+
+    /// Returns the underlying array in canonical order.
+    #[must_use]
+    pub fn as_array(&self) -> &[T; Structure::COUNT] {
+        &self.0
+    }
+}
+
+impl<T> std::ops::Index<Structure> for PerStructure<T> {
+    type Output = T;
+    fn index(&self, s: Structure) -> &T {
+        &self.0[s.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<Structure> for PerStructure<T> {
+    fn index_mut(&mut self, s: Structure) -> &mut T {
+        &mut self.0[s.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, &s) in Structure::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn area_fractions_sum_to_one() {
+        let sum: f64 = Structure::ALL.iter().map(|s| s.area_fraction()).sum();
+        assert!((sum - 1.0).abs() < 1e-12, "fractions sum to {sum}");
+    }
+
+    #[test]
+    fn lsu_is_largest() {
+        let lsu = Structure::Lsu.area_fraction();
+        for s in Structure::ALL {
+            assert!(s.area_fraction() <= lsu);
+        }
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let mut names: Vec<_> = Structure::ALL.iter().map(|s| s.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Structure::COUNT);
+    }
+
+    #[test]
+    fn per_structure_from_fn() {
+        let m = PerStructure::from_fn(|s| s.index() * 2);
+        assert_eq!(m[Structure::Bxu], 12);
+        assert_eq!(m.as_array()[0], 0);
+    }
+
+    #[test]
+    fn per_structure_iter_order() {
+        let m = PerStructure::from_fn(|s| s.index());
+        let idx: Vec<_> = m.iter().map(|(_, &v)| v).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+}

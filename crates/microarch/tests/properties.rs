@@ -1,0 +1,165 @@
+//! Property-based tests of the timing simulator's architectural
+//! invariants over randomly generated instruction streams.
+
+use proptest::prelude::*;
+use ramp_microarch::{simulate, Engine, MachineConfig, SimulationLength, Structure};
+use ramp_trace::{BranchInfo, MemRef, TraceRecord, ALL_OP_CLASSES};
+
+/// Strategy: a random but architecturally well-formed trace record.
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        0usize..ALL_OP_CLASSES.len(),
+        0u64..4096,
+        proptest::option::of(0u8..72),
+        proptest::option::of(0u8..72),
+        0u8..72,
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(op_idx, pc_slot, src0, src1, dst, addr, taken)| {
+            let op = ALL_OP_CLASSES[op_idx];
+            let pc = 0x10_0000 + pc_slot * 4;
+            let mut rec = TraceRecord::new(pc, op).with_sources([src0, src1]);
+            if op.writes_register() {
+                rec = rec.with_dest(Some(dst));
+            }
+            if op.is_memory() {
+                rec = rec.with_mem(MemRef {
+                    addr: 0x1000_0000 + (addr % (1 << 22)),
+                    size: 8,
+                });
+            }
+            if op.is_branch() {
+                rec = rec.with_branch(BranchInfo {
+                    taken,
+                    target: 0x10_0000 + (addr % 4096) * 4,
+                });
+            }
+            rec
+        })
+}
+
+/// Source registers must have been written earlier for the run to be
+/// architecturally sensible; rewrite sources to a previously written
+/// register (or drop them).
+fn close_dataflow(mut records: Vec<TraceRecord>) -> Vec<TraceRecord> {
+    let mut written: Vec<u8> = Vec::new();
+    for rec in &mut records {
+        let fix = |src: Option<u8>, written: &Vec<u8>| -> Option<u8> {
+            src.and_then(|s| {
+                if written.is_empty() {
+                    None
+                } else {
+                    Some(written[s as usize % written.len()])
+                }
+            })
+        };
+        let srcs = rec.sources();
+        *rec = rec.with_sources([fix(srcs[0], &written), fix(srcs[1], &written)]);
+        if let Some(d) = rec.dest() {
+            written.push(d);
+        }
+    }
+    records
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The engine never panics, retires everything, and respects the
+    /// machine's architectural throughput bound on any well-formed trace.
+    #[test]
+    fn engine_total_on_arbitrary_traces(
+        raw in proptest::collection::vec(arb_record(), 200..2_000)
+    ) {
+        let records = close_dataflow(raw);
+        let cfg = MachineConfig::power4_180nm();
+        let mut engine = Engine::new(&cfg, 1_000);
+        for rec in &records {
+            engine.step(rec);
+        }
+        let out = engine.finish();
+        prop_assert_eq!(out.stats.instructions, records.len() as u64);
+        let ipc = out.stats.ipc();
+        prop_assert!(ipc > 0.0);
+        prop_assert!(
+            ipc <= f64::from(cfg.retire_width),
+            "ipc {ipc} exceeds retire width"
+        );
+        // Activity factors are always within the unit interval.
+        for record in out.activity.intervals() {
+            for s in Structure::ALL {
+                let p = record.factors[s].value();
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    /// Cutting a trace short never increases total cycles: simulation
+    /// progress is monotone in trace length.
+    #[test]
+    fn cycles_monotone_in_trace_length(
+        raw in proptest::collection::vec(arb_record(), 400..800)
+    ) {
+        let records = close_dataflow(raw);
+        let cfg = MachineConfig::power4_180nm();
+        let run = |n: usize| {
+            let mut engine = Engine::new(&cfg, 1_000);
+            for rec in &records[..n] {
+                engine.step(rec);
+            }
+            engine.finish().stats.cycles
+        };
+        let half = run(records.len() / 2);
+        let full = run(records.len());
+        prop_assert!(full >= half);
+    }
+
+    /// Doubling every functional unit and width can only help (or leave
+    /// unchanged) any workload's cycle count.
+    #[test]
+    fn wider_machine_is_never_slower(
+        raw in proptest::collection::vec(arb_record(), 300..900)
+    ) {
+        let records = close_dataflow(raw);
+        let base = MachineConfig::power4_180nm();
+        let mut wide = base.clone();
+        wide.int_units *= 2;
+        wide.fp_units *= 2;
+        wide.ls_units *= 2;
+        wide.branch_units *= 2;
+        wide.cr_units *= 2;
+        wide.dispatch_width *= 2;
+        wide.retire_width *= 2;
+        wide.rob_entries *= 2;
+        wide.int_regs = 32 + (wide.int_regs - 32) * 2;
+        wide.fp_regs = 32 + (wide.fp_regs - 32) * 2;
+        wide.mem_queue *= 2;
+        wide.miss_registers *= 2;
+        let run = |cfg: &MachineConfig| {
+            let mut engine = Engine::new(cfg, 1_000);
+            for rec in &records {
+                engine.step(rec);
+            }
+            engine.finish().stats.cycles
+        };
+        let slow = run(&base);
+        let fast = run(&wide);
+        prop_assert!(fast <= slow, "wider machine took {fast} vs {slow}");
+    }
+}
+
+#[test]
+fn simulate_respects_instruction_budget_exactly() {
+    let cfg = MachineConfig::power4_180nm();
+    let p = ramp_trace::spec::profile("gzip").unwrap();
+    for n in [1u64, 7, 1_000, 12_345] {
+        let out = simulate(
+            &cfg,
+            ramp_trace::TraceGenerator::new(&p),
+            SimulationLength::Instructions(n),
+            1_000,
+        );
+        assert_eq!(out.stats.instructions, n);
+    }
+}

@@ -1,0 +1,181 @@
+//! Dynamic (switching) power: budgets × activity × `C·V²·f` scaling.
+
+use crate::StructureBudgets;
+use ramp_microarch::PerStructure;
+use ramp_units::{ActivityFactor, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Technology-scaling multipliers for dynamic power relative to the
+/// reference node: `P ∝ C · V² · f`.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_power::DynamicScaling;
+/// // 130 nm relative to 180 nm (Table 4): C×0.7, 1.1 V vs 1.3 V, 1.35 GHz vs 1.1 GHz.
+/// let s = DynamicScaling::new(0.7, 1.1 / 1.3, 1.35 / 1.1).unwrap();
+/// assert!((s.factor() - 0.7 * (1.1f64/1.3).powi(2) * (1.35/1.1)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicScaling {
+    capacitance_rel: f64,
+    voltage_ratio: f64,
+    frequency_ratio: f64,
+}
+
+impl DynamicScaling {
+    /// Identity scaling (the reference node itself).
+    pub const REFERENCE: DynamicScaling = DynamicScaling {
+        capacitance_rel: 1.0,
+        voltage_ratio: 1.0,
+        frequency_ratio: 1.0,
+    };
+
+    /// Creates a scaling description.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error description unless all ratios are finite and
+    /// positive.
+    pub fn new(
+        capacitance_rel: f64,
+        voltage_ratio: f64,
+        frequency_ratio: f64,
+    ) -> Result<Self, String> {
+        for (name, v) in [
+            ("capacitance_rel", capacitance_rel),
+            ("voltage_ratio", voltage_ratio),
+            ("frequency_ratio", frequency_ratio),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be finite and positive, got {v}"));
+            }
+        }
+        Ok(DynamicScaling {
+            capacitance_rel,
+            voltage_ratio,
+            frequency_ratio,
+        })
+    }
+
+    /// The combined `C·V²·f` power multiplier.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        self.capacitance_rel * self.voltage_ratio * self.voltage_ratio * self.frequency_ratio
+    }
+}
+
+/// Dynamic-power model: per-structure budgets under a technology scaling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicPowerModel {
+    budgets: StructureBudgets,
+    scaling: DynamicScaling,
+}
+
+impl DynamicPowerModel {
+    /// Creates the model.
+    #[must_use]
+    pub fn new(budgets: StructureBudgets, scaling: DynamicScaling) -> Self {
+        DynamicPowerModel { budgets, scaling }
+    }
+
+    /// Per-structure dynamic power for one interval's activity factors.
+    #[must_use]
+    pub fn power(&self, activity: &PerStructure<ActivityFactor>) -> PerStructure<Watts> {
+        let factor = self.scaling.factor();
+        PerStructure::from_fn(|s| {
+            self.budgets
+                .budget(s)
+                .scaled(self.budgets.utilisation(activity[s]) * factor)
+        })
+    }
+
+    /// Total dynamic power for one interval.
+    #[must_use]
+    pub fn total(&self, activity: &PerStructure<ActivityFactor>) -> Watts {
+        self.power(activity).as_array().iter().copied().sum()
+    }
+
+    /// The budgets in use.
+    #[must_use]
+    pub fn budgets(&self) -> &StructureBudgets {
+        &self.budgets
+    }
+
+    /// The scaling in use.
+    #[must_use]
+    pub fn scaling(&self) -> DynamicScaling {
+        self.scaling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramp_microarch::Structure;
+
+    fn uniform(p: f64) -> PerStructure<ActivityFactor> {
+        PerStructure::from_fn(|_| ActivityFactor::new(p).unwrap())
+    }
+
+    #[test]
+    fn idle_power_is_floor_times_budget() {
+        let m = DynamicPowerModel::new(
+            StructureBudgets::power4_reference(),
+            DynamicScaling::REFERENCE,
+        );
+        let total = m.total(&uniform(0.0));
+        assert!((total.value() - 57.6 * 0.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_activity_reaches_budget() {
+        let m = DynamicPowerModel::new(
+            StructureBudgets::power4_reference(),
+            DynamicScaling::REFERENCE,
+        );
+        assert!((m.total(&uniform(1.0)).value() - 57.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_monotone_in_activity() {
+        let m = DynamicPowerModel::new(
+            StructureBudgets::power4_reference(),
+            DynamicScaling::REFERENCE,
+        );
+        let mut prev = 0.0;
+        for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let t = m.total(&uniform(p)).value();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn scaling_multiplies_uniformly() {
+        let scale = DynamicScaling::new(0.49, 1.0 / 1.3, 1.65 / 1.1).unwrap();
+        let base = DynamicPowerModel::new(
+            StructureBudgets::power4_reference(),
+            DynamicScaling::REFERENCE,
+        );
+        let scaled = DynamicPowerModel::new(
+            StructureBudgets::power4_reference(),
+            scale,
+        );
+        let a = uniform(0.4);
+        let ratio = scaled.total(&a).value() / base.total(&a).value();
+        assert!((ratio - scale.factor()).abs() < 1e-12);
+        // Per-structure too.
+        for (s, w) in scaled.power(&a).iter() {
+            assert!((w.value() / base.power(&a)[s].value() - scale.factor()).abs() < 1e-12);
+        }
+        let _ = Structure::Ifu;
+    }
+
+    #[test]
+    fn rejects_nonpositive_ratios() {
+        assert!(DynamicScaling::new(0.0, 1.0, 1.0).is_err());
+        assert!(DynamicScaling::new(1.0, -1.0, 1.0).is_err());
+        assert!(DynamicScaling::new(1.0, 1.0, f64::NAN).is_err());
+    }
+}

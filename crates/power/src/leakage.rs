@@ -1,0 +1,151 @@
+//! Leakage power with exponential temperature dependence.
+//!
+//! The paper models leakage as an area-proportional density, specified at
+//! 383 K, that grows exponentially with temperature:
+//! `P(T) = P(383 K) · e^{β (T − 383)}` with β = 0.017 (from Heo et al.).
+//! Table 4 gives the per-node density under aggressive leakage control
+//! (0.04 W/mm² at 180 nm up to 0.60 W/mm² at 65 nm / 1.0 V).
+
+use ramp_microarch::{PerStructure, Structure};
+use ramp_units::{Kelvin, PowerDensity, SquareMillimeters, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Reference temperature at which leakage densities are specified.
+pub const LEAKAGE_REFERENCE_TEMP: Kelvin = Kelvin::new_const(383.0);
+
+/// The paper's leakage-temperature curve-fitting constant β (1/K).
+pub const DEFAULT_BETA: f64 = 0.017;
+
+/// Leakage-power model for one technology node.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_power::LeakageModel;
+/// use ramp_units::{Kelvin, PowerDensity, SquareMillimeters};
+///
+/// let m = LeakageModel::new(
+///     PowerDensity::new(0.04)?,            // 180 nm density at 383 K
+///     SquareMillimeters::new(81.0)?,       // 9 mm × 9 mm core
+///     0.017,
+/// ).unwrap();
+/// let at_ref = m.total(Kelvin::new(383.0)?);
+/// assert!((at_ref.value() - 3.24).abs() < 1e-9); // 0.04 × 81
+/// let hotter = m.total(Kelvin::new(393.0)?);
+/// assert!(hotter.value() > at_ref.value());
+/// # Ok::<(), ramp_units::UnitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeakageModel {
+    density_at_ref: PowerDensity,
+    core_area: SquareMillimeters,
+    beta: f64,
+}
+
+impl LeakageModel {
+    /// Creates a model from a node's leakage density (at 383 K), the node's
+    /// core area, and the temperature coefficient β.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error description if β is not finite and non-negative.
+    pub fn new(
+        density_at_ref: PowerDensity,
+        core_area: SquareMillimeters,
+        beta: f64,
+    ) -> Result<Self, String> {
+        if !beta.is_finite() || beta < 0.0 {
+            return Err(format!("beta must be finite and non-negative, got {beta}"));
+        }
+        Ok(LeakageModel {
+            density_at_ref,
+            core_area,
+            beta,
+        })
+    }
+
+    /// Temperature multiplier `e^{β (T − 383)}`.
+    #[must_use]
+    pub fn temperature_factor(&self, t: Kelvin) -> f64 {
+        (self.beta * (t - LEAKAGE_REFERENCE_TEMP)).exp()
+    }
+
+    /// Leakage power of one structure at temperature `t`, using the
+    /// floorplan area fractions.
+    #[must_use]
+    pub fn structure_power(&self, s: Structure, t: Kelvin) -> Watts {
+        let area = self.core_area.scaled(s.area_fraction());
+        (self.density_at_ref * area).scaled(self.temperature_factor(t))
+    }
+
+    /// Per-structure leakage for a full temperature map.
+    #[must_use]
+    pub fn power(&self, temps: &PerStructure<Kelvin>) -> PerStructure<Watts> {
+        PerStructure::from_fn(|s| self.structure_power(s, temps[s]))
+    }
+
+    /// Total leakage at a uniform temperature.
+    #[must_use]
+    pub fn total(&self, t: Kelvin) -> Watts {
+        (self.density_at_ref * self.core_area).scaled(self.temperature_factor(t))
+    }
+
+    /// The core area this model integrates over.
+    #[must_use]
+    pub fn core_area(&self) -> SquareMillimeters {
+        self.core_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LeakageModel {
+        LeakageModel::new(
+            PowerDensity::new(0.04).unwrap(),
+            SquareMillimeters::new(81.0).unwrap(),
+            DEFAULT_BETA,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reference_temperature_factor_is_one() {
+        assert!((model().temperature_factor(LEAKAGE_REFERENCE_TEMP) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ten_kelvin_raises_leakage_by_e_to_017() {
+        let m = model();
+        let f = m.temperature_factor(Kelvin::new(393.0).unwrap());
+        assert!((f - (0.17f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structure_powers_sum_to_total_at_uniform_temp() {
+        let m = model();
+        let t = Kelvin::new(360.0).unwrap();
+        let temps = PerStructure::from_fn(|_| t);
+        let sum: Watts = m.power(&temps).as_array().iter().copied().sum();
+        assert!((sum.value() - m.total(t).value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hotter_structures_leak_more() {
+        let m = model();
+        let cool = m.structure_power(Structure::Fpu, Kelvin::new(350.0).unwrap());
+        let hot = m.structure_power(Structure::Fpu, Kelvin::new(380.0).unwrap());
+        assert!(hot.value() > cool.value() * 1.5);
+    }
+
+    #[test]
+    fn rejects_negative_beta() {
+        assert!(LeakageModel::new(
+            PowerDensity::new(0.04).unwrap(),
+            SquareMillimeters::new(81.0).unwrap(),
+            -0.01
+        )
+        .is_err());
+    }
+}

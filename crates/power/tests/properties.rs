@@ -1,0 +1,133 @@
+//! Property-based tests of the power model's physical invariants.
+
+use proptest::prelude::*;
+use ramp_microarch::{PerStructure, Structure};
+use ramp_power::{
+    DynamicPowerModel, DynamicScaling, LeakageModel, PowerModel, StructureBudgets,
+};
+use ramp_units::{ActivityFactor, Kelvin, PowerDensity, SquareMillimeters};
+
+fn model() -> PowerModel {
+    PowerModel::new(
+        DynamicPowerModel::new(
+            StructureBudgets::power4_reference(),
+            DynamicScaling::REFERENCE,
+        ),
+        LeakageModel::new(
+            PowerDensity::new(0.04).unwrap(),
+            SquareMillimeters::new(81.0).unwrap(),
+            0.017,
+        )
+        .unwrap(),
+        1.0,
+    )
+    .unwrap()
+}
+
+fn activity(vals: &[f64]) -> PerStructure<ActivityFactor> {
+    PerStructure::from_fn(|s| ActivityFactor::new(vals[s.index()]).unwrap())
+}
+
+fn temps(vals: &[f64]) -> PerStructure<Kelvin> {
+    PerStructure::from_fn(|s| Kelvin::new(vals[s.index()]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Total power is bounded by the budget envelope: between the
+    /// clock-gated idle floor and the unconstrained maximum, plus leakage.
+    #[test]
+    fn power_within_envelope(
+        acts in proptest::collection::vec(0.0f64..1.0, 7),
+        ts in proptest::collection::vec(320.0f64..390.0, 7),
+    ) {
+        let m = model();
+        let sample = m.sample(&activity(&acts), &temps(&ts));
+        let budgets = StructureBudgets::power4_reference();
+        let floor = budgets.total().value() * budgets.clock_gate_floor();
+        let dynamic = sample.dynamic_total().value();
+        prop_assert!(dynamic >= floor - 1e-9);
+        prop_assert!(dynamic <= budgets.total().value() + 1e-9);
+        prop_assert!(sample.leakage_total().value() > 0.0);
+    }
+
+    /// Dynamic power is monotone in every structure's activity; leakage is
+    /// monotone in every structure's temperature.
+    #[test]
+    fn monotonicity(
+        acts in proptest::collection::vec(0.0f64..0.9, 7),
+        ts in proptest::collection::vec(320.0f64..380.0, 7),
+        idx in 0usize..7,
+    ) {
+        let m = model();
+        let base = m.sample(&activity(&acts), &temps(&ts));
+        let mut hotter_acts = acts.clone();
+        hotter_acts[idx] += 0.1;
+        let busier = m.sample(&activity(&hotter_acts), &temps(&ts));
+        prop_assert!(busier.dynamic_total().value() > base.dynamic_total().value());
+        let mut hotter_ts = ts.clone();
+        hotter_ts[idx] += 10.0;
+        let hotter = m.sample(&activity(&acts), &temps(&hotter_ts));
+        prop_assert!(hotter.leakage_total().value() > base.leakage_total().value());
+        // And only the touched structure's leakage changed.
+        for s in Structure::ALL {
+            if s.index() != idx {
+                prop_assert_eq!(hotter.leakage[s], base.leakage[s]);
+            }
+        }
+    }
+
+    /// The C·V²·f factor scales the dynamic side linearly and leaves
+    /// leakage untouched.
+    #[test]
+    fn scaling_linearity(
+        acts in proptest::collection::vec(0.0f64..1.0, 7),
+        cap in 0.3f64..1.0,
+        vr in 0.6f64..1.1,
+        fr in 0.8f64..2.0,
+    ) {
+        let scaled = PowerModel::new(
+            DynamicPowerModel::new(
+                StructureBudgets::power4_reference(),
+                DynamicScaling::new(cap, vr, fr).unwrap(),
+            ),
+            LeakageModel::new(
+                PowerDensity::new(0.04).unwrap(),
+                SquareMillimeters::new(81.0).unwrap(),
+                0.017,
+            )
+            .unwrap(),
+            1.0,
+        )
+        .unwrap();
+        let t = temps(&[350.0; 7]);
+        let a = activity(&acts);
+        let base = model().sample(&a, &t);
+        let s = scaled.sample(&a, &t);
+        let factor = cap * vr * vr * fr;
+        prop_assert!(
+            (s.dynamic_total().value() / base.dynamic_total().value() - factor).abs()
+                < 1e-9
+        );
+        prop_assert_eq!(s.leakage_total(), base.leakage_total());
+    }
+
+    /// Leakage obeys the exponential law exactly: a +ΔT shift multiplies
+    /// every structure's leakage by e^{βΔT}.
+    #[test]
+    fn leakage_exponential_shift(
+        base_t in 330.0f64..370.0,
+        delta in 0.0f64..25.0,
+    ) {
+        let m = model();
+        let a = activity(&[0.5; 7]);
+        let cool = m.sample(&a, &temps(&[base_t; 7]));
+        let warm = m.sample(&a, &temps(&[base_t + delta; 7]));
+        let expect = (0.017 * delta).exp();
+        prop_assert!(
+            (warm.leakage_total().value() / cool.leakage_total().value() - expect).abs()
+                < 1e-9
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Core floorplan: structure rectangles on the die.
+
+use ramp_microarch::{PerStructure, Structure};
+use ramp_units::SquareMillimeters;
+use serde::{Deserialize, Serialize};
+
+/// A placed rectangular block, in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// The structure occupying this block.
+    pub structure: Structure,
+    /// Lower-left x (mm).
+    pub x: f64,
+    /// Lower-left y (mm).
+    pub y: f64,
+    /// Width (mm).
+    pub w: f64,
+    /// Height (mm).
+    pub h: f64,
+}
+
+impl Block {
+    /// Block area.
+    #[must_use]
+    pub fn area(&self) -> SquareMillimeters {
+        SquareMillimeters::new(self.w * self.h).expect("blocks have positive extent")
+    }
+
+    /// Centre coordinates (mm).
+    #[must_use]
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Length of the edge shared with `other` (mm); zero if not adjacent.
+    ///
+    /// Two blocks are adjacent when they abut along a full or partial edge
+    /// (within a small tolerance used to absorb floating-point tiling).
+    #[must_use]
+    pub fn shared_edge(&self, other: &Block) -> f64 {
+        const EPS: f64 = 1e-9;
+        let overlap = |a0: f64, a1: f64, b0: f64, b1: f64| (a1.min(b1) - a0.max(b0)).max(0.0);
+        // Vertical adjacency (stacked): y-edges touch, x-ranges overlap.
+        if (self.y + self.h - other.y).abs() < EPS || (other.y + other.h - self.y).abs() < EPS {
+            return overlap(self.x, self.x + self.w, other.x, other.x + other.w);
+        }
+        // Horizontal adjacency (side by side).
+        if (self.x + self.w - other.x).abs() < EPS || (other.x + other.w - self.x).abs() < EPS {
+            return overlap(self.y, self.y + self.h, other.y, other.y + other.h);
+        }
+        0.0
+    }
+}
+
+/// A complete floorplan: one block per structure tiling a square die.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_thermal::Floorplan;
+/// use ramp_units::SquareMillimeters;
+/// let fp = Floorplan::power4(SquareMillimeters::new(81.0)?);
+/// assert_eq!(fp.blocks().len(), 7);
+/// let total: f64 = fp.blocks().iter().map(|b| b.area().value()).sum();
+/// assert!((total - 81.0).abs() < 1e-9);
+/// # Ok::<(), ramp_units::UnitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    blocks: Vec<Block>,
+    die_area: SquareMillimeters,
+}
+
+impl Floorplan {
+    /// Builds the POWER4-like floorplan on a square die of the given area.
+    ///
+    /// Three rows of blocks tile the die exactly; per-structure areas equal
+    /// [`Structure::area_fraction`] × die area, so the same constructor
+    /// serves every technology node by passing the scaled die area.
+    #[must_use]
+    pub fn power4(die_area: SquareMillimeters) -> Self {
+        let side = die_area.value().sqrt();
+        // (row, members): heights are each row's summed area fraction.
+        let rows: [&[Structure]; 3] = [
+            &[Structure::Lsu, Structure::Ifu],
+            &[Structure::Fxu, Structure::Isu, Structure::Bxu],
+            &[Structure::Fpu, Structure::Idu],
+        ];
+        let mut blocks = Vec::with_capacity(Structure::COUNT);
+        let mut y = 0.0;
+        for row in rows {
+            let row_frac: f64 = row.iter().map(|s| s.area_fraction()).sum();
+            let h = row_frac * side;
+            let mut x = 0.0;
+            for &s in row {
+                let w = s.area_fraction() / row_frac * side;
+                blocks.push(Block {
+                    structure: s,
+                    x,
+                    y,
+                    w,
+                    h,
+                });
+                x += w;
+            }
+            y += h;
+        }
+        Floorplan { blocks, die_area }
+    }
+
+    /// The placed blocks (one per structure, in row order).
+    #[must_use]
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Total die area.
+    #[must_use]
+    pub fn die_area(&self) -> SquareMillimeters {
+        self.die_area
+    }
+
+    /// The block of a given structure.
+    #[must_use]
+    pub fn block(&self, s: Structure) -> &Block {
+        self.blocks
+            .iter()
+            .find(|b| b.structure == s)
+            .expect("floorplan covers all structures")
+    }
+
+    /// Per-structure areas.
+    #[must_use]
+    pub fn areas(&self) -> PerStructure<SquareMillimeters> {
+        PerStructure::from_fn(|s| self.block(s).area())
+    }
+
+    /// All adjacent structure pairs with their shared edge length (mm).
+    #[must_use]
+    pub fn adjacencies(&self) -> Vec<(Structure, Structure, f64)> {
+        let mut out = Vec::new();
+        for (i, a) in self.blocks.iter().enumerate() {
+            for b in self.blocks.iter().skip(i + 1) {
+                let e = a.shared_edge(b);
+                if e > 1e-9 {
+                    out.push((a.structure, b.structure, e));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> Floorplan {
+        Floorplan::power4(SquareMillimeters::new(81.0).unwrap())
+    }
+
+    #[test]
+    fn covers_all_structures_once() {
+        let fp = plan();
+        for s in Structure::ALL {
+            assert_eq!(
+                fp.blocks().iter().filter(|b| b.structure == s).count(),
+                1,
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn areas_match_fractions() {
+        let fp = plan();
+        for s in Structure::ALL {
+            let want = 81.0 * s.area_fraction();
+            let got = fp.block(s).area().value();
+            assert!((got - want).abs() < 1e-9, "{s}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn blocks_stay_inside_die() {
+        let fp = plan();
+        let side = 9.0;
+        for b in fp.blocks() {
+            assert!(b.x >= -1e-9 && b.y >= -1e-9);
+            assert!(b.x + b.w <= side + 1e-9);
+            assert!(b.y + b.h <= side + 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_overlaps() {
+        let fp = plan();
+        for (i, a) in fp.blocks().iter().enumerate() {
+            for b in fp.blocks().iter().skip(i + 1) {
+                let x_overlap = (a.x + a.w).min(b.x + b.w) - a.x.max(b.x);
+                let y_overlap = (a.y + a.h).min(b.y + b.h) - a.y.max(b.y);
+                assert!(
+                    x_overlap <= 1e-9 || y_overlap <= 1e-9,
+                    "{} overlaps {}",
+                    a.structure,
+                    b.structure
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_nonempty() {
+        let fp = plan();
+        let adj = fp.adjacencies();
+        assert!(adj.len() >= 6, "expected a connected tiling, got {adj:?}");
+        // LSU and IFU share the bottom row boundary.
+        assert!(adj
+            .iter()
+            .any(|&(a, b, _)| (a == Structure::Lsu && b == Structure::Ifu)
+                || (a == Structure::Ifu && b == Structure::Lsu)));
+    }
+
+    #[test]
+    fn scaling_preserves_shape() {
+        let big = plan();
+        let small = Floorplan::power4(SquareMillimeters::new(81.0 * 0.16).unwrap());
+        for s in Structure::ALL {
+            let ratio = small.block(s).area().value() / big.block(s).area().value();
+            assert!((ratio - 0.16).abs() < 1e-9);
+        }
+        assert_eq!(big.adjacencies().len(), small.adjacencies().len());
+    }
+
+    #[test]
+    fn shared_edge_cases() {
+        let a = Block {
+            structure: Structure::Ifu,
+            x: 0.0,
+            y: 0.0,
+            w: 2.0,
+            h: 1.0,
+        };
+        let right = Block {
+            structure: Structure::Idu,
+            x: 2.0,
+            y: 0.5,
+            w: 1.0,
+            h: 2.0,
+        };
+        let above = Block {
+            structure: Structure::Isu,
+            x: 1.0,
+            y: 1.0,
+            w: 3.0,
+            h: 1.0,
+        };
+        let far = Block {
+            structure: Structure::Bxu,
+            x: 5.0,
+            y: 5.0,
+            w: 1.0,
+            h: 1.0,
+        };
+        assert!((a.shared_edge(&right) - 0.5).abs() < 1e-12);
+        assert!((a.shared_edge(&above) - 1.0).abs() < 1e-12);
+        assert_eq!(a.shared_edge(&far), 0.0);
+        assert_eq!(right.shared_edge(&a), a.shared_edge(&right));
+    }
+}

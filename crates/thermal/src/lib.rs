@@ -1,0 +1,42 @@
+//! Compact RC thermal model at microarchitectural-structure granularity
+//! (HotSpot-like).
+//!
+//! This crate stands in for the HotSpot tool in the paper's pipeline. It
+//! models the seven-structure POWER4-like floorplan as a lumped RC
+//! network — per-block vertical conduction through die and TIM, Maxwell
+//! spreading into the heat spreader, lateral silicon coupling, and a
+//! convection-cooled heat sink — and implements the paper's two-pass
+//! methodology (steady-state sink initialisation, then microsecond-step
+//! transients) plus the constant-sink-temperature scaling rule.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ramp_thermal::{ThermalParams, ThermalSimulator};
+//! use ramp_microarch::PerStructure;
+//! use ramp_units::{Seconds, SquareMillimeters, Watts};
+//!
+//! let sim = ThermalSimulator::new(SquareMillimeters::new(81.0)?,
+//!                                 ThermalParams::reference()).unwrap();
+//! let avg = PerStructure::from_fn(|_| Watts::new(29.1 / 7.0).unwrap());
+//! let mut state = sim.initial_state(&avg).unwrap();
+//! for _ in 0..100 {
+//!     state = sim.step(&state, &avg, Seconds::MICROSECOND);
+//! }
+//! let (hottest, temp) = state.hottest();
+//! println!("{hottest}: {temp:.1}");
+//! # Ok::<(), ramp_units::UnitError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod floorplan;
+mod network;
+mod simulator;
+mod solve;
+
+pub use floorplan::{Block, Floorplan};
+pub use network::{RcNetwork, ThermalParams, ThermalState};
+pub use simulator::ThermalSimulator;
+pub use solve::{solve, SingularMatrix};

@@ -1,0 +1,141 @@
+//! Small dense linear solver (Gaussian elimination with partial pivoting).
+//!
+//! The RC network has ~10 nodes, so a dense direct solve is both simplest
+//! and fastest; no external linear-algebra dependency is warranted.
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thermal conductance matrix is singular")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// Solves `A·x = b` in place for a small dense system.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrix`] if a pivot collapses below `1e-30` (the
+/// network is disconnected or degenerate).
+///
+/// # Panics
+///
+/// Panics if `a` is not `n×n` for `n = b.len()`.
+pub fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>, SingularMatrix> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix row count");
+    for row in a.iter() {
+        assert_eq!(row.len(), n, "matrix column count");
+    }
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-30 {
+            return Err(SingularMatrix);
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            // Split the rows so the pivot row can be read while the
+            // target row is mutated.
+            let (pivot_rows, rest) = a.split_at_mut(col + 1);
+            let pivot_row_vals = &pivot_rows[col];
+            let target = &mut rest[row - col - 1];
+            for k in col..n {
+                target[k] -= factor * pivot_row_vals[k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity() {
+        let mut a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut b = vec![3.0, -4.0];
+        let x = solve(&mut a, &mut b).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn known_system() {
+        // 2x + y = 5 ; x - y = 1  → x = 2, y = 1
+        let mut a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let mut b = vec![5.0, 1.0];
+        let x = solve(&mut a, &mut b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Leading zero forces a row swap.
+        let mut a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let mut b = vec![7.0, 9.0];
+        let x = solve(&mut a, &mut b).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let mut b = vec![1.0, 2.0];
+        assert_eq!(solve(&mut a, &mut b), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn residual_small_for_random_spd_like_system() {
+        // Diagonally dominant system of moderate size.
+        let n = 12;
+        let mut rng = 1234u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng % 1000) as f64 / 1000.0
+        };
+        let mut a: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| next() * 0.1).collect())
+            .collect();
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] = 2.0 + next();
+        }
+        let b: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        let x = solve(&mut a2, &mut b2).unwrap();
+        for i in 0..n {
+            let lhs: f64 = (0..n).map(|j| a[i][j] * x[j]).sum();
+            assert!((lhs - b[i]).abs() < 1e-9, "row {i}: {lhs} vs {}", b[i]);
+        }
+    }
+}

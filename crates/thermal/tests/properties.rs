@@ -1,0 +1,141 @@
+//! Property-based tests of the RC thermal model's physical invariants.
+
+use proptest::prelude::*;
+use ramp_microarch::{PerStructure, Structure};
+use ramp_thermal::{Floorplan, RcNetwork, ThermalParams, ThermalState};
+use ramp_units::{Kelvin, Seconds, SquareMillimeters, Watts};
+
+fn network(area: f64) -> RcNetwork {
+    let fp = Floorplan::power4(SquareMillimeters::new(area).unwrap());
+    RcNetwork::build(&fp, ThermalParams::reference()).unwrap()
+}
+
+fn power_vec(vals: &[f64]) -> PerStructure<Watts> {
+    PerStructure::from_fn(|s| Watts::new(vals[s.index()]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Energy balance: the sink's rise over ambient equals total power
+    /// times the sink resistance, for any power distribution.
+    #[test]
+    fn sink_rise_equals_power_times_resistance(
+        powers in proptest::collection::vec(0.0f64..8.0, 7),
+        area in 10.0f64..81.0,
+    ) {
+        let net = network(area);
+        let st = net.steady_state(&power_vec(&powers)).unwrap();
+        let total: f64 = powers.iter().sum();
+        let expect = 318.15 + total * net.params().sink_resistance;
+        prop_assert!((st.sink.value() - expect).abs() < 1e-6);
+    }
+
+    /// Every junction sits at or above the spreader, which sits at or
+    /// above the sink, which sits at or above ambient (heat flows out).
+    #[test]
+    fn temperature_ordering_holds(
+        powers in proptest::collection::vec(0.01f64..8.0, 7),
+    ) {
+        let net = network(81.0);
+        let st = net.steady_state(&power_vec(&powers)).unwrap();
+        prop_assert!(st.sink.value() >= 318.15 - 1e-9);
+        prop_assert!(st.spreader.value() >= st.sink.value() - 1e-9);
+        for s in Structure::ALL {
+            prop_assert!(
+                st.structures[s].value() >= st.spreader.value() - 1e-9,
+                "{s} below spreader"
+            );
+        }
+    }
+
+    /// Monotonicity: adding power to one structure cannot cool any node.
+    #[test]
+    fn steady_state_is_monotone_in_power(
+        powers in proptest::collection::vec(0.0f64..6.0, 7),
+        bump_idx in 0usize..7,
+        bump in 0.1f64..5.0,
+    ) {
+        let net = network(81.0);
+        let base = net.steady_state(&power_vec(&powers)).unwrap();
+        let mut bumped = powers.clone();
+        bumped[bump_idx] += bump;
+        let hot = net.steady_state(&power_vec(&bumped)).unwrap();
+        for s in Structure::ALL {
+            prop_assert!(
+                hot.structures[s].value() >= base.structures[s].value() - 1e-9,
+                "{s} cooled when {bump_idx} got +{bump} W"
+            );
+        }
+        prop_assert!(hot.sink.value() > base.sink.value());
+    }
+
+    /// Superposition: the network is linear, so temperatures-above-ambient
+    /// for the sum of two power maps equal the sum of the individual
+    /// rises.
+    #[test]
+    fn steady_state_superposition(
+        a in proptest::collection::vec(0.0f64..4.0, 7),
+        b in proptest::collection::vec(0.0f64..4.0, 7),
+    ) {
+        let net = network(40.0);
+        let ambient = 318.15;
+        let rise = |p: &PerStructure<Watts>| {
+            let st = net.steady_state(p).unwrap();
+            Structure::ALL.map(|s| st.structures[s].value() - ambient)
+        };
+        let sum_p: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let ra = rise(&power_vec(&a));
+        let rb = rise(&power_vec(&b));
+        let rab = rise(&power_vec(&sum_p));
+        for i in 0..7 {
+            prop_assert!(
+                (rab[i] - ra[i] - rb[i]).abs() < 1e-6,
+                "superposition violated at structure {i}"
+            );
+        }
+    }
+
+    /// A transient step moves every node toward (never past) its steady
+    /// state when starting between ambient and steady state.
+    #[test]
+    fn transient_moves_toward_steady_state(
+        powers in proptest::collection::vec(0.5f64..6.0, 7),
+        blend in 0.0f64..1.0,
+    ) {
+        let net = network(81.0);
+        let p = power_vec(&powers);
+        let target = net.steady_state(&p).unwrap();
+        let start = ThermalState {
+            structures: PerStructure::from_fn(|s| {
+                Kelvin::new(318.15 + blend * (target.structures[s].value() - 318.15))
+                    .unwrap()
+            }),
+            spreader: Kelvin::new(
+                318.15 + blend * (target.spreader.value() - 318.15),
+            )
+            .unwrap(),
+            sink: target.sink,
+        };
+        let stepped = net.step(&start, &p, Seconds::MICROSECOND);
+        for s in Structure::ALL {
+            let before = (target.structures[s] - start.structures[s]).abs();
+            let after = (target.structures[s] - stepped.structures[s]).abs();
+            prop_assert!(after <= before + 1e-9, "{s} moved away from steady state");
+        }
+    }
+
+    /// Zero power decays toward the boundary (sink) temperature.
+    #[test]
+    fn zero_power_cools(start_offset in 1.0f64..40.0) {
+        let net = network(81.0);
+        let zero = PerStructure::from_fn(|_| Watts::ZERO);
+        let sink = Kelvin::new(330.0).unwrap();
+        let mut st = ThermalState::uniform(Kelvin::new(330.0 + start_offset).unwrap());
+        st.sink = sink;
+        let next = net.step(&st, &zero, Seconds::MICROSECOND);
+        for s in Structure::ALL {
+            prop_assert!(next.structures[s].value() <= st.structures[s].value() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Compact binary serialisation of instruction traces.
+//!
+//! Trace-driven workflows routinely capture a trace once and replay it
+//! many times; this module provides a simple, versioned, self-describing
+//! binary format for [`TraceRecord`] streams, independent of `serde` so the
+//! on-disk layout is frozen by this code alone.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "RMPT" | u16 version | u64 record count
+//! per record: u8 opclass | u8 flags | pc varint | operand bytes…
+//! ```
+//!
+//! PCs and addresses are delta/varint-encoded against the previous record,
+//! which compresses the dominant sequential-fetch pattern to 1–2 bytes.
+
+use crate::record::{BranchInfo, MemRef};
+use crate::{OpClass, TraceRecord, ALL_OP_CLASSES};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"RMPT";
+const VERSION: u16 = 1;
+
+/// Errors produced while reading a trace stream.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// The stream's format version is not supported.
+    UnsupportedVersion(u16),
+    /// A record was malformed (bad class id or truncated operands).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failure: {e}"),
+            TraceIoError::BadMagic => f.write_str("not a RAMP trace stream"),
+            TraceIoError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace version {v}")
+            }
+            TraceIoError::Corrupt(what) => write!(f, "corrupt trace stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceIoError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(TraceIoError::Corrupt("varint overflow"));
+        }
+        v |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// ZigZag encoding maps small signed deltas to small unsigned varints.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Writes a trace to `w` in the binary format; returns the record count.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying writer. A `&mut W` can be
+/// passed for any `W: Write`.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_trace::{read_trace, spec, write_trace, TraceGenerator};
+/// let p = spec::profile("gzip")?;
+/// let records: Vec<_> = TraceGenerator::new(&p).take(1000).collect();
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, records.iter().copied())?;
+/// let back = read_trace(&mut buf.as_slice())?;
+/// assert_eq!(back, records);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_trace<W: Write, I>(w: &mut W, records: I) -> Result<u64, io::Error>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    // Buffer records so the count can lead the stream (traces are
+    // replayed far more than written; a counted header lets readers
+    // pre-allocate and detect truncation).
+    let records: Vec<TraceRecord> = records.into_iter().collect();
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(records.len() as u64).to_le_bytes())?;
+
+    let mut prev_pc = 0u64;
+    let mut prev_addr = 0u64;
+    for rec in &records {
+        w.write_all(&[rec.op().index() as u8])?;
+        let srcs = rec.sources();
+        let flags = u8::from(srcs[0].is_some())
+            | (u8::from(srcs[1].is_some()) << 1)
+            | (u8::from(rec.dest().is_some()) << 2)
+            | (u8::from(rec.branch().map(|b| b.taken).unwrap_or(false)) << 3);
+        w.write_all(&[flags])?;
+        write_varint(w, zigzag(rec.pc() as i64 - prev_pc as i64))?;
+        prev_pc = rec.pc();
+        for s in srcs.into_iter().flatten() {
+            w.write_all(&[s])?;
+        }
+        if let Some(d) = rec.dest() {
+            w.write_all(&[d])?;
+        }
+        if let Some(m) = rec.mem() {
+            write_varint(w, zigzag(m.addr as i64 - prev_addr as i64))?;
+            prev_addr = m.addr;
+            w.write_all(&[m.size])?;
+        }
+        if let Some(b) = rec.branch() {
+            write_varint(w, zigzag(b.target as i64 - rec.pc() as i64))?;
+        }
+    }
+    Ok(records.len() as u64)
+}
+
+/// Reads a complete trace from `r`.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] for I/O failures, format mismatches, or
+/// corrupt/truncated streams.
+pub fn read_trace<R: Read>(r: &mut R) -> Result<Vec<TraceRecord>, TraceIoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let mut v = [0u8; 2];
+    r.read_exact(&mut v)?;
+    let version = u16::from_le_bytes(v);
+    if version != VERSION {
+        return Err(TraceIoError::UnsupportedVersion(version));
+    }
+    let mut n = [0u8; 8];
+    r.read_exact(&mut n)?;
+    let count = u64::from_le_bytes(n);
+
+    let mut out = Vec::with_capacity(usize::try_from(count).unwrap_or(0));
+    let mut prev_pc = 0u64;
+    let mut prev_addr = 0u64;
+    for _ in 0..count {
+        let mut head = [0u8; 2];
+        r.read_exact(&mut head)?;
+        let op = *ALL_OP_CLASSES
+            .get(head[0] as usize)
+            .ok_or(TraceIoError::Corrupt("bad opclass id"))?;
+        let flags = head[1];
+        let pc = (prev_pc as i64 + unzigzag(read_varint(r)?)) as u64;
+        prev_pc = pc;
+
+        let read_reg = |r: &mut R| -> Result<u8, TraceIoError> {
+            let mut b = [0u8; 1];
+            r.read_exact(&mut b)?;
+            Ok(b[0])
+        };
+        let src0 = if flags & 1 != 0 {
+            Some(read_reg(r)?)
+        } else {
+            None
+        };
+        let src1 = if flags & 2 != 0 {
+            Some(read_reg(r)?)
+        } else {
+            None
+        };
+        let dest = if flags & 4 != 0 {
+            Some(read_reg(r)?)
+        } else {
+            None
+        };
+
+        let mut rec = TraceRecord::new(pc, op).with_sources([src0, src1]);
+        if let Some(d) = dest {
+            if !op.writes_register() {
+                return Err(TraceIoError::Corrupt("dest on non-writing class"));
+            }
+            rec = rec.with_dest(Some(d));
+        }
+        if op.is_memory() {
+            let addr = (prev_addr as i64 + unzigzag(read_varint(r)?)) as u64;
+            prev_addr = addr;
+            let mut size = [0u8; 1];
+            r.read_exact(&mut size)?;
+            rec = rec.with_mem(MemRef {
+                addr,
+                size: size[0],
+            });
+        }
+        if op == OpClass::Branch {
+            let target = (pc as i64 + unzigzag(read_varint(r)?)) as u64;
+            rec = rec.with_branch(BranchInfo {
+                taken: flags & 8 != 0,
+                target,
+            });
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{spec, TraceGenerator};
+
+    fn roundtrip(name: &str, n: usize) {
+        let p = spec::profile(name).unwrap();
+        let records: Vec<_> = TraceGenerator::new(&p).take(n).collect();
+        let mut buf = Vec::new();
+        let written = write_trace(&mut buf, records.iter().copied()).unwrap();
+        assert_eq!(written, n as u64);
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, records, "{name}");
+    }
+
+    #[test]
+    fn roundtrips_every_benchmark_flavor() {
+        roundtrip("gzip", 5_000);
+        roundtrip("ammp", 5_000); // FP + memory heavy
+        roundtrip("gcc", 5_000); // branch heavy
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).unwrap();
+        assert!(read_trace(&mut buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compression_beats_naive_encoding() {
+        let p = spec::profile("mesa").unwrap();
+        let records: Vec<_> = TraceGenerator::new(&p).take(10_000).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, records.iter().copied()).unwrap();
+        let per_record = buf.len() as f64 / records.len() as f64;
+        // A naive fixed layout would need ~30 bytes/record.
+        assert!(per_record < 12.0, "{per_record} bytes/record");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&mut &b"NOPE\x01\x00"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).unwrap();
+        buf[4] = 99; // bump version
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_a_panic() {
+        let p = spec::profile("gap").unwrap();
+        let records: Vec<_> = TraceGenerator::new(&p).take(100).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, records.iter().copied()).unwrap();
+        for cut in [15, buf.len() / 2, buf.len() - 1] {
+            let err = read_trace(&mut &buf[..cut]).unwrap_err();
+            assert!(matches!(err, TraceIoError::Io(_)), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_opclass_detected() {
+        let mut buf = Vec::new();
+        write_trace(
+            &mut buf,
+            std::iter::once(TraceRecord::new(0x1000, OpClass::IntAlu)),
+        )
+        .unwrap();
+        buf[14] = 200; // first record's opclass byte
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Corrupt(_)));
+    }
+
+    #[test]
+    fn varint_zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 127, -128, 1 << 20, -(1 << 40), i64::MAX / 2] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, zigzag(v)).unwrap();
+            let back = unzigzag(read_varint(&mut buf.as_slice()).unwrap());
+            assert_eq!(back, v);
+        }
+    }
+}

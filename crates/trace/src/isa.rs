@@ -1,0 +1,159 @@
+//! Abstract instruction classes for the PowerPC-like traced ISA.
+//!
+//! The timing simulator does not execute semantics; like Turandot it is
+//! trace-driven, so an instruction is fully described by its class, its
+//! register dependences, and (for memory and branch instructions) its
+//! effective address / outcome. The classes below map one-to-one onto the
+//! functional-unit types of the Table-2 machine.
+
+use serde::{Deserialize, Serialize};
+
+/// Instruction class, determining which functional unit executes it and
+/// with what latency.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_trace::OpClass;
+/// assert!(OpClass::Load.is_memory());
+/// assert!(OpClass::FpDiv.is_float());
+/// assert!(!OpClass::Branch.writes_register());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer add/sub/logical/shift (1-cycle on the Table-2 machine).
+    IntAlu,
+    /// Integer multiply (7 cycles).
+    IntMul,
+    /// Integer divide (35 cycles).
+    IntDiv,
+    /// Floating-point add/sub/convert (4 cycles).
+    FpAdd,
+    /// Floating-point multiply / fused multiply-add (4 cycles).
+    FpMul,
+    /// Floating-point divide (12 cycles).
+    FpDiv,
+    /// Memory load through the load-store units.
+    Load,
+    /// Memory store through the load-store units.
+    Store,
+    /// Conditional or unconditional branch (branch unit).
+    Branch,
+    /// Logical condition-register operation (the POWER4 LCR unit).
+    CondReg,
+}
+
+/// All instruction classes, in a fixed canonical order (used for mix
+/// histograms and round-tripping).
+pub const ALL_OP_CLASSES: [OpClass; 10] = [
+    OpClass::IntAlu,
+    OpClass::IntMul,
+    OpClass::IntDiv,
+    OpClass::FpAdd,
+    OpClass::FpMul,
+    OpClass::FpDiv,
+    OpClass::Load,
+    OpClass::Store,
+    OpClass::Branch,
+    OpClass::CondReg,
+];
+
+impl OpClass {
+    /// Whether this instruction accesses memory.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether this instruction executes on a floating-point unit.
+    #[must_use]
+    pub fn is_float(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// Whether this instruction executes on an integer unit.
+    #[must_use]
+    pub fn is_integer(self) -> bool {
+        matches!(self, OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv)
+    }
+
+    /// Whether this instruction is a control transfer.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        self == OpClass::Branch
+    }
+
+    /// Whether this instruction produces a register result that later
+    /// instructions can depend on.
+    ///
+    /// Stores and branches consume values but define none (condition-code
+    /// definition by branches is ignored at this abstraction level).
+    #[must_use]
+    pub fn writes_register(self) -> bool {
+        !matches!(self, OpClass::Store | OpClass::Branch)
+    }
+
+    /// Index of this class within [`ALL_OP_CLASSES`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        ALL_OP_CLASSES
+            .iter()
+            .position(|&c| c == self)
+            .expect("class present in canonical list")
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::IntDiv => "int-div",
+            OpClass::FpAdd => "fp-add",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDiv => "fp-div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::CondReg => "cond-reg",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_roundtrips() {
+        for (i, &c) in ALL_OP_CLASSES.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn classifications_are_disjoint() {
+        for &c in &ALL_OP_CLASSES {
+            let kinds = [c.is_memory(), c.is_float(), c.is_integer(), c.is_branch()];
+            assert!(
+                kinds.iter().filter(|&&k| k).count() <= 1,
+                "{c} belongs to more than one class"
+            );
+        }
+    }
+
+    #[test]
+    fn writers() {
+        assert!(OpClass::Load.writes_register());
+        assert!(OpClass::CondReg.writes_register());
+        assert!(!OpClass::Store.writes_register());
+        assert!(!OpClass::Branch.writes_register());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(OpClass::FpMul.to_string(), "fp-mul");
+        assert_eq!(OpClass::CondReg.to_string(), "cond-reg");
+    }
+}

@@ -1,0 +1,47 @@
+//! Synthetic SPEC2K-like workload traces for the RAMP reliability stack.
+//!
+//! The paper drives its pipeline with proprietary sampled PowerPC traces of
+//! 16 SPEC2K benchmarks. This crate replaces them with deterministic
+//! synthetic traces generated from per-benchmark statistical profiles
+//! ([`spec`]), preserving the properties the downstream timing simulator
+//! responds to: instruction mix, register-dependency structure (ILP),
+//! branch predictability, and memory locality.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ramp_trace::{spec, TraceGenerator, TraceStats};
+//!
+//! let profile = spec::profile("crafty")?;
+//! let stats = TraceStats::from_records(TraceGenerator::new(&profile).take(50_000));
+//! assert_eq!(stats.instructions(), 50_000);
+//! # Ok::<(), ramp_trace::spec::UnknownBenchmark>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod generator;
+mod io;
+mod isa;
+mod profile;
+mod record;
+mod rng;
+mod sampler;
+pub mod spec;
+mod stats;
+
+pub use generator::TraceGenerator;
+pub use io::{read_trace, write_trace, TraceIoError};
+pub use isa::{OpClass, ALL_OP_CLASSES};
+pub use profile::{
+    BenchmarkProfile, BranchModel, InstructionMix, MemoryModel, PhaseModel, PhaseSpec,
+    PublishedStats, Suite,
+};
+pub use record::{
+    ArchReg, BranchInfo, MemRef, TraceRecord, CR_REGS, CR_REG_BASE, FP_REGS, FP_REG_BASE,
+    INT_REGS, TOTAL_REGS,
+};
+pub use rng::Rng;
+pub use sampler::{validate_sample, SampleValidation, Sampled, SamplingPlan};
+pub use stats::TraceStats;

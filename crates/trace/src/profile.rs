@@ -1,0 +1,505 @@
+//! Statistical benchmark profiles driving the synthetic trace generator.
+//!
+//! The paper's workload is 16 sampled PowerPC SPEC2K traces, which are
+//! proprietary. Each [`BenchmarkProfile`] captures the statistical
+//! properties that the downstream pipeline actually consumes — instruction
+//! mix, instruction-level parallelism, branch behaviour, and memory
+//! locality — together with the published per-benchmark IPC and power from
+//! Table 3, used for calibration and validation.
+
+use crate::{OpClass, ALL_OP_CLASSES};
+use serde::{Deserialize, Serialize};
+
+/// Which SPEC2K suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// SPECint2000.
+    Int,
+    /// SPECfp2000.
+    Fp,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Suite::Int => "SpecInt",
+            Suite::Fp => "SpecFP",
+        })
+    }
+}
+
+/// Relative instruction-class weights; need not sum to one (they are
+/// normalised on use).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstructionMix {
+    /// Weight of integer ALU operations.
+    pub int_alu: f64,
+    /// Weight of integer multiplies.
+    pub int_mul: f64,
+    /// Weight of integer divides.
+    pub int_div: f64,
+    /// Weight of floating-point adds.
+    pub fp_add: f64,
+    /// Weight of floating-point multiplies.
+    pub fp_mul: f64,
+    /// Weight of floating-point divides.
+    pub fp_div: f64,
+    /// Weight of loads.
+    pub load: f64,
+    /// Weight of stores.
+    pub store: f64,
+    /// Weight of branches.
+    pub branch: f64,
+    /// Weight of condition-register logical ops.
+    pub cond_reg: f64,
+}
+
+impl InstructionMix {
+    /// Weights in the canonical [`ALL_OP_CLASSES`] order.
+    #[must_use]
+    pub fn weights(&self) -> [f64; 10] {
+        [
+            self.int_alu,
+            self.int_mul,
+            self.int_div,
+            self.fp_add,
+            self.fp_mul,
+            self.fp_div,
+            self.load,
+            self.store,
+            self.branch,
+            self.cond_reg,
+        ]
+    }
+
+    /// Normalised probability of each class, in canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative/non-finite or all weights are zero.
+    #[must_use]
+    pub fn probabilities(&self) -> [f64; 10] {
+        let w = self.weights();
+        assert!(
+            w.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "instruction mix weights must be finite and non-negative"
+        );
+        let total: f64 = w.iter().sum();
+        assert!(total > 0.0, "instruction mix must have positive total weight");
+        w.map(|v| v / total)
+    }
+
+    /// Probability of the given class.
+    #[must_use]
+    pub fn probability_of(&self, op: OpClass) -> f64 {
+        self.probabilities()[op.index()]
+    }
+
+    /// Cumulative distribution in canonical order (last entry is 1.0).
+    #[must_use]
+    pub fn cumulative(&self) -> [f64; 10] {
+        let p = self.probabilities();
+        let mut acc = 0.0;
+        let mut out = [0.0; 10];
+        for (i, v) in p.iter().enumerate() {
+            acc += v;
+            out[i] = acc;
+        }
+        out[9] = 1.0;
+        out
+    }
+
+    /// Picks the class at cumulative position `u ∈ [0, 1)`.
+    #[must_use]
+    pub fn class_at(&self, u: f64) -> OpClass {
+        let cum = self.cumulative();
+        for (i, &c) in cum.iter().enumerate() {
+            if u < c {
+                return ALL_OP_CLASSES[i];
+            }
+        }
+        ALL_OP_CLASSES[9]
+    }
+}
+
+/// Memory-locality model: each access falls in one of three nested regions.
+///
+/// The *hot* region fits in the 32 KB L1D, the *warm* region fits in the
+/// 2 MB L2 but not L1, and the *cold* region fits in neither — so the three
+/// fractions directly shape the benchmark's L1/L2/memory hit profile on the
+/// Table-2 hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Fraction of accesses to the hot (L1-resident) region.
+    pub hot_fraction: f64,
+    /// Fraction of accesses to the warm (L2-resident) region.
+    pub warm_fraction: f64,
+    /// Hot region size in bytes (should be < L1 size).
+    pub hot_bytes: u64,
+    /// Warm region size in bytes (should be < L2 size).
+    pub warm_bytes: u64,
+    /// Cold region size in bytes (main-memory footprint).
+    pub cold_bytes: u64,
+    /// Fraction of accesses that walk sequentially (spatial locality)
+    /// rather than jumping uniformly within their region.
+    pub sequential_fraction: f64,
+}
+
+impl MemoryModel {
+    /// Fraction of accesses to the cold region.
+    #[must_use]
+    pub fn cold_fraction(&self) -> f64 {
+        (1.0 - self.hot_fraction - self.warm_fraction).max(0.0)
+    }
+
+    /// Validates the model's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let fracs = [
+            ("hot_fraction", self.hot_fraction),
+            ("warm_fraction", self.warm_fraction),
+            ("sequential_fraction", self.sequential_fraction),
+        ];
+        for (name, v) in fracs {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        if self.hot_fraction + self.warm_fraction > 1.0 + 1e-12 {
+            return Err("hot_fraction + warm_fraction exceeds 1".to_string());
+        }
+        if self.hot_bytes == 0 || self.warm_bytes == 0 || self.cold_bytes == 0 {
+            return Err("region sizes must be positive".to_string());
+        }
+        if self.hot_bytes > self.warm_bytes || self.warm_bytes > self.cold_bytes {
+            return Err("regions must nest: hot <= warm <= cold".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Branch-behaviour model.
+///
+/// Branches are drawn from a pool of static sites. A `random_fraction` of
+/// sites flip a fair coin on every execution (unlearnable — the predictor
+/// will miss ~half of them); the rest are strongly biased and quickly
+/// learned. The overall mispredict rate is therefore ≈ `random_fraction/2`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchModel {
+    /// Number of static branch sites in the synthetic program.
+    pub static_sites: u32,
+    /// Fraction of sites with unpredictable outcomes.
+    pub random_fraction: f64,
+    /// Taken probability of the biased sites.
+    pub taken_bias: f64,
+}
+
+impl BranchModel {
+    /// Expected steady-state mispredict rate under an ideal learner.
+    #[must_use]
+    pub fn expected_mispredict_rate(&self) -> f64 {
+        self.random_fraction * 0.5
+            + (1.0 - self.random_fraction) * self.taken_bias.min(1.0 - self.taken_bias)
+    }
+
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.static_sites == 0 {
+            return Err("static_sites must be positive".to_string());
+        }
+        for (name, v) in [
+            ("random_fraction", self.random_fraction),
+            ("taken_bias", self.taken_bias),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One program phase: multipliers applied to the nominal profile while the
+/// phase is active.
+///
+/// Real SPEC2K programs alternate between compute-bound and memory-bound
+/// phases at millisecond timescales; the paper's 100 M-instruction traces
+/// capture this, and the resulting temperature variation is what separates
+/// worst-case from typical operating conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Multiplier on the mean register dependency distance (ILP).
+    pub dep_multiplier: f64,
+    /// Multiplier on the cold-region (main-memory) access fraction.
+    pub cold_multiplier: f64,
+    /// Minimum cold-region fraction while the phase is active. Lets a
+    /// memory-bound phase bite even for benchmarks whose nominal profile
+    /// is almost perfectly cache-resident.
+    pub cold_floor: f64,
+}
+
+impl PhaseSpec {
+    /// The identity phase (nominal profile behaviour).
+    pub const NOMINAL: PhaseSpec = PhaseSpec {
+        dep_multiplier: 1.0,
+        cold_multiplier: 1.0,
+        cold_floor: 0.0,
+    };
+}
+
+/// The phase structure of a benchmark: a repeating cycle of [`PhaseSpec`]s,
+/// each dwelling for a fixed number of instructions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseModel {
+    /// Instructions per phase before switching to the next.
+    pub dwell_instructions: u64,
+    /// The repeating phase cycle.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl PhaseModel {
+    /// A phase-free (steady) program.
+    #[must_use]
+    pub fn steady() -> Self {
+        PhaseModel {
+            dwell_instructions: u64::MAX,
+            phases: vec![PhaseSpec::NOMINAL],
+        }
+    }
+
+    /// The standard three-phase cycle used for all SPEC2K profiles: a
+    /// nominal phase, a compute-bound burst (higher ILP, near-zero memory
+    /// misses → hotter), and a memory-bound stretch (serial, miss-heavy →
+    /// cooler). The 4 M-instruction dwell (≈2.4 ms at 180 nm) paired with
+    /// the pipeline's 8× thermal time-compression reproduces the
+    /// dwell-to-thermal-time-constant ratio of the paper's full-length
+    /// 100 M-instruction traces.
+    #[must_use]
+    pub fn standard() -> Self {
+        PhaseModel {
+            dwell_instructions: 4_000_000,
+            phases: vec![
+                PhaseSpec::NOMINAL,
+                PhaseSpec {
+                    dep_multiplier: 2.0,
+                    cold_multiplier: 0.1,
+                    cold_floor: 0.0,
+                },
+                PhaseSpec {
+                    dep_multiplier: 0.45,
+                    cold_multiplier: 3.0,
+                    cold_floor: 0.006,
+                },
+            ],
+        }
+    }
+
+    /// Instructions in one full cycle through all phases (saturating).
+    #[must_use]
+    pub fn cycle_instructions(&self) -> u64 {
+        self.dwell_instructions
+            .saturating_mul(self.phases.len() as u64)
+    }
+
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err("phase cycle must not be empty".to_string());
+        }
+        if self.dwell_instructions == 0 {
+            return Err("phase dwell must be positive".to_string());
+        }
+        for (i, p) in self.phases.iter().enumerate() {
+            if !(p.dep_multiplier.is_finite() && p.dep_multiplier > 0.0) {
+                return Err(format!("phase {i}: dep_multiplier must be positive"));
+            }
+            if !(p.cold_multiplier.is_finite() && p.cold_multiplier >= 0.0) {
+                return Err(format!("phase {i}: cold_multiplier must be non-negative"));
+            }
+            if !(0.0..=0.25).contains(&p.cold_floor) || !p.cold_floor.is_finite() {
+                return Err(format!("phase {i}: cold_floor must be in [0, 0.25]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Published per-benchmark reference numbers from Table 3 of the paper,
+/// kept alongside the profile for calibration and validation reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PublishedStats {
+    /// IPC on the 180 nm base machine.
+    pub ipc: f64,
+    /// Average total power (dynamic + leakage) in watts at 180 nm.
+    pub power_w: f64,
+}
+
+/// Complete statistical profile of one benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_trace::spec;
+/// let ammp = spec::profile("ammp").unwrap();
+/// assert_eq!(ammp.published.ipc, 1.06);
+/// ammp.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (SPEC2K short name, e.g. `"gzip"`).
+    pub name: String,
+    /// Which suite the benchmark belongs to.
+    pub suite: Suite,
+    /// Instruction-class mix.
+    pub mix: InstructionMix,
+    /// Mean register dependency distance (instructions); larger = more ILP.
+    pub mean_dep_distance: f64,
+    /// Memory-locality model.
+    pub memory: MemoryModel,
+    /// Branch-behaviour model.
+    pub branches: BranchModel,
+    /// Code footprint in bytes (drives I-cache behaviour).
+    pub code_bytes: u64,
+    /// Program phase structure.
+    pub phases: PhaseModel,
+    /// Published Table-3 reference numbers.
+    pub published: PublishedStats,
+    /// Generator seed (fixed per benchmark for reproducibility).
+    pub seed: u64,
+}
+
+impl BenchmarkProfile {
+    /// Validates every sub-model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("benchmark name must not be empty".to_string());
+        }
+        if self.mean_dep_distance.is_nan() || self.mean_dep_distance < 1.0 {
+            return Err(format!(
+                "mean_dep_distance must be >= 1, got {}",
+                self.mean_dep_distance
+            ));
+        }
+        // Exercises the panic-checking path of `probabilities`.
+        let p = self.mix.weights();
+        if p.iter().any(|v| !v.is_finite() || *v < 0.0) || p.iter().sum::<f64>() <= 0.0 {
+            return Err("invalid instruction mix".to_string());
+        }
+        self.memory.validate().map_err(|e| format!("memory: {e}"))?;
+        self.branches
+            .validate()
+            .map_err(|e| format!("branches: {e}"))?;
+        if self.code_bytes < 1024 {
+            return Err("code footprint unrealistically small".to_string());
+        }
+        self.phases.validate().map_err(|e| format!("phases: {e}"))?;
+        if self.published.ipc <= 0.0 || self.published.power_w <= 0.0 {
+            return Err("published stats must be positive".to_string());
+        }
+        Ok(())
+    }
+
+    /// Probability that an instruction is a floating-point op — a quick
+    /// sanity signal that FP benchmarks were profiled as FP-heavy.
+    #[must_use]
+    pub fn fp_intensity(&self) -> f64 {
+        let p = self.mix.probabilities();
+        p[OpClass::FpAdd.index()] + p[OpClass::FpMul.index()] + p[OpClass::FpDiv.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> InstructionMix {
+        InstructionMix {
+            int_alu: 40.0,
+            int_mul: 1.0,
+            int_div: 0.2,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 28.0,
+            store: 12.0,
+            branch: 16.0,
+            cond_reg: 2.8,
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let p = mix().probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_ends_at_one() {
+        let c = mix().cumulative();
+        for w in c.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(c[9], 1.0);
+    }
+
+    #[test]
+    fn class_at_boundaries() {
+        let m = mix();
+        assert_eq!(m.class_at(0.0), OpClass::IntAlu);
+        assert_eq!(m.class_at(0.999999), OpClass::CondReg);
+    }
+
+    #[test]
+    fn memory_model_validation() {
+        let ok = MemoryModel {
+            hot_fraction: 0.7,
+            warm_fraction: 0.2,
+            hot_bytes: 16 << 10,
+            warm_bytes: 1 << 20,
+            cold_bytes: 64 << 20,
+            sequential_fraction: 0.5,
+        };
+        assert!(ok.validate().is_ok());
+        assert!((ok.cold_fraction() - 0.1).abs() < 1e-12);
+
+        let bad = MemoryModel {
+            hot_fraction: 0.8,
+            warm_fraction: 0.5,
+            ..ok
+        };
+        assert!(bad.validate().is_err());
+
+        let inverted = MemoryModel {
+            hot_bytes: 2 << 20,
+            warm_bytes: 1 << 20,
+            ..ok
+        };
+        assert!(inverted.validate().is_err());
+    }
+
+    #[test]
+    fn branch_model_mispredict_estimate() {
+        let b = BranchModel {
+            static_sites: 256,
+            random_fraction: 0.10,
+            taken_bias: 0.95,
+        };
+        // 0.10*0.5 + 0.90*0.05 = 0.095
+        assert!((b.expected_mispredict_rate() - 0.095).abs() < 1e-12);
+    }
+}

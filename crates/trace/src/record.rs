@@ -1,0 +1,211 @@
+//! Trace record types: one record per dynamic instruction.
+
+use crate::OpClass;
+use serde::{Deserialize, Serialize};
+
+/// Logical register identifier.
+///
+/// The traced ISA exposes 32 integer registers (`0..32`), 32 floating-point
+/// registers (`32..64`), and 8 condition registers (`64..72`), mirroring
+/// the PowerPC register files the Table-2 machine renames (120 INT + 96 FP
+/// physical registers).
+pub type ArchReg = u8;
+
+/// Number of integer architectural registers.
+pub const INT_REGS: u8 = 32;
+/// First floating-point architectural register id.
+pub const FP_REG_BASE: u8 = 32;
+/// Number of floating-point architectural registers.
+pub const FP_REGS: u8 = 32;
+/// First condition-register id.
+pub const CR_REG_BASE: u8 = 64;
+/// Number of condition registers.
+pub const CR_REGS: u8 = 8;
+/// Total architectural register name space.
+pub const TOTAL_REGS: u8 = CR_REG_BASE + CR_REGS;
+
+/// A memory reference carried by a load or store record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Byte address of the access.
+    pub addr: u64,
+    /// Access size in bytes (1–16).
+    pub size: u8,
+}
+
+/// Branch outcome carried by a branch record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// Target address if taken (fall-through otherwise).
+    pub target: u64,
+}
+
+/// One dynamic instruction in a trace.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_trace::{OpClass, TraceRecord};
+/// let rec = TraceRecord::new(0x1000, OpClass::IntAlu)
+///     .with_sources([Some(3), Some(4)])
+///     .with_dest(Some(5));
+/// assert_eq!(rec.dest(), Some(5));
+/// assert!(rec.mem().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    pc: u64,
+    op: OpClass,
+    srcs: [Option<ArchReg>; 2],
+    dest: Option<ArchReg>,
+    mem: Option<MemRef>,
+    branch: Option<BranchInfo>,
+}
+
+impl TraceRecord {
+    /// Creates a record with no operands; attach them with the `with_*`
+    /// builder methods.
+    #[must_use]
+    pub fn new(pc: u64, op: OpClass) -> Self {
+        TraceRecord {
+            pc,
+            op,
+            srcs: [None, None],
+            dest: None,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// Sets the source registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a register id is outside the architectural
+    /// name space.
+    #[must_use]
+    pub fn with_sources(mut self, srcs: [Option<ArchReg>; 2]) -> Self {
+        for s in srcs.iter().flatten() {
+            debug_assert!(*s < TOTAL_REGS, "source register {s} out of range");
+        }
+        self.srcs = srcs;
+        self
+    }
+
+    /// Sets the destination register.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the record's class does not write a
+    /// register, or the id is out of range.
+    #[must_use]
+    pub fn with_dest(mut self, dest: Option<ArchReg>) -> Self {
+        if let Some(d) = dest {
+            debug_assert!(self.op.writes_register(), "{} writes no register", self.op);
+            debug_assert!(d < TOTAL_REGS, "dest register {d} out of range");
+        }
+        self.dest = dest;
+        self
+    }
+
+    /// Attaches a memory reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the class is not a load or store.
+    #[must_use]
+    pub fn with_mem(mut self, mem: MemRef) -> Self {
+        debug_assert!(self.op.is_memory(), "{} is not a memory op", self.op);
+        self.mem = Some(mem);
+        self
+    }
+
+    /// Attaches a branch outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the class is not a branch.
+    #[must_use]
+    pub fn with_branch(mut self, branch: BranchInfo) -> Self {
+        debug_assert!(self.op.is_branch(), "{} is not a branch", self.op);
+        self.branch = Some(branch);
+        self
+    }
+
+    /// Program counter of this instruction.
+    #[must_use]
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Instruction class.
+    #[must_use]
+    pub fn op(&self) -> OpClass {
+        self.op
+    }
+
+    /// Source registers (up to two).
+    #[must_use]
+    pub fn sources(&self) -> [Option<ArchReg>; 2] {
+        self.srcs
+    }
+
+    /// Destination register, if the instruction writes one.
+    #[must_use]
+    pub fn dest(&self) -> Option<ArchReg> {
+        self.dest
+    }
+
+    /// Memory reference, if this is a load or store.
+    #[must_use]
+    pub fn mem(&self) -> Option<MemRef> {
+        self.mem
+    }
+
+    /// Branch outcome, if this is a branch.
+    #[must_use]
+    pub fn branch(&self) -> Option<BranchInfo> {
+        self.branch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_load() {
+        let rec = TraceRecord::new(0x4000, OpClass::Load)
+            .with_sources([Some(1), None])
+            .with_dest(Some(2))
+            .with_mem(MemRef { addr: 0xdead, size: 8 });
+        assert_eq!(rec.pc(), 0x4000);
+        assert_eq!(rec.op(), OpClass::Load);
+        assert_eq!(rec.mem().unwrap().addr, 0xdead);
+    }
+
+    #[test]
+    fn builder_assembles_branch() {
+        let rec = TraceRecord::new(0x4004, OpClass::Branch)
+            .with_sources([Some(64), None])
+            .with_branch(BranchInfo { taken: true, target: 0x5000 });
+        assert!(rec.branch().unwrap().taken);
+        assert_eq!(rec.dest(), None);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not a memory op")]
+    fn mem_on_alu_panics_in_debug() {
+        let _ = TraceRecord::new(0, OpClass::IntAlu).with_mem(MemRef { addr: 0, size: 4 });
+    }
+
+    #[test]
+    fn register_space_partitions() {
+        assert_eq!(INT_REGS, FP_REG_BASE);
+        assert_eq!(FP_REG_BASE + FP_REGS, CR_REG_BASE);
+        assert_eq!(CR_REG_BASE + CR_REGS, TOTAL_REGS);
+    }
+}

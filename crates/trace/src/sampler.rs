@@ -1,0 +1,174 @@
+//! Systematic trace sampling and representativeness validation.
+//!
+//! The paper limits each benchmark to a 100 M-instruction sampled trace and
+//! cites a validation methodology showing the samples represent the full
+//! program. This module provides the analogous machinery for synthetic
+//! traces: take periodic windows from a longer stream and check that the
+//! sampled statistics stay close to the full-stream statistics.
+
+use crate::{TraceRecord, TraceStats};
+
+/// Configuration for systematic (periodic-window) sampling.
+///
+/// Out of every `period` instructions, the first `window` are kept.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_trace::{SamplingPlan, TraceGenerator, spec};
+/// let plan = SamplingPlan::new(1_000, 10_000).unwrap();
+/// let p = spec::profile("gzip")?;
+/// let sampled: Vec<_> = plan.sample(TraceGenerator::new(&p).take(100_000)).collect();
+/// assert_eq!(sampled.len(), 10_000); // 10 windows of 1000
+/// # Ok::<(), ramp_trace::spec::UnknownBenchmark>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingPlan {
+    window: u64,
+    period: u64,
+}
+
+impl SamplingPlan {
+    /// Creates a plan keeping `window` out of every `period` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `window` is zero or exceeds `period`.
+    pub fn new(window: u64, period: u64) -> Result<Self, String> {
+        if window == 0 {
+            return Err("sampling window must be positive".to_string());
+        }
+        if window > period {
+            return Err(format!(
+                "sampling window {window} exceeds period {period}"
+            ));
+        }
+        Ok(SamplingPlan { window, period })
+    }
+
+    /// Kept fraction of the stream.
+    #[must_use]
+    pub fn kept_fraction(&self) -> f64 {
+        self.window as f64 / self.period as f64
+    }
+
+    /// Applies the plan to a record stream.
+    pub fn sample<I>(&self, records: I) -> Sampled<I::IntoIter>
+    where
+        I: IntoIterator<Item = TraceRecord>,
+    {
+        Sampled {
+            inner: records.into_iter(),
+            plan: *self,
+            position: 0,
+        }
+    }
+}
+
+/// Iterator returned by [`SamplingPlan::sample`].
+#[derive(Debug, Clone)]
+pub struct Sampled<I> {
+    inner: I,
+    plan: SamplingPlan,
+    position: u64,
+}
+
+impl<I: Iterator<Item = TraceRecord>> Iterator for Sampled<I> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        loop {
+            let rec = self.inner.next()?;
+            let phase = self.position % self.plan.period;
+            self.position += 1;
+            if phase < self.plan.window {
+                return Some(rec);
+            }
+        }
+    }
+}
+
+/// Outcome of comparing sampled-trace statistics against the full trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleValidation {
+    /// L1 distance between class-mix vectors (0 = identical, 2 = disjoint).
+    pub mix_distance: f64,
+    /// |sampled − full| branch taken-rate difference.
+    pub taken_rate_delta: f64,
+    /// Whether both metrics fall within the given tolerance.
+    pub representative: bool,
+}
+
+/// Compares a sampled trace against its source and reports whether the
+/// sample is representative within `tolerance` (a bound applied to both the
+/// mix distance and the taken-rate delta).
+#[must_use]
+pub fn validate_sample(
+    full: &TraceStats,
+    sampled: &TraceStats,
+    tolerance: f64,
+) -> SampleValidation {
+    let mix_distance = full.mix_distance(sampled);
+    let taken_rate_delta = (full.taken_rate() - sampled.taken_rate()).abs();
+    SampleValidation {
+        mix_distance,
+        taken_rate_delta,
+        representative: mix_distance <= tolerance && taken_rate_delta <= tolerance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{spec, TraceGenerator};
+
+    #[test]
+    fn plan_rejects_bad_windows() {
+        assert!(SamplingPlan::new(0, 10).is_err());
+        assert!(SamplingPlan::new(11, 10).is_err());
+        assert!(SamplingPlan::new(10, 10).is_ok());
+    }
+
+    #[test]
+    fn kept_fraction() {
+        let plan = SamplingPlan::new(1, 4).unwrap();
+        assert_eq!(plan.kept_fraction(), 0.25);
+    }
+
+    #[test]
+    fn sample_keeps_expected_count() {
+        let p = spec::profile("applu").unwrap();
+        let plan = SamplingPlan::new(100, 1000).unwrap();
+        let n = plan
+            .sample(TraceGenerator::new(&p).take(10_000))
+            .count();
+        assert_eq!(n, 1000);
+    }
+
+    #[test]
+    fn sampled_trace_is_representative() {
+        // The property the paper's methodology (Iyengar et al.) guarantees
+        // for real traces must hold for our synthetic ones by construction.
+        let p = spec::profile("gcc").unwrap();
+        let full = TraceStats::from_records(TraceGenerator::new(&p).take(200_000));
+        let plan = SamplingPlan::new(2_000, 20_000).unwrap();
+        let sampled = TraceStats::from_records(
+            plan.sample(TraceGenerator::new(&p).take(200_000)),
+        );
+        let v = validate_sample(&full, &sampled, 0.02);
+        assert!(
+            v.representative,
+            "mix distance {}, taken delta {}",
+            v.mix_distance, v.taken_rate_delta
+        );
+    }
+
+    #[test]
+    fn degenerate_full_keep_plan_is_identity() {
+        let p = spec::profile("mesa").unwrap();
+        let plan = SamplingPlan::new(500, 500).unwrap();
+        let a: Vec<_> = TraceGenerator::new(&p).take(500).collect();
+        let b: Vec<_> = plan.sample(TraceGenerator::new(&p).take(500)).collect();
+        assert_eq!(a, b);
+    }
+}

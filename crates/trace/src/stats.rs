@@ -1,0 +1,185 @@
+//! Trace statistics: mix histograms and locality summaries.
+//!
+//! Used both to validate that generated traces match their profiles and to
+//! validate that *sampled* traces remain representative of the full trace
+//! (the paper relies on validated sampled traces of 100 M instructions).
+
+use crate::{OpClass, TraceRecord, ALL_OP_CLASSES};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics over a stream of trace records.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_trace::{spec, TraceGenerator, TraceStats};
+/// let p = spec::profile("gzip")?;
+/// let stats = TraceStats::from_records(TraceGenerator::new(&p).take(10_000));
+/// assert_eq!(stats.instructions(), 10_000);
+/// assert!(stats.class_fraction(ramp_trace::OpClass::Load) > 0.1);
+/// # Ok::<(), ramp_trace::spec::UnknownBenchmark>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    counts: [u64; 10],
+    branches_taken: u64,
+    unique_pcs_estimate: u64,
+    mem_bytes_touched_estimate: u64,
+    total: u64,
+}
+
+impl TraceStats {
+    /// Empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds statistics from an iterator of records.
+    pub fn from_records<I: IntoIterator<Item = TraceRecord>>(records: I) -> Self {
+        let mut s = Self::new();
+        // Small fixed-size Bloom-style sketches keep this O(1) in memory
+        // even for very long traces.
+        let mut pc_sketch = vec![false; 1 << 16];
+        let mut addr_sketch = vec![false; 1 << 16];
+        for r in records {
+            s.observe_with_sketches(&r, &mut pc_sketch, &mut addr_sketch);
+        }
+        s.unique_pcs_estimate = pc_sketch.iter().filter(|&&b| b).count() as u64;
+        s.mem_bytes_touched_estimate =
+            addr_sketch.iter().filter(|&&b| b).count() as u64 * 64;
+        s
+    }
+
+    fn observe_with_sketches(
+        &mut self,
+        r: &TraceRecord,
+        pc_sketch: &mut [bool],
+        addr_sketch: &mut [bool],
+    ) {
+        self.counts[r.op().index()] += 1;
+        self.total += 1;
+        if let Some(b) = r.branch() {
+            if b.taken {
+                self.branches_taken += 1;
+            }
+        }
+        let mask = pc_sketch.len() as u64 - 1;
+        pc_sketch[(mix64(r.pc()) & mask) as usize] = true;
+        if let Some(m) = r.mem() {
+            addr_sketch[(mix64(m.addr >> 6) & mask) as usize] = true;
+        }
+    }
+
+    /// Total instructions observed.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of instructions in the given class.
+    #[must_use]
+    pub fn class_fraction(&self, op: OpClass) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts[op.index()] as f64 / self.total as f64
+    }
+
+    /// Fraction of branches that were taken.
+    #[must_use]
+    pub fn taken_rate(&self) -> f64 {
+        let branches = self.counts[OpClass::Branch.index()];
+        if branches == 0 {
+            return 0.0;
+        }
+        self.branches_taken as f64 / branches as f64
+    }
+
+    /// Estimated distinct 64-byte lines touched, as a footprint proxy.
+    #[must_use]
+    pub fn footprint_estimate_bytes(&self) -> u64 {
+        self.mem_bytes_touched_estimate
+    }
+
+    /// L1-distance between the class-mix vectors of two traces, in `[0, 2]`.
+    ///
+    /// Used to validate sampled-trace representativeness: identical mixes
+    /// give 0; completely disjoint mixes give 2.
+    #[must_use]
+    pub fn mix_distance(&self, other: &TraceStats) -> f64 {
+        ALL_OP_CLASSES
+            .iter()
+            .map(|&c| (self.class_fraction(c) - other.class_fraction(c)).abs())
+            .sum()
+    }
+}
+
+/// SplitMix64 finaliser, used as a cheap hash for the sketches.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{spec, TraceGenerator};
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = TraceStats::new();
+        assert_eq!(s.instructions(), 0);
+        assert_eq!(s.class_fraction(OpClass::Load), 0.0);
+        assert_eq!(s.taken_rate(), 0.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let p = spec::profile("twolf").unwrap();
+        let s = TraceStats::from_records(TraceGenerator::new(&p).take(20_000));
+        let sum: f64 = ALL_OP_CLASSES.iter().map(|&c| s.class_fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taken_rate_reflects_bias() {
+        let p = spec::profile("mgrid").unwrap(); // few random branches
+        let s = TraceStats::from_records(TraceGenerator::new(&p).take(100_000));
+        // Sites are split between bias 0.92 and 0.08, plus 50/50 randoms, so
+        // the aggregate taken rate should be near 0.5 but the trace must
+        // contain both outcomes.
+        assert!(s.taken_rate() > 0.2 && s.taken_rate() < 0.8);
+    }
+
+    #[test]
+    fn mix_distance_zero_for_self() {
+        let p = spec::profile("gap").unwrap();
+        let s = TraceStats::from_records(TraceGenerator::new(&p).take(10_000));
+        assert_eq!(s.mix_distance(&s), 0.0);
+    }
+
+    #[test]
+    fn mix_distance_positive_for_different_apps() {
+        let a = TraceStats::from_records(
+            TraceGenerator::new(&spec::profile("ammp").unwrap()).take(10_000),
+        );
+        let b = TraceStats::from_records(
+            TraceGenerator::new(&spec::profile("crafty").unwrap()).take(10_000),
+        );
+        assert!(a.mix_distance(&b) > 0.1);
+    }
+
+    #[test]
+    fn footprint_larger_for_cache_hungry_apps() {
+        let small = TraceStats::from_records(
+            TraceGenerator::new(&spec::profile("crafty").unwrap()).take(50_000),
+        );
+        let big = TraceStats::from_records(
+            TraceGenerator::new(&spec::profile("ammp").unwrap()).take(50_000),
+        );
+        assert!(big.footprint_estimate_bytes() > small.footprint_estimate_bytes());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the trace generator and trace I/O over random
+//! (but valid) workload profiles.
+
+use proptest::prelude::*;
+use ramp_trace::{
+    read_trace, write_trace, BenchmarkProfile, BranchModel, InstructionMix, MemoryModel,
+    PhaseModel, PhaseSpec, PublishedStats, Suite, TraceGenerator, TraceStats,
+};
+
+/// Strategy: a random valid benchmark profile.
+fn arb_profile() -> impl Strategy<Value = BenchmarkProfile> {
+    (
+        0.0f64..0.5,            // fp fraction
+        0.1f64..0.35,           // load
+        0.02f64..0.15,          // store
+        0.01f64..0.2,           // branch
+        1.0f64..40.0,           // dep
+        0.5f64..0.98,           // hot fraction
+        0.0f64..0.3,            // random branches
+        0.0f64..1.0,            // sequential fraction
+        4u64..256,              // code KiB
+        any::<u64>(),           // seed
+    )
+        .prop_filter("mix must leave room for ALU ops", |(fp, ld, st, br, ..)| {
+            fp + ld + st + br < 0.9
+        })
+        .prop_map(
+            |(fp, load, store, branch, dep, hot, random_br, seq, code_kib, seed)| {
+                let other = 1.0 - fp - load - store - branch;
+                let warm = (1.0 - hot) * 0.7;
+                BenchmarkProfile {
+                    name: "random".into(),
+                    suite: Suite::Int,
+                    mix: InstructionMix {
+                        int_alu: other * 0.95,
+                        int_mul: other * 0.03,
+                        int_div: other * 0.005,
+                        fp_add: fp * 0.5,
+                        fp_mul: fp * 0.45,
+                        fp_div: fp * 0.05,
+                        load,
+                        store,
+                        branch,
+                        cond_reg: other * 0.015,
+                    },
+                    mean_dep_distance: dep,
+                    memory: MemoryModel {
+                        hot_fraction: hot,
+                        warm_fraction: warm,
+                        hot_bytes: 16 << 10,
+                        warm_bytes: 768 << 10,
+                        cold_bytes: 64 << 20,
+                        sequential_fraction: seq,
+                    },
+                    branches: BranchModel {
+                        static_sites: 128,
+                        random_fraction: random_br,
+                        taken_bias: 0.95,
+                    },
+                    code_bytes: code_kib << 10,
+                    phases: PhaseModel {
+                        dwell_instructions: 50_000,
+                        phases: vec![
+                            PhaseSpec::NOMINAL,
+                            PhaseSpec {
+                                dep_multiplier: 1.5,
+                                cold_multiplier: 0.5,
+                                cold_floor: 0.0,
+                            },
+                        ],
+                    },
+                    published: PublishedStats {
+                        ipc: 1.0,
+                        power_w: 25.0,
+                    },
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every random profile validates and generates well-formed records.
+    #[test]
+    fn random_profiles_generate_valid_records(profile in arb_profile()) {
+        profile.validate().unwrap();
+        let mut written: std::collections::HashSet<u8> = std::collections::HashSet::new();
+        for rec in TraceGenerator::new(&profile).take(5_000) {
+            // Operand structure matches the class.
+            prop_assert_eq!(rec.mem().is_some(), rec.op().is_memory());
+            prop_assert_eq!(rec.branch().is_some(), rec.op().is_branch());
+            prop_assert_eq!(rec.dest().is_some(), rec.op().writes_register());
+            // Dataflow closure: sources reference earlier writers.
+            for s in rec.sources().into_iter().flatten() {
+                prop_assert!(written.contains(&s), "read-before-write of {s}");
+            }
+            if let Some(d) = rec.dest() {
+                written.insert(d);
+            }
+        }
+    }
+
+    /// The generated instruction mix converges to the profile's.
+    #[test]
+    fn mix_converges(profile in arb_profile()) {
+        let stats = TraceStats::from_records(TraceGenerator::new(&profile).take(40_000));
+        for op in ramp_trace::ALL_OP_CLASSES {
+            let want = profile.mix.probability_of(op);
+            let got = stats.class_fraction(op);
+            prop_assert!(
+                (got - want).abs() < 0.02,
+                "{op}: got {got}, profile says {want}"
+            );
+        }
+    }
+
+    /// Binary trace I/O round-trips any generated stream exactly.
+    #[test]
+    fn io_roundtrip(profile in arb_profile(), n in 1usize..3_000) {
+        let records: Vec<_> = TraceGenerator::new(&profile).take(n).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, records.iter().copied()).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    /// Generation is a pure function of the profile (seed included).
+    #[test]
+    fn determinism(profile in arb_profile()) {
+        let a: Vec<_> = TraceGenerator::new(&profile).take(2_000).collect();
+        let b: Vec<_> = TraceGenerator::new(&profile).take(2_000).collect();
+        prop_assert_eq!(a, b);
+    }
+}

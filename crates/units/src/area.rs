@@ -1,0 +1,154 @@
+//! Length and area types used by geometric scaling models.
+
+use crate::macros::quantity;
+use std::ops::{Add, Mul, Sub};
+
+quantity! {
+    /// Area in square millimetres.
+    ///
+    /// Used for die and structure footprints (the 180 nm core is
+    /// 81 mm² = 9 mm × 9 mm).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ramp_units::SquareMillimeters;
+    /// let core = SquareMillimeters::new(81.0)?;
+    /// let scaled = core.scaled(0.16); // 65 nm relative area
+    /// assert!((scaled.value() - 12.96).abs() < 1e-12);
+    /// # Ok::<(), ramp_units::UnitError>(())
+    /// ```
+    SquareMillimeters, unit = "mm^2", allowed = "> 0",
+    valid = |v| v > 0.0
+}
+
+impl SquareMillimeters {
+    /// Scales the area by a dimensionless relative-area factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> SquareMillimeters {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "area scale factor must be finite and positive, got {factor}"
+        );
+        SquareMillimeters(self.0 * factor)
+    }
+
+    /// Ratio of this area to another (dimensionless).
+    #[must_use]
+    pub fn ratio_to(self, other: SquareMillimeters) -> f64 {
+        self.0 / other.0
+    }
+}
+
+impl Add for SquareMillimeters {
+    type Output = SquareMillimeters;
+    fn add(self, rhs: SquareMillimeters) -> SquareMillimeters {
+        SquareMillimeters(self.0 + rhs.0)
+    }
+}
+
+quantity! {
+    /// Length in nanometres; used for feature sizes (process nodes).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ramp_units::Nanometers;
+    /// let node = Nanometers::new(65.0)?;
+    /// assert_eq!(format!("{node}"), "65 nm");
+    /// # Ok::<(), ramp_units::UnitError>(())
+    /// ```
+    Nanometers, unit = "nm", allowed = "> 0",
+    valid = |v| v > 0.0
+}
+
+quantity! {
+    /// Length in ångströms; used for gate-oxide thickness (`t_ox`).
+    ///
+    /// Table 4 lists `t_ox` from 25 Å (180 nm) down to 9 Å (65 nm).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ramp_units::Angstroms;
+    /// let tox_180 = Angstroms::new(25.0)?;
+    /// let tox_65 = Angstroms::new(9.0)?;
+    /// assert!((tox_180.to_nanometers() - tox_65.to_nanometers() - 1.6).abs() < 1e-12);
+    /// # Ok::<(), ramp_units::UnitError>(())
+    /// ```
+    Angstroms, unit = "Å", allowed = "> 0",
+    valid = |v| v > 0.0
+}
+
+impl Angstroms {
+    /// Converts to nanometres (1 nm = 10 Å).
+    #[must_use]
+    pub fn to_nanometers(self) -> f64 {
+        self.0 / 10.0
+    }
+}
+
+impl Sub for Angstroms {
+    type Output = f64;
+
+    /// Thickness difference in ångströms (may be negative).
+    fn sub(self, rhs: Angstroms) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl Mul<f64> for Nanometers {
+    type Output = Nanometers;
+
+    /// Scales a feature size by a (positive) scaling factor κ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is not finite and positive.
+    fn mul(self, rhs: f64) -> Nanometers {
+        assert!(
+            rhs.is_finite() && rhs > 0.0,
+            "feature scale factor must be finite and positive, got {rhs}"
+        );
+        Nanometers(self.0 * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_rejects_zero() {
+        assert!(SquareMillimeters::new(0.0).is_err());
+    }
+
+    #[test]
+    fn area_ratio() {
+        let a = SquareMillimeters::new(81.0).unwrap();
+        let b = SquareMillimeters::new(40.5).unwrap();
+        assert!((a.ratio_to(b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angstrom_nm_conversion() {
+        assert!((Angstroms::new(25.0).unwrap().to_nanometers() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angstrom_difference_signed() {
+        let a = Angstroms::new(9.0).unwrap();
+        let b = Angstroms::new(25.0).unwrap();
+        assert_eq!(a - b, -16.0);
+    }
+
+    #[test]
+    fn nanometer_scaling() {
+        let n = Nanometers::new(180.0).unwrap() * 0.7;
+        assert!((n.value() - 126.0).abs() < 1e-9);
+    }
+}

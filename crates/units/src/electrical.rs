@@ -1,0 +1,105 @@
+//! Electrical quantities: supply voltage and interconnect current density.
+
+use crate::macros::quantity;
+
+quantity! {
+    /// Supply voltage in volts.
+    ///
+    /// The scaling study uses supply voltages from 1.3 V (180 nm) down to
+    /// 0.9 V (aggressive 65 nm). The TDDB model raises `1/V` to a large
+    /// temperature-dependent exponent, so a zero voltage is rejected.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ramp_units::Volts;
+    /// let vdd = Volts::new(1.3)?;
+    /// assert!(vdd.value() > Volts::new(0.9)?.value());
+    /// # Ok::<(), ramp_units::UnitError>(())
+    /// ```
+    Volts, unit = "V", allowed = "0 < V < 100",
+    valid = |v| v > 0.0 && v < 100.0
+}
+
+impl Volts {
+    /// Ratio of this voltage to another (dimensionless), used by `C·V²·f`
+    /// dynamic-power scaling.
+    #[must_use]
+    pub fn ratio_to(self, other: Volts) -> f64 {
+        self.0 / other.0
+    }
+}
+
+quantity! {
+    /// Interconnect current density in milliamps per square micrometre.
+    ///
+    /// Table 4 tracks the *maximum allowed* interconnect current density per
+    /// technology node (9.0 → 4.0 mA/µm²). The electromigration model uses
+    /// `J = activity × J_max`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ramp_units::{CurrentDensity, ActivityFactor};
+    /// let j_max = CurrentDensity::new(9.0)?;
+    /// let j = j_max.at_activity(ActivityFactor::new(0.5)?);
+    /// assert_eq!(j.value(), 4.5);
+    /// # Ok::<(), ramp_units::UnitError>(())
+    /// ```
+    CurrentDensity, unit = "mA/um^2", allowed = "> 0",
+    valid = |v| v > 0.0
+}
+
+impl CurrentDensity {
+    /// Effective current density of a structure with the given activity
+    /// factor: `J = p × J_max` (paper §2, electromigration).
+    ///
+    /// An activity of zero is floored to a small positive value so the
+    /// `J^{-n}` electromigration MTTF stays finite; an idle structure still
+    /// leaks and clocks occasionally, so a strictly-zero current density is
+    /// unphysical anyway.
+    #[must_use]
+    pub fn at_activity(self, p: crate::ActivityFactor) -> CurrentDensity {
+        const MIN_ACTIVITY: f64 = 1e-3;
+        CurrentDensity(self.0 * p.value().max(MIN_ACTIVITY))
+    }
+
+    /// Ratio of this density to another (dimensionless).
+    #[must_use]
+    pub fn ratio_to(self, other: CurrentDensity) -> f64 {
+        self.0 / other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ActivityFactor;
+
+    #[test]
+    fn volts_rejects_zero() {
+        assert!(Volts::new(0.0).is_err());
+    }
+
+    #[test]
+    fn volts_ratio() {
+        let a = Volts::new(1.3).unwrap();
+        let b = Volts::new(1.0).unwrap();
+        assert!((a.ratio_to(b) - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_density_zero_activity_floored() {
+        let j_max = CurrentDensity::new(9.0).unwrap();
+        let j = j_max.at_activity(ActivityFactor::new(0.0).unwrap());
+        assert!(j.value() > 0.0);
+        assert!(j.value() < 0.1);
+    }
+
+    #[test]
+    fn current_density_full_activity() {
+        let j_max = CurrentDensity::new(6.0).unwrap();
+        let j = j_max.at_activity(ActivityFactor::new(1.0).unwrap());
+        assert_eq!(j.value(), 6.0);
+    }
+}

@@ -1,0 +1,101 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a physical quantity from an invalid
+/// `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_units::{Kelvin, UnitError};
+///
+/// let err = Kelvin::new(-1.0).unwrap_err();
+/// assert!(matches!(err, UnitError::OutOfRange { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitError {
+    /// The value was NaN or infinite.
+    NotFinite {
+        /// Name of the quantity being constructed (e.g. `"Kelvin"`).
+        quantity: &'static str,
+    },
+    /// The value was finite but outside the physically meaningful range.
+    OutOfRange {
+        /// Name of the quantity being constructed.
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable description of the allowed range.
+        allowed: &'static str,
+    },
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitError::NotFinite { quantity } => {
+                write!(f, "{quantity} value must be finite")
+            }
+            UnitError::OutOfRange {
+                quantity,
+                value,
+                allowed,
+            } => {
+                write!(f, "{quantity} value {value} out of range ({allowed})")
+            }
+        }
+    }
+}
+
+impl Error for UnitError {}
+
+/// Validates a raw `f64` for use as quantity `name`, requiring it to be
+/// finite and to satisfy `ok`.
+pub(crate) fn check(
+    name: &'static str,
+    value: f64,
+    allowed: &'static str,
+    ok: impl FnOnce(f64) -> bool,
+) -> Result<f64, UnitError> {
+    if !value.is_finite() {
+        return Err(UnitError::NotFinite { quantity: name });
+    }
+    if !ok(value) {
+        return Err(UnitError::OutOfRange {
+            quantity: name,
+            value,
+            allowed,
+        });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_rejects_nan() {
+        let err = check("Watts", f64::NAN, ">= 0", |v| v >= 0.0).unwrap_err();
+        assert_eq!(err, UnitError::NotFinite { quantity: "Watts" });
+        assert!(err.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn check_rejects_out_of_range() {
+        let err = check("Watts", -3.0, ">= 0", |v| v >= 0.0).unwrap_err();
+        assert!(err.to_string().contains("-3"));
+        assert!(err.to_string().contains(">= 0"));
+    }
+
+    #[test]
+    fn check_accepts_valid() {
+        assert_eq!(check("Watts", 5.0, ">= 0", |v| v >= 0.0), Ok(5.0));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<UnitError>();
+    }
+}

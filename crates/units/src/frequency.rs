@@ -1,0 +1,69 @@
+//! Clock-frequency type.
+
+use crate::macros::quantity;
+
+quantity! {
+    /// Clock frequency in gigahertz.
+    ///
+    /// The scaled designs run from 1.1 GHz (180 nm) to 2.0 GHz (65 nm),
+    /// assuming the paper's conservative 22 % frequency growth per node.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ramp_units::Gigahertz;
+    /// let f = Gigahertz::new(1.1)?;
+    /// assert!((f.cycle_seconds() - 9.0909e-10).abs() < 1e-13);
+    /// # Ok::<(), ramp_units::UnitError>(())
+    /// ```
+    Gigahertz, unit = "GHz", allowed = "> 0",
+    valid = |v| v > 0.0
+}
+
+impl Gigahertz {
+    /// Duration of one clock cycle in seconds.
+    #[must_use]
+    pub fn cycle_seconds(self) -> f64 {
+        1e-9 / self.0
+    }
+
+    /// Number of cycles in the given wall-clock duration (rounded to the
+    /// nearest cycle, minimum 1 so a positive interval always advances
+    /// time).
+    #[must_use]
+    pub fn cycles_in(self, seconds: crate::Seconds) -> u64 {
+        ((seconds.value() / self.cycle_seconds()).round() as u64).max(1)
+    }
+
+    /// Ratio of this frequency to another (dimensionless), used by dynamic
+    /// power scaling.
+    #[must_use]
+    pub fn ratio_to(self, other: Gigahertz) -> f64 {
+        self.value() / other.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Seconds;
+
+    #[test]
+    fn cycle_time_of_1ghz_is_1ns() {
+        let f = Gigahertz::new(1.0).unwrap();
+        assert!((f.cycle_seconds() - 1e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn cycles_in_one_microsecond() {
+        let f = Gigahertz::new(1.1).unwrap();
+        let n = f.cycles_in(Seconds::new(1e-6).unwrap());
+        assert_eq!(n, 1100);
+    }
+
+    #[test]
+    fn cycles_in_tiny_interval_is_at_least_one() {
+        let f = Gigahertz::new(1.0).unwrap();
+        assert_eq!(f.cycles_in(Seconds::new(1e-12).unwrap()), 1);
+    }
+}

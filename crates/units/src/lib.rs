@@ -1,0 +1,66 @@
+//! Physical-quantity newtypes shared by the RAMP reliability stack.
+//!
+//! Every quantity that crosses a crate boundary in this workspace is wrapped
+//! in a newtype from this crate, so that a temperature can never be confused
+//! with a power or a voltage (C-NEWTYPE). All wrappers are thin `f64`
+//! newtypes with:
+//!
+//! * checked constructors that reject non-finite or physically meaningless
+//!   values,
+//! * arithmetic operators only where the operation is dimensionally
+//!   meaningful,
+//! * [`std::fmt::Display`] with the conventional unit suffix,
+//! * `serde` support for result serialisation.
+//!
+//! # Examples
+//!
+//! ```
+//! use ramp_units::{Kelvin, Celsius, Watts};
+//!
+//! let t = Kelvin::new(383.0).unwrap();
+//! assert_eq!(Celsius::from(t).value().round(), 110.0);
+//!
+//! let p = Watts::new(26.5).unwrap() + Watts::new(3.5).unwrap();
+//! assert_eq!(p.value(), 30.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod area;
+mod electrical;
+mod error;
+mod macros;
+mod frequency;
+mod power;
+mod ratio;
+mod reliability;
+mod temperature;
+mod time;
+
+pub use area::{Angstroms, Nanometers, SquareMillimeters};
+pub use electrical::{CurrentDensity, Volts};
+pub use error::UnitError;
+pub use frequency::Gigahertz;
+pub use power::{PowerDensity, Watts};
+pub use ratio::ActivityFactor;
+pub use reliability::{Fit, Mttf, SECONDS_PER_YEAR};
+pub use temperature::{Celsius, Kelvin};
+pub use time::{Seconds, SimTime};
+
+/// Boltzmann's constant in electron-volts per Kelvin.
+///
+/// Used by every thermally activated failure model (Arrhenius terms in
+/// electromigration, stress migration, and dielectric breakdown).
+pub const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boltzmann_matches_codata() {
+        // CODATA 2018: 8.617333262e-5 eV/K.
+        assert!((BOLTZMANN_EV_PER_K - 8.617333262e-5).abs() < 1e-15);
+    }
+}

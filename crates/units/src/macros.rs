@@ -1,0 +1,57 @@
+//! Internal helper macro for defining `f64`-backed quantity newtypes.
+
+/// Defines a quantity newtype with a checked constructor, raw accessor,
+/// `Display` with unit suffix, and standard derives.
+///
+/// The validity predicate receives the candidate `f64` and returns `bool`.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, unit = $unit:literal, allowed = $allowed:literal,
+        valid = $valid:expr
+    ) => {
+        $(#[$meta])*
+        #[derive(
+            Debug,
+            Clone,
+            Copy,
+            PartialEq,
+            PartialOrd,
+            serde::Serialize,
+            serde::Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Creates a new value, validating finiteness and range.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`crate::UnitError`] if `value` is not finite or is
+            /// outside the allowed range (documented on the type).
+            pub fn new(value: f64) -> Result<Self, crate::UnitError> {
+                crate::error::check(stringify!($name), value, $allowed, $valid)
+                    .map(Self)
+            }
+
+            /// Returns the raw `f64` value in the type's canonical unit.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+    };
+}
+
+pub(crate) use quantity;

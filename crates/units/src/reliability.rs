@@ -1,0 +1,239 @@
+//! Reliability metrics: FIT rates and mean time to failure.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Seconds in a (Julian) year; used to convert MTTF between seconds and
+/// years.
+pub const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Device hours represented by one FIT unit: a FIT is one failure per 10⁹
+/// device-hours.
+const FIT_HOURS: f64 = 1e9;
+
+/// A constant failure rate in FITs (failures per 10⁹ device-hours).
+///
+/// FIT is the paper's reporting metric. Under the sum-of-failure-rates
+/// model, FITs of independent structures and mechanisms add, which is why
+/// this type implements [`Add`] and [`Sum`] while [`Mttf`] does not.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_units::{Fit, Mttf};
+/// let per_mechanism = Fit::new(1000.0)?;
+/// let total: Fit = std::iter::repeat(per_mechanism).take(4).sum();
+/// assert_eq!(total.value(), 4000.0);
+/// assert!((Mttf::from(total).years() - 28.5).abs() < 1.0); // ≈ 30-year MTTF
+/// # Ok::<(), ramp_units::UnitError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Fit(f64);
+
+impl Fit {
+    /// A zero failure rate.
+    pub const ZERO: Fit = Fit(0.0);
+
+    /// Creates a FIT rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::UnitError`] unless the value is finite and
+    /// non-negative.
+    pub fn new(value: f64) -> Result<Self, crate::UnitError> {
+        crate::error::check("Fit", value, ">= 0", |v| v >= 0.0).map(Self)
+    }
+
+    /// Raw FIT value (failures per 10⁹ device-hours).
+    #[inline]
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Scales the rate by a dimensionless factor (used by calibration and
+    /// by scaling derates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Fit {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "FIT scale factor must be finite and non-negative, got {factor}"
+        );
+        Fit(self.0 * factor)
+    }
+
+    /// Relative difference `(self - baseline) / baseline` expressed in
+    /// percent — the form in which the paper reports every scaling result
+    /// (e.g. "+316 %").
+    #[must_use]
+    pub fn percent_increase_over(self, baseline: Fit) -> f64 {
+        (self.0 - baseline.0) / baseline.0 * 100.0
+    }
+}
+
+impl Add for Fit {
+    type Output = Fit;
+    fn add(self, rhs: Fit) -> Fit {
+        Fit(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Fit {
+    fn add_assign(&mut self, rhs: Fit) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Fit {
+    fn sum<I: Iterator<Item = Fit>>(iter: I) -> Fit {
+        iter.fold(Fit::ZERO, |a, b| a + b)
+    }
+}
+
+impl Mul<f64> for Fit {
+    type Output = Fit;
+    fn mul(self, rhs: f64) -> Fit {
+        self.scaled(rhs)
+    }
+}
+
+/// Mean time to failure.
+///
+/// Stored in hours internally (the natural companion of FIT); accessors
+/// convert to years and seconds. Convertible to and from [`Fit`] through
+/// the exponential-lifetime assumption `MTTF = 10⁹ / FIT` hours.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_units::{Fit, Mttf};
+/// let thirty_years = Mttf::from_years(30.0)?;
+/// let fit = Fit::from(thirty_years);
+/// assert!((fit.value() - 3802.6).abs() < 1.0);
+/// # Ok::<(), ramp_units::UnitError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Mttf(f64);
+
+impl Mttf {
+    /// Creates an MTTF from hours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::UnitError`] unless the value is finite and positive.
+    pub fn from_hours(hours: f64) -> Result<Self, crate::UnitError> {
+        crate::error::check("Mttf", hours, "> 0", |v| v > 0.0).map(Self)
+    }
+
+    /// Creates an MTTF from years.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::UnitError`] unless the value is finite and positive.
+    pub fn from_years(years: f64) -> Result<Self, crate::UnitError> {
+        Self::from_hours(years * SECONDS_PER_YEAR / 3600.0)
+    }
+
+    /// MTTF in hours.
+    #[inline]
+    #[must_use]
+    pub fn hours(self) -> f64 {
+        self.0
+    }
+
+    /// MTTF in years.
+    #[must_use]
+    pub fn years(self) -> f64 {
+        self.0 * 3600.0 / SECONDS_PER_YEAR
+    }
+}
+
+impl From<Fit> for Mttf {
+    /// `MTTF = 10⁹ / FIT` hours. A zero FIT rate maps to `f64::MAX` hours
+    /// (effectively "never fails") rather than infinity so downstream
+    /// arithmetic stays finite.
+    fn from(fit: Fit) -> Mttf {
+        if fit.value() == 0.0 {
+            Mttf(f64::MAX)
+        } else {
+            Mttf(FIT_HOURS / fit.value())
+        }
+    }
+}
+
+impl From<Mttf> for Fit {
+    fn from(mttf: Mttf) -> Fit {
+        Fit(FIT_HOURS / mttf.0)
+    }
+}
+
+impl std::fmt::Display for Fit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} FIT", prec, self.0)
+        } else {
+            write!(f, "{} FIT", self.0)
+        }
+    }
+}
+
+impl std::fmt::Display for Mttf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} years", self.years())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_mttf_roundtrip() {
+        let fit = Fit::new(4000.0).unwrap();
+        let mttf = Mttf::from(fit);
+        let back = Fit::from(mttf);
+        assert!((back.value() - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thirty_year_mttf_is_about_4000_fit() {
+        // The paper's qualification argument: MTTF ≈ 30 years ⇒ ≈ 4000 FIT.
+        let mttf = Mttf::from_years(30.0).unwrap();
+        let fit = Fit::from(mttf);
+        assert!(
+            (3700.0..4000.0).contains(&fit.value()),
+            "30-year MTTF should be ~3800 FIT, got {fit}"
+        );
+    }
+
+    #[test]
+    fn zero_fit_gives_huge_mttf() {
+        let mttf = Mttf::from(Fit::ZERO);
+        assert!(mttf.hours() > 1e300);
+    }
+
+    #[test]
+    fn percent_increase() {
+        let base = Fit::new(1000.0).unwrap();
+        let scaled = Fit::new(4160.0).unwrap();
+        assert!((scaled.percent_increase_over(base) - 316.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_sums() {
+        let fits = [250.0, 250.0, 500.0].map(|v| Fit::new(v).unwrap());
+        let total: Fit = fits.into_iter().sum();
+        assert_eq!(total.value(), 1000.0);
+    }
+
+    #[test]
+    fn fit_rejects_negative() {
+        assert!(Fit::new(-1.0).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Simulation-time types.
+
+use crate::macros::quantity;
+use std::ops::{Add, AddAssign};
+
+quantity! {
+    /// A duration in seconds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ramp_units::Seconds;
+    /// let step = Seconds::MICROSECOND;
+    /// assert_eq!(step.value(), 1e-6);
+    /// ```
+    Seconds, unit = "s", allowed = ">= 0",
+    valid = |v| v >= 0.0
+}
+
+impl Seconds {
+    /// One microsecond — the paper's temperature/FIT sampling granularity.
+    pub const MICROSECOND: Seconds = Seconds(1e-6);
+
+    /// Zero duration.
+    pub const ZERO: Seconds = Seconds(0.0);
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    fn add_assign(&mut self, rhs: Seconds) {
+        self.0 += rhs.0;
+    }
+}
+
+/// Monotonic simulation clock: elapsed cycles plus the frequency needed to
+/// convert to wall-clock time.
+///
+/// # Examples
+///
+/// ```
+/// use ramp_units::{Gigahertz, SimTime};
+/// let mut t = SimTime::new(Gigahertz::new(1.1)?);
+/// t.advance_cycles(1100);
+/// assert!((t.elapsed().value() - 1e-6).abs() < 1e-18);
+/// # Ok::<(), ramp_units::UnitError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimTime {
+    cycles: u64,
+    frequency: crate::Gigahertz,
+}
+
+impl SimTime {
+    /// Creates a clock at cycle zero running at `frequency`.
+    #[must_use]
+    pub fn new(frequency: crate::Gigahertz) -> Self {
+        SimTime {
+            cycles: 0,
+            frequency,
+        }
+    }
+
+    /// Elapsed cycles since construction.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Clock frequency this simulation runs at.
+    #[must_use]
+    pub fn frequency(&self) -> crate::Gigahertz {
+        self.frequency
+    }
+
+    /// Advances the clock by `n` cycles.
+    pub fn advance_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
+    /// Elapsed wall-clock duration.
+    #[must_use]
+    pub fn elapsed(&self) -> Seconds {
+        Seconds(self.cycles as f64 * self.frequency.cycle_seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gigahertz;
+
+    #[test]
+    fn seconds_add() {
+        let mut t = Seconds::ZERO;
+        t += Seconds::MICROSECOND;
+        t += Seconds::MICROSECOND;
+        assert!((t.value() - 2e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sim_time_tracks_cycles_and_seconds() {
+        let mut t = SimTime::new(Gigahertz::new(2.0).unwrap());
+        assert_eq!(t.cycles(), 0);
+        t.advance_cycles(4_000_000);
+        assert_eq!(t.cycles(), 4_000_000);
+        assert!((t.elapsed().value() - 2e-3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests for the quantity newtypes.
+
+use proptest::prelude::*;
+use ramp_units::{ActivityFactor, Celsius, Fit, Gigahertz, Kelvin, Mttf, Seconds, Watts};
+
+proptest! {
+    #[test]
+    fn kelvin_celsius_roundtrip(v in 1.0f64..1999.0) {
+        let k = Kelvin::new(v).unwrap();
+        let back = Kelvin::from(Celsius::from(k));
+        prop_assert!((back.value() - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kelvin_constructor_total(v in proptest::num::f64::ANY) {
+        // Never panics: either a valid quantity or a structured error.
+        let _ = Kelvin::new(v);
+    }
+
+    #[test]
+    fn fit_mttf_inverse(v in 1e-6f64..1e12) {
+        let fit = Fit::new(v).unwrap();
+        let back = Fit::from(Mttf::from(fit));
+        prop_assert!((back.value() - v).abs() / v < 1e-12);
+    }
+
+    #[test]
+    fn fit_addition_commutes(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+        let x = Fit::new(a).unwrap();
+        let y = Fit::new(b).unwrap();
+        prop_assert_eq!((x + y).value(), (y + x).value());
+    }
+
+    #[test]
+    fn watts_sum_matches_f64_sum(vals in proptest::collection::vec(0.0f64..100.0, 0..32)) {
+        let total: Watts = vals.iter().map(|&v| Watts::new(v).unwrap()).sum();
+        let expect: f64 = vals.iter().sum();
+        prop_assert!((total.value() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activity_from_events_always_valid(events in 0u64..1_000_000, cap in 1u64..1_000_000) {
+        let p = ActivityFactor::from_events(events, cap);
+        prop_assert!((0.0..=1.0).contains(&p.value()));
+    }
+
+    #[test]
+    fn cycles_in_positive(f in 0.1f64..10.0, dt in 1e-9f64..1.0) {
+        let freq = Gigahertz::new(f).unwrap();
+        let n = freq.cycles_in(Seconds::new(dt).unwrap());
+        prop_assert!(n >= 1);
+        // Reconstructed duration within one cycle of the request.
+        let rebuilt = n as f64 * freq.cycle_seconds();
+        prop_assert!((rebuilt - dt).abs() <= freq.cycle_seconds() * 1.0001);
+    }
+
+    #[test]
+    fn percent_increase_sign(base in 1.0f64..1e6, other in 0.0f64..1e6) {
+        let b = Fit::new(base).unwrap();
+        let o = Fit::new(other).unwrap();
+        let pct = o.percent_increase_over(b);
+        if other > base {
+            prop_assert!(pct > 0.0);
+        } else if other < base {
+            prop_assert!(pct < 0.0);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Beyond the paper's horizon: project the study one generation further,
+//! to a 45 nm point that continues the paper's scaling assumptions
+//! (supply pinned at the 1.0 V noise floor, J_max at its floor, leakage
+//! density still climbing). The paper's §6 warns of "potentially large and
+//! sharp drops in long-term reliability, especially beyond 90 nm" — this
+//! extrapolation shows how sharp.
+//!
+//! ```text
+//! cargo run --example beyond_65nm --release
+//! ```
+
+use ramp_core::mechanisms::{standard_models, MechanismKind};
+use ramp_core::{run_app_on_node, NodeId, PipelineConfig, Qualification, TechNode};
+use ramp_core::lifetime::LifetimeDistribution;
+use ramp_trace::spec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let models = standard_models();
+    let cfg = PipelineConfig::quick();
+    let profile = spec::profile("facerec")?;
+
+    let reference = run_app_on_node(&profile, &TechNode::reference(), &cfg, &models, None)?;
+    let qual = Qualification::from_reference_runs(&[reference.rates])
+        .map_err(ramp_core::RampError::Qualification)?;
+
+    println!("facerec: extending the scaling study one generation past the paper");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>10}",
+        "node", "power W", "maxT K", "EM", "SM", "TDDB", "total FIT", "MTTF (yr)"
+    );
+    for id in [
+        NodeId::N180,
+        NodeId::N90,
+        NodeId::N65HighV,
+        NodeId::N45Projected,
+    ] {
+        let run = if id == NodeId::N180 {
+            reference.clone()
+        } else {
+            run_app_on_node(
+                &profile,
+                &TechNode::get(id),
+                &cfg,
+                &models,
+                Some(reference.avg_total()),
+            )?
+        };
+        let report = qual.fit_report(&run.rates);
+        println!(
+            "{:<12} {:>8.1} {:>8.1} {:>8.0} {:>8.0} {:>8.0} {:>9.0} {:>10.1}",
+            id.label(),
+            run.avg_total().value(),
+            run.max_temperature().value(),
+            report.mechanism_total(MechanismKind::Em).value(),
+            report.mechanism_total(MechanismKind::Sm).value(),
+            report.mechanism_total(MechanismKind::Tddb).value(),
+            report.total().value(),
+            LifetimeDistribution::from_report(&report).mttf_years(),
+        );
+    }
+    println!();
+    println!("Every assumption in the 45nm row continues a published trend (see");
+    println!("NodeId::N45Projected); the collapse in MTTF is the paper's warning,");
+    println!("one generation louder. This is a projection, not a Table-4 datum.");
+    Ok(())
+}

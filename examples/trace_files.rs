@@ -1,0 +1,56 @@
+//! Trace files: capture a synthetic workload trace to disk in the compact
+//! binary format, then replay it through the timing simulator — the
+//! capture-once / replay-many workflow every trace-driven methodology
+//! (including the paper's) is built on.
+//!
+//! ```text
+//! cargo run --example trace_files --release
+//! ```
+
+use ramp_microarch::{MachineConfig, Engine};
+use ramp_trace::{read_trace, spec, write_trace, TraceGenerator};
+use std::io::{BufReader, BufWriter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = spec::profile("twolf")?;
+    let n = 200_000usize;
+    let path = std::env::temp_dir().join("ramp-twolf.trace");
+
+    // Capture.
+    let mut writer = BufWriter::new(std::fs::File::create(&path)?);
+    let written = write_trace(&mut writer, TraceGenerator::new(&profile).take(n))?;
+    drop(writer);
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "captured {written} records to {} ({bytes} bytes, {:.1} bytes/record)",
+        path.display(),
+        bytes as f64 / written as f64
+    );
+
+    // Replay from disk.
+    let mut reader = BufReader::new(std::fs::File::open(&path)?);
+    let records = read_trace(&mut reader)?;
+    let cfg = MachineConfig::power4_180nm();
+    let mut engine = Engine::new(&cfg, 1_100);
+    for rec in &records {
+        engine.step(rec);
+    }
+    let replayed = engine.finish();
+
+    // Live generation for comparison: identical by determinism.
+    let mut live_engine = Engine::new(&cfg, 1_100);
+    for rec in TraceGenerator::new(&profile).take(n) {
+        live_engine.step(&rec);
+    }
+    let live = live_engine.finish();
+
+    println!(
+        "replayed IPC {:.4} vs live IPC {:.4} (must match exactly: {})",
+        replayed.stats.ipc(),
+        live.stats.ipc(),
+        replayed.stats == live.stats
+    );
+    assert_eq!(replayed.stats, live.stats, "file replay must be lossless");
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Workspace root: re-exports the RAMP stack for examples and integration tests.
+
+pub use ramp_core as core;
+pub use ramp_microarch as microarch;
+pub use ramp_power as power;
+pub use ramp_thermal as thermal;
+pub use ramp_trace as trace;
+pub use ramp_units as units;

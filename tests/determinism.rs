@@ -1,0 +1,100 @@
+//! Bit-reproducibility of the entire stack: identical inputs must give
+//! identical outputs across runs, threads, and crate boundaries.
+
+use ramp_core::mechanisms::standard_models;
+use ramp_core::{run_app_on_node, run_study, NodeId, PipelineConfig, StudyConfig, TechNode};
+use ramp_microarch::{simulate, MachineConfig, SimulationLength};
+use ramp_trace::{spec, TraceGenerator, TraceStats};
+
+#[test]
+fn trace_generation_is_bit_reproducible() {
+    for profile in spec::all_profiles() {
+        let a: Vec<_> = TraceGenerator::new(&profile).take(10_000).collect();
+        let b: Vec<_> = TraceGenerator::new(&profile).take(10_000).collect();
+        assert_eq!(a, b, "{}", profile.name);
+    }
+}
+
+#[test]
+fn timing_simulation_is_deterministic() {
+    let cfg = MachineConfig::power4_180nm();
+    let p = spec::profile("mesa").unwrap();
+    let run = || {
+        simulate(
+            &cfg,
+            TraceGenerator::new(&p),
+            SimulationLength::Instructions(100_000),
+            1_100,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.activity, b.activity);
+}
+
+#[test]
+fn pipeline_is_deterministic_across_nodes() {
+    let models = standard_models();
+    let p = spec::profile("sixtrack").unwrap();
+    for id in [NodeId::N180, NodeId::N65HighV] {
+        let run = |reference| {
+            run_app_on_node(
+                &p,
+                &TechNode::get(id),
+                &PipelineConfig::quick(),
+                &models,
+                reference,
+            )
+            .unwrap()
+        };
+        let reference = if id == NodeId::N180 {
+            None
+        } else {
+            Some(ramp_units::Watts::new(29.0).unwrap())
+        };
+        let a = run(reference);
+        let b = run(reference);
+        assert_eq!(a.rates, b.rates, "{id}");
+        assert_eq!(a.avg_dynamic, b.avg_dynamic, "{id}");
+        assert_eq!(a.sink_temperature, b.sink_temperature, "{id}");
+    }
+}
+
+#[test]
+fn study_is_deterministic_regardless_of_thread_count() {
+    let mk = |threads| {
+        let mut cfg = StudyConfig::quick().with_benchmarks(&["gzip", "vpr"]).unwrap();
+        cfg.threads = threads;
+        run_study(&cfg).unwrap()
+    };
+    let serial = mk(1);
+    let parallel = mk(8);
+    assert_eq!(serial.app_results().len(), parallel.app_results().len());
+    for (a, b) in serial.app_results().iter().zip(parallel.app_results()) {
+        assert_eq!(a.app, b.app);
+        assert_eq!(a.node, b.node);
+        assert_eq!(
+            a.fit.total().value(),
+            b.fit.total().value(),
+            "{} @ {}",
+            a.app,
+            a.node
+        );
+    }
+}
+
+#[test]
+fn sampled_traces_stay_representative() {
+    // End-to-end version of the paper's trace-validation methodology.
+    use ramp_trace::{validate_sample, SamplingPlan};
+    for name in ["gcc", "applu"] {
+        let p = spec::profile(name).unwrap();
+        let full = TraceStats::from_records(TraceGenerator::new(&p).take(400_000));
+        let plan = SamplingPlan::new(5_000, 50_000).unwrap();
+        let sampled =
+            TraceStats::from_records(plan.sample(TraceGenerator::new(&p).take(400_000)));
+        let v = validate_sample(&full, &sampled, 0.02);
+        assert!(v.representative, "{name}: {v:?}");
+    }
+}

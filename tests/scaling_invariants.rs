@@ -1,0 +1,155 @@
+//! Integration tests of the paper's qualitative scaling claims, using a
+//! reduced-cost study so they run in CI time.
+
+use ramp_core::mechanisms::MechanismKind;
+use ramp_core::{run_study, NodeId, StudyConfig, WorstCaseMode};
+use ramp_trace::Suite;
+
+fn quick_study(benchmarks: &[&str]) -> ramp_core::StudyResults {
+    let cfg = StudyConfig::quick().with_benchmarks(benchmarks).unwrap();
+    run_study(&cfg).unwrap()
+}
+
+#[test]
+fn total_fit_rises_steeply_beyond_90nm() {
+    let results = quick_study(&["gzip", "apsi"]);
+    let fit = |node| results.overall_average_fit(node).value();
+    // The paper's central claim: large and sharp drops in reliability,
+    // especially beyond 90 nm.
+    assert!(fit(NodeId::N65HighV) > 2.5 * fit(NodeId::N180));
+    assert!(fit(NodeId::N65HighV) > fit(NodeId::N65LowV));
+    assert!(fit(NodeId::N65LowV) > fit(NodeId::N90));
+    // Rate of increase accelerates with scaling.
+    let step1 = fit(NodeId::N90) - fit(NodeId::N130);
+    let step2 = fit(NodeId::N65HighV) - fit(NodeId::N90);
+    assert!(step2 > step1, "increase must accelerate: {step1} vs {step2}");
+}
+
+#[test]
+fn tddb_and_em_dominate_the_65nm_increase() {
+    let results = quick_study(&["wupwise", "twolf"]);
+    let growth = |m| {
+        let b = results
+            .average_mechanism_fit(Suite::Fp, NodeId::N180, m)
+            .value()
+            + results
+                .average_mechanism_fit(Suite::Int, NodeId::N180, m)
+                .value();
+        let s = results
+            .average_mechanism_fit(Suite::Fp, NodeId::N65HighV, m)
+            .value()
+            + results
+                .average_mechanism_fit(Suite::Int, NodeId::N65HighV, m)
+                .value();
+        s / b
+    };
+    let tddb = growth(MechanismKind::Tddb);
+    let em = growth(MechanismKind::Em);
+    let sm = growth(MechanismKind::Sm);
+    let tc = growth(MechanismKind::Tc);
+    // Paper §6: TDDB presents the steepest challenge, then EM; SM and TC
+    // are much less drastic.
+    assert!(tddb > em, "TDDB {tddb} must exceed EM {em}");
+    assert!(em > sm, "EM {em} must exceed SM {sm}");
+    assert!(sm > 1.0 && tc > 1.0, "every mechanism degrades");
+    assert!(tddb > 2.0 * sm, "TDDB must be 'much more drastic' than SM");
+}
+
+#[test]
+fn worst_case_exceeds_every_application_at_every_node() {
+    let results = quick_study(&["ammp", "crafty", "mgrid"]);
+    for node in NodeId::ALL {
+        let wc = results.worst_case(node).unwrap().fit.total().value();
+        for r in results.app_results().iter().filter(|r| r.node == node) {
+            assert!(
+                wc >= r.fit.total().value(),
+                "{node}: worst case {wc} below {} ({})",
+                r.app,
+                r.fit.total().value()
+            );
+        }
+    }
+}
+
+#[test]
+fn global_peak_worst_case_dominates_per_structure_mode() {
+    let base = StudyConfig::quick().with_benchmarks(&["gzip", "ammp"]).unwrap();
+    let per_structure = run_study(&StudyConfig {
+        worst_case: WorstCaseMode::PerStructurePeak,
+        ..base.clone()
+    })
+    .unwrap();
+    let global = run_study(&StudyConfig {
+        worst_case: WorstCaseMode::GlobalPeak,
+        ..base
+    })
+    .unwrap();
+    for node in NodeId::ALL {
+        let p = per_structure.worst_case(node).unwrap().fit.total().value();
+        let g = global.worst_case(node).unwrap().fit.total().value();
+        assert!(g >= p, "{node}: global {g} must dominate per-structure {p}");
+    }
+}
+
+#[test]
+fn app_fit_ordering_tracks_temperature() {
+    // Figure 2 ↔ Figure 3 correlation: the hottest app also has the
+    // highest FIT, the coolest the lowest, at every node.
+    let results = quick_study(&["ammp", "crafty", "gzip"]);
+    for node in NodeId::ALL {
+        let mut rs: Vec<_> = results
+            .app_results()
+            .iter()
+            .filter(|r| r.node == node)
+            .collect();
+        rs.sort_by(|a, b| {
+            a.max_temperature()
+                .value()
+                .total_cmp(&b.max_temperature().value())
+        });
+        let fits: Vec<f64> = rs.iter().map(|r| r.fit.total().value()).collect();
+        for w in fits.windows(2) {
+            assert!(
+                w[1] > w[0] * 0.95,
+                "{node}: FIT should broadly track temperature ordering: {fits:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn study_can_include_the_projected_45nm_node() {
+    let mut cfg = StudyConfig::quick().with_benchmarks(&["gzip"]).unwrap();
+    cfg.nodes = vec![NodeId::N180, NodeId::N65HighV, NodeId::N45Projected];
+    let results = run_study(&cfg).unwrap();
+    let fit_65 = results
+        .result("gzip", NodeId::N65HighV)
+        .unwrap()
+        .fit
+        .total()
+        .value();
+    let fit_45 = results
+        .result("gzip", NodeId::N45Projected)
+        .unwrap()
+        .fit
+        .total()
+        .value();
+    assert!(
+        fit_45 > fit_65 * 1.3,
+        "the projected node must continue the degradation: {fit_45} vs {fit_65}"
+    );
+    assert!(results.worst_case(NodeId::N45Projected).is_some());
+}
+
+#[test]
+fn study_results_roundtrip_through_serde() {
+    let results = quick_study(&["gzip"]);
+    let json = serde_json::to_string(&results).unwrap();
+    let back: ramp_core::StudyResults = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.app_results().len(), results.app_results().len());
+    for (a, b) in results.app_results().iter().zip(back.app_results()) {
+        assert_eq!(a.app, b.app);
+        assert_eq!(a.node, b.node);
+        assert!((a.fit.total().value() - b.fit.total().value()).abs() < 1e-9);
+    }
+}
