@@ -81,7 +81,8 @@ fn averaging_vs_mean_conditions() {
             )
         })
     };
-    for swing in [5.0, 15.0, 30.0] {
+    let swings = [5.0, 15.0, 30.0];
+    let rows = ramp_core::Executor::from_env().map(&swings, |&swing| {
         let mid = 355.0;
         let mut correct = RateAccumulator::new(&models, node);
         correct.observe(&op(mid - swing), 1.0);
@@ -92,8 +93,12 @@ fn averaging_vs_mean_conditions() {
             .expect("qualification");
         let mut naive2 = RateAccumulator::new(&models, node);
         naive2.observe(&op(mid), 2.0);
-        let correct_fit = qual.fit_report(&correct.finish()).total();
-        let naive_fit = qual.fit_report(&naive2.finish()).total();
+        (
+            qual.fit_report(&correct.finish()).total(),
+            qual.fit_report(&naive2.finish()).total(),
+        )
+    });
+    for (swing, (correct_fit, naive_fit)) in swings.iter().zip(rows) {
         println!(
             "  ±{swing:>4.1} K square wave: averaged-rates {:.0} FIT vs at-mean {:.0} FIT ({:+.0}%)",
             correct_fit.value(),
@@ -178,17 +183,19 @@ fn time_step_sensitivity() {
         "  (stability limit for this die: {:.1} µs)",
         sim.network().max_stable_step().value() * 1e6
     );
-    let mut reference_temp = None;
-    for dt_us in [1.0, 8.0, 64.0] {
+    let steps_us = [1.0, 8.0, 64.0];
+    let temps = ramp_core::Executor::from_env().map(&steps_us, |&dt_us| {
         let dt = Seconds::new(dt_us * 1e-6).expect("valid step");
         let steps = (2_000.0 / dt_us) as usize; // 2 ms of heating
         let mut state = start;
         for _ in 0..steps {
             state = sim.step(&state, &high, dt);
         }
-        let t = state.hottest().1.value();
-        let err = reference_temp.map(|r: f64| t - r).unwrap_or(0.0);
-        reference_temp.get_or_insert(t);
+        state.hottest().1.value()
+    });
+    let reference_temp = temps[0];
+    for (dt_us, t) in steps_us.iter().zip(temps) {
+        let err = t - reference_temp;
         println!("  dt = {dt_us:>5.1} µs → hottest {t:.3} K (Δ vs 1 µs: {err:+.3} K)");
     }
     println!("  The 1 µs step the paper uses is comfortably inside the stable,");

@@ -90,11 +90,16 @@ fn fit_power_residual(profile: &ramp_trace::BenchmarkProfile) -> (f64, f64) {
 }
 
 fn main() {
+    // Each profile's fit is independent, so both modes fan out over the
+    // shared executor; `map` returns in input order, so the printed table
+    // is identical to the serial one for any RAMP_THREADS.
+    let executor = ramp_core::Executor::from_env();
+    let profiles = spec::all_profiles();
     let fit_power = std::env::args().any(|a| a == "--power");
     if fit_power {
         println!("benchmark   target_W  residual");
-        for profile in spec::all_profiles() {
-            let (residual, _) = fit_power_residual(&profile);
+        let fits = executor.map(&profiles, fit_power_residual);
+        for (profile, (residual, _)) in profiles.iter().zip(fits) {
             println!(
                 "{:<10}  {:>7.2}  {:.4}",
                 profile.name, profile.published.power_w, residual
@@ -103,9 +108,9 @@ fn main() {
         return;
     }
     println!("benchmark   suite  target  fitted_dep  achieved  err%");
+    let fits = executor.map(&profiles, fit_dep);
     let mut worst = 0.0_f64;
-    for profile in spec::all_profiles() {
-        let (dep, ipc) = fit_dep(&profile);
+    for (profile, (dep, ipc)) in profiles.iter().zip(fits) {
         let err = (ipc - profile.published.ipc) / profile.published.ipc * 100.0;
         worst = worst.max(err.abs());
         println!(

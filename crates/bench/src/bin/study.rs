@@ -6,9 +6,10 @@ use ramp_core::{run_study, NodeId, StudyConfig};
 use ramp_trace::Suite;
 
 fn main() {
-    let start = std::time::Instant::now();
-    let results = run_study(&StudyConfig::default()).expect("study should run");
-    eprintln!("study completed in {:.1}s", start.elapsed().as_secs_f64());
+    let config = StudyConfig::default();
+    eprintln!("running study with {} threads (set RAMP_THREADS to override)", config.threads);
+    let results = run_study(&config).expect("study should run");
+    ramp_bench::print_study_metrics(&results);
 
     // `--csv <dir>` dumps the raw data for external plotting.
     let mut args = std::env::args();

@@ -64,15 +64,13 @@ pub fn load_or_run_study() -> StudyResults {
             }
         }
     }
+    let config = StudyConfig::default();
     eprintln!(
-        "[harness] running full study (16 benchmarks x 5 nodes; a few minutes single-threaded)…"
+        "[harness] running full study (16 benchmarks x 5 nodes, {} threads)…",
+        config.threads
     );
-    let start = std::time::Instant::now();
-    let results = run_study(&StudyConfig::default()).expect("full study should run");
-    eprintln!(
-        "[harness] study completed in {:.1}s",
-        start.elapsed().as_secs_f64()
-    );
+    let results = run_study(&config).expect("full study should run");
+    print_study_metrics(&results);
     match serde_json::to_vec(&results) {
         Ok(bytes) => {
             if let Err(e) = std::fs::write(&path, bytes) {
@@ -82,6 +80,25 @@ pub fn load_or_run_study() -> StudyResults {
         Err(e) => eprintln!("[harness] could not serialise results: {e}"),
     }
     results
+}
+
+/// Prints the study's execution metrics (per-stage wall clock, throughput,
+/// timing-cache effectiveness) to stderr.
+///
+/// Metrics exist only for results produced by [`run_study`] in this
+/// process; results deserialized from the cache file carry none (the
+/// metrics are deliberately kept out of the serialized form so the output
+/// bytes are independent of thread count), and for those this prints a
+/// one-line note instead.
+pub fn print_study_metrics(results: &StudyResults) {
+    let metrics = results.metrics();
+    if metrics.runs == 0 {
+        eprintln!("[harness] no execution metrics (results loaded from cache, not run)");
+        return;
+    }
+    for line in metrics.report().lines() {
+        eprintln!("[harness] {line}");
+    }
 }
 
 /// Formats a FIT value the way the paper's figures label their axes.

@@ -1,0 +1,182 @@
+//! Deterministic parallel sweep executor.
+//!
+//! Every grid walk in the workspace (the 16 × 5 study, the figure/table
+//! binaries, sensitivity sweeps, calibration) fans its independent jobs
+//! over this executor. Work is distributed dynamically — workers pull the
+//! next job index from a shared atomic counter — but every result carries
+//! its input index and the output is reassembled in input order, so the
+//! returned `Vec` is **identical for any thread count**, including 1.
+//!
+//! The thread count comes from [`Executor::from_env`] in normal use: the
+//! `RAMP_THREADS` environment variable when set to a positive integer,
+//! otherwise [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker thread count.
+pub const THREADS_ENV: &str = "RAMP_THREADS";
+
+/// A scoped worker pool that maps closures over job slices in
+/// deterministic (input) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::from_env()
+    }
+}
+
+impl Executor {
+    /// An executor with exactly `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// An executor honouring `RAMP_THREADS` when set to a positive
+    /// integer, defaulting to the machine's available parallelism.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV) {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Executor::new(n),
+                _ => {
+                    eprintln!(
+                        "warning: ignoring {THREADS_ENV}={raw:?} (want a positive integer)"
+                    );
+                    Executor::new(Self::default_threads())
+                }
+            },
+            Err(_) => Executor::new(Self::default_threads()),
+        }
+    }
+
+    /// The fallback thread count when `RAMP_THREADS` is unset.
+    #[must_use]
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    }
+
+    /// The worker count this executor fans out over.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning results in input
+    /// order regardless of which worker ran which item.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_indexed(items, |_, item| f(item))
+    }
+
+    /// Like [`Executor::map`] but the closure also receives the item's
+    /// input index (useful for labelling progress output).
+    pub fn map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        // Workers keep results local and merge once at the
+                        // end, so the shared lock is uncontended.
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= n {
+                                break;
+                            }
+                            local.push((idx, f(idx, &items[idx])));
+                        }
+                        collected
+                            .lock()
+                            .expect("no worker holds the lock across a panic")
+                            .append(&mut local);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("executor worker panicked");
+            }
+        });
+
+        let mut pairs = collected.into_inner().expect("all workers joined");
+        debug_assert_eq!(pairs.len(), n, "every job produced exactly one result");
+        // Reassemble in input order: this is what makes the output
+        // independent of scheduling.
+        pairs.sort_unstable_by_key(|(idx, _)| *idx);
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let items: Vec<u64> = (0..100).collect();
+            let out = Executor::new(threads).map(&items, |&x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_indexed_sees_true_indices() {
+        let items = vec!["a", "b", "c", "d"];
+        let out = Executor::new(3).map_indexed(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(13);
+        let serial = Executor::new(1).map(&items, f);
+        for threads in [2, 5, 16] {
+            assert_eq!(Executor::new(threads).map(&items, f), serial);
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Executor::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u64> = Executor::new(8).map(&[] as &[u64], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn handles_more_threads_than_items() {
+        let items = vec![1u32, 2];
+        assert_eq!(Executor::new(16).map(&items, |&x| x + 1), vec![2, 3]);
+    }
+}

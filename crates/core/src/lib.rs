@@ -46,6 +46,7 @@
 
 pub mod drm;
 mod error;
+mod executor;
 mod export;
 pub mod lifetime;
 pub mod mechanisms;
@@ -59,10 +60,11 @@ mod study;
 mod tech;
 
 pub use error::RampError;
+pub use executor::{Executor, THREADS_ENV};
 pub use operating::OperatingPoint;
-pub use pipeline::{run_app_on_node, AppNodeRun, PipelineConfig};
+pub use pipeline::{run_app_on_node, AppNodeRun, PipelineConfig, StageTimings};
 pub use qualification::{FitReport, Qualification, FIT_PER_MECHANISM};
 pub use rates::{AveragedRates, RateAccumulator};
-pub use results::{AppNodeResult, StudyResults, WorstCaseResult};
+pub use results::{AppNodeResult, StudyMetrics, StudyResults, WorstCaseResult};
 pub use study::{run_study, StudyConfig, WorstCaseMode};
 pub use tech::{NodeId, TechNode};

@@ -18,15 +18,17 @@ use crate::mechanisms::FailureModel;
 use crate::rates::{AveragedRates, RateAccumulator};
 use crate::{OperatingPoint, RampError, TechNode};
 use ramp_microarch::{
-    simulate, ActivityTrace, MachineConfig, PerStructure, SimulationLength,
+    simulate_profile_cached, ActivityTrace, MachineConfig, PerStructure, SimulationLength,
+    Structure,
 };
 use ramp_power::{
     DynamicPowerModel, DynamicScaling, LeakageModel, PowerModel, StructureBudgets,
 };
 use ramp_thermal::{ThermalParams, ThermalSimulator, ThermalState};
-use ramp_trace::{BenchmarkProfile, TraceGenerator};
+use ramp_trace::BenchmarkProfile;
 use ramp_units::{ActivityFactor, Kelvin, Seconds, Watts};
 use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
 
 /// Configuration of the evaluation pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -119,6 +121,42 @@ impl PipelineConfig {
     }
 }
 
+/// Wall-clock and work counters for the three pipeline stages of one run.
+///
+/// `timing` measures what this run actually spent in the timing stage:
+/// on a timing-cache hit it is the (near-zero) lookup cost, not the cost
+/// of the original simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Timing pass (trace-driven simulation or cache lookup).
+    pub timing: Duration,
+    /// First pass: power ↔ steady-state-temperature fixed point.
+    pub first_pass: Duration,
+    /// Second pass: transient thermal walk + rate accumulation.
+    pub second_pass: Duration,
+    /// Activity intervals observed by the second pass.
+    pub intervals: u64,
+    /// Per-structure operating points evaluated (intervals × structures).
+    pub structure_updates: u64,
+}
+
+impl StageTimings {
+    /// Total wall-clock across the three stages.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.timing + self.first_pass + self.second_pass
+    }
+
+    /// Accumulates another run's timings into this one.
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.timing += other.timing;
+        self.first_pass += other.first_pass;
+        self.second_pass += other.second_pass;
+        self.intervals += other.intervals;
+        self.structure_updates += other.structure_updates;
+    }
+}
+
 /// Raw (pre-qualification) outcome of one benchmark on one node.
 #[derive(Debug, Clone)]
 pub struct AppNodeRun {
@@ -143,6 +181,8 @@ pub struct AppNodeRun {
     /// Per-interval structure temperatures of the second pass, recorded
     /// only when [`PipelineConfig::record_thermal_trace`] is set.
     pub thermal_trace: Option<Vec<PerStructure<Kelvin>>>,
+    /// Per-stage wall-clock and throughput counters for this run.
+    pub timings: StageTimings,
 }
 
 impl AppNodeRun {
@@ -259,13 +299,17 @@ pub fn run_app_on_node(
         .map_err(RampError::InvalidConfiguration)?;
 
     // ---- Timing pass ----------------------------------------------------
+    // Cached: nodes sharing a clock frequency (and therefore an interval
+    // length) replay the same timing result instead of re-simulating.
+    let timing_start = Instant::now();
     let machine = MachineConfig::power4_180nm();
-    let out = simulate(
+    let out = simulate_profile_cached(
         &machine,
-        TraceGenerator::new(profile),
+        profile,
         SimulationLength::Instructions(cfg.instructions),
         interval_cycles(node),
     );
+    let timing_elapsed = timing_start.elapsed();
     let activity: &ActivityTrace = &out.activity;
     if activity.intervals().is_empty() {
         return Err(RampError::InvalidConfiguration(
@@ -276,6 +320,7 @@ pub fn run_app_on_node(
     let peak_activity = activity.peak();
 
     // ---- First pass: steady state / sink initialisation ------------------
+    let first_pass_start = Instant::now();
     let power = power_model(profile, node, cfg)?;
     let thermal_params = cfg.thermal;
     let area = node.core_area();
@@ -298,8 +343,10 @@ pub fn run_app_on_node(
         &avg_activity,
         cfg.first_pass_iterations,
     )?;
+    let first_pass_elapsed = first_pass_start.elapsed();
 
     // ---- Second pass: transient + RAMP accumulation ----------------------
+    let second_pass_start = Instant::now();
     let mut state = initial;
     let mut acc = RateAccumulator::new(models, *node);
     let mut dyn_sum = 0.0;
@@ -335,6 +382,13 @@ pub fn run_app_on_node(
         }
     }
     let rates = acc.finish();
+    let timings = StageTimings {
+        timing: timing_elapsed,
+        first_pass: first_pass_elapsed,
+        second_pass: second_pass_start.elapsed(),
+        intervals: samples,
+        structure_updates: samples * Structure::COUNT as u64,
+    };
 
     Ok(AppNodeRun {
         app: profile.name.clone(),
@@ -349,6 +403,7 @@ pub fn run_app_on_node(
         avg_activity,
         peak_activity,
         thermal_trace,
+        timings,
     })
 }
 

@@ -86,12 +86,124 @@ pub struct WorstCaseResult {
     pub fit: FitReport,
 }
 
+/// Wall-clock, throughput, and cache counters for one study execution.
+///
+/// Deliberately **not serialized**: the same study produces the same
+/// `StudyResults` bytes whatever the thread count or cache state, and
+/// metrics would break that. They travel alongside the results in memory
+/// and are reported separately (see [`StudyMetrics::report`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StudyMetrics {
+    /// Worker threads the sweep fanned out over.
+    pub threads: usize,
+    /// Wall-clock of the whole study.
+    pub wall_seconds: f64,
+    /// Summed per-run timing-stage wall-clock (cache lookups count what
+    /// they actually cost, so hits appear as ≈0).
+    pub timing_seconds: f64,
+    /// Summed per-run first-pass (power/steady-state) wall-clock.
+    pub first_pass_seconds: f64,
+    /// Summed per-run second-pass (transient + rates) wall-clock.
+    pub second_pass_seconds: f64,
+    /// (benchmark, node) runs evaluated.
+    pub runs: u64,
+    /// Activity intervals observed across all runs.
+    pub intervals: u64,
+    /// Per-structure operating points evaluated across all runs.
+    pub structure_updates: u64,
+    /// Timing-cache hits during the study.
+    pub cache_hits: u64,
+    /// Timing-cache misses during the study.
+    pub cache_misses: u64,
+}
+
+impl StudyMetrics {
+    /// Summed per-run wall-clock across all stages — the serial-equivalent
+    /// cost of the sweep.
+    #[must_use]
+    pub fn cpu_seconds(&self) -> f64 {
+        self.timing_seconds + self.first_pass_seconds + self.second_pass_seconds
+    }
+
+    /// Ratio of serial-equivalent cost to wall-clock: the measured
+    /// speedup over running the same sweep on one thread.
+    #[must_use]
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.cpu_seconds() / self.wall_seconds
+        } else {
+            1.0
+        }
+    }
+
+    /// Completed (benchmark, node) runs per wall-clock second.
+    #[must_use]
+    pub fn runs_per_second(&self) -> f64 {
+        self.per_wall_second(self.runs)
+    }
+
+    /// Activity intervals simulated per wall-clock second.
+    #[must_use]
+    pub fn intervals_per_second(&self) -> f64 {
+        self.per_wall_second(self.intervals)
+    }
+
+    /// Structure operating points evaluated per wall-clock second.
+    #[must_use]
+    pub fn structure_updates_per_second(&self) -> f64 {
+        self.per_wall_second(self.structure_updates)
+    }
+
+    fn per_wall_second(&self, count: u64) -> f64 {
+        if self.wall_seconds > 0.0 {
+            count as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Multi-line human-readable report, printed by the study binaries.
+    #[must_use]
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "study executor: {} threads, {:.2} s wall ({:.2} s serial-equivalent, {:.2}x speedup)",
+            self.threads,
+            self.wall_seconds,
+            self.cpu_seconds(),
+            self.parallel_speedup(),
+        );
+        let _ = writeln!(
+            out,
+            "  stages: timing {:.2} s, first pass {:.2} s, second pass {:.2} s",
+            self.timing_seconds, self.first_pass_seconds, self.second_pass_seconds,
+        );
+        let _ = writeln!(
+            out,
+            "  throughput: {:.1} runs/s, {:.0} intervals/s, {:.0} structure-updates/s",
+            self.runs_per_second(),
+            self.intervals_per_second(),
+            self.structure_updates_per_second(),
+        );
+        let _ = writeln!(
+            out,
+            "  timing cache: {} hits, {} misses over {} runs",
+            self.cache_hits, self.cache_misses, self.runs,
+        );
+        out
+    }
+}
+
 /// Complete output of a scaling study.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StudyResults {
     apps: Vec<AppNodeResult>,
     worst: Vec<WorstCaseResult>,
     qualification: Qualification,
+    #[serde(skip)]
+    metrics: StudyMetrics,
 }
 
 impl StudyResults {
@@ -106,7 +218,20 @@ impl StudyResults {
             apps,
             worst,
             qualification,
+            metrics: StudyMetrics::default(),
         }
+    }
+
+    /// Execution metrics of the study that produced these results
+    /// (zeroed when the results were deserialized from a cache file).
+    #[must_use]
+    pub fn metrics(&self) -> &StudyMetrics {
+        &self.metrics
+    }
+
+    /// Attaches execution metrics (used by [`crate::run_study`]).
+    pub fn set_metrics(&mut self, metrics: StudyMetrics) {
+        self.metrics = metrics;
     }
 
     /// Every (benchmark, node) result.

@@ -7,6 +7,7 @@
 //! FIT growth — producing the data for a tornado chart and making explicit
 //! which conclusions are robust to the fits and which are not.
 
+use crate::executor::Executor;
 use crate::mechanisms::{
     DielectricBreakdown, Electromigration, FailureModel, MechanismKind, StressMigration,
     ThermalCycling,
@@ -87,91 +88,132 @@ pub fn sensitivity_table(spread: f64) -> Vec<SensitivityRow> {
         spread > 0.0 && spread < 0.9,
         "spread must be a small positive fraction, got {spread}"
     );
-    let mut rows = Vec::new();
+    // Each perturbed parameter is an independent probe, so the table fans
+    // out over the shared executor like every other sweep in the
+    // workspace; `Executor::map` keeps the rows in declaration order.
+    let specs = parameter_specs();
+    Executor::from_env().map(&specs, |spec| {
+        let ratio_at = |v: f64| headline_ratio((spec.build)(v).as_ref());
+        SensitivityRow {
+            mechanism: spec.mechanism,
+            parameter: spec.parameter.to_string(),
+            nominal: spec.nominal,
+            ratio_low: ratio_at(spec.nominal * (1.0 - spread)),
+            ratio_nominal: ratio_at(spec.nominal),
+            ratio_high: ratio_at(spec.nominal * (1.0 + spread)),
+        }
+    })
+}
 
+/// One fitted constant and how to rebuild its mechanism with the constant
+/// replaced.
+struct ParameterSpec {
+    mechanism: MechanismKind,
+    parameter: &'static str,
+    nominal: f64,
+    build: Box<dyn Fn(f64) -> Box<dyn FailureModel> + Send + Sync>,
+}
+
+fn parameter_specs() -> Vec<ParameterSpec> {
+    let mut specs = Vec::new();
     let mut push = |mechanism: MechanismKind,
-                    parameter: &str,
+                    parameter: &'static str,
                     nominal: f64,
-                    build: &dyn Fn(f64) -> Box<dyn FailureModel>| {
-        let ratio_at = |v: f64| headline_ratio(build(v).as_ref());
-        rows.push(SensitivityRow {
+                    build: Box<dyn Fn(f64) -> Box<dyn FailureModel> + Send + Sync>| {
+        specs.push(ParameterSpec {
             mechanism,
-            parameter: parameter.to_string(),
+            parameter,
             nominal,
-            ratio_low: ratio_at(nominal * (1.0 - spread)),
-            ratio_nominal: ratio_at(nominal),
-            ratio_high: ratio_at(nominal * (1.0 + spread)),
+            build,
         });
     };
 
     // Electromigration.
     let em = Electromigration::default();
-    push(MechanismKind::Em, "EM current exponent n", em.current_exponent, &|v| {
-        Box::new(Electromigration {
-            current_exponent: v,
-            ..em
-        })
-    });
+    push(
+        MechanismKind::Em,
+        "EM current exponent n",
+        em.current_exponent,
+        Box::new(move |v| {
+            Box::new(Electromigration {
+                current_exponent: v,
+                ..em
+            })
+        }),
+    );
     push(
         MechanismKind::Em,
         "EM activation energy (eV)",
         em.activation_energy_ev,
-        &|v| {
+        Box::new(move |v| {
             Box::new(Electromigration {
                 activation_energy_ev: v,
                 ..em
             })
-        },
+        }),
     );
     push(
         MechanismKind::Em,
         "EM geometry exponent",
         em.geometry_exponent,
-        &|v| {
+        Box::new(move |v| {
             Box::new(Electromigration {
                 geometry_exponent: v,
                 ..em
             })
-        },
+        }),
     );
 
     // Stress migration.
     let sm = StressMigration::default();
-    push(MechanismKind::Sm, "SM stress exponent m", sm.stress_exponent, &|v| {
-        Box::new(StressMigration {
-            stress_exponent: v,
-            ..sm
-        })
-    });
+    push(
+        MechanismKind::Sm,
+        "SM stress exponent m",
+        sm.stress_exponent,
+        Box::new(move |v| {
+            Box::new(StressMigration {
+                stress_exponent: v,
+                ..sm
+            })
+        }),
+    );
     push(
         MechanismKind::Sm,
         "SM activation energy (eV)",
         sm.activation_energy_ev,
-        &|v| {
+        Box::new(move |v| {
             Box::new(StressMigration {
                 activation_energy_ev: v,
                 ..sm
             })
-        },
+        }),
     );
 
     // TDDB.
     let tddb = DielectricBreakdown::default();
-    push(MechanismKind::Tddb, "TDDB voltage exponent a", tddb.a, &|v| {
-        Box::new(DielectricBreakdown { a: v, ..tddb })
-    });
+    push(
+        MechanismKind::Tddb,
+        "TDDB voltage exponent a",
+        tddb.a,
+        Box::new(move |v| Box::new(DielectricBreakdown { a: v, ..tddb })),
+    );
     push(
         MechanismKind::Tddb,
         "TDDB nm per decade",
         tddb.nm_per_decade,
-        &|v| Box::new(DielectricBreakdown {
-            nm_per_decade: v,
-            ..tddb
+        Box::new(move |v| {
+            Box::new(DielectricBreakdown {
+                nm_per_decade: v,
+                ..tddb
+            })
         }),
     );
-    push(MechanismKind::Tddb, "TDDB X (eV)", tddb.x_ev, &|v| {
-        Box::new(DielectricBreakdown { x_ev: v, ..tddb })
-    });
+    push(
+        MechanismKind::Tddb,
+        "TDDB X (eV)",
+        tddb.x_ev,
+        Box::new(move |v| Box::new(DielectricBreakdown { x_ev: v, ..tddb })),
+    );
 
     // Thermal cycling.
     let tc = ThermalCycling::default();
@@ -179,15 +221,15 @@ pub fn sensitivity_table(spread: f64) -> Vec<SensitivityRow> {
         MechanismKind::Tc,
         "TC Coffin-Manson exponent q",
         tc.coffin_manson_exponent,
-        &|v| {
+        Box::new(move |v| {
             Box::new(ThermalCycling {
                 coffin_manson_exponent: v,
                 ..tc
             })
-        },
+        }),
     );
 
-    rows
+    specs
 }
 
 /// Convenience: checks whether the paper's qualitative conclusion — TDDB

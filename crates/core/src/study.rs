@@ -10,14 +10,16 @@
 //! 4. per node, synthesise the worst-case run (highest per-structure
 //!    temperature and activity seen by any benchmark, held steady).
 
+use crate::executor::Executor;
 use crate::mechanisms::{standard_models, FailureModel};
-use crate::pipeline::{run_app_on_node, AppNodeRun, PipelineConfig};
+use crate::pipeline::{run_app_on_node, AppNodeRun, PipelineConfig, StageTimings};
 use crate::rates::RateAccumulator;
-use crate::results::{AppNodeResult, StudyResults, WorstCaseResult};
+use crate::results::{AppNodeResult, StudyMetrics, StudyResults, WorstCaseResult};
 use crate::{NodeId, OperatingPoint, Qualification, RampError, TechNode};
-use ramp_microarch::{PerStructure, Structure};
+use ramp_microarch::{timing_cache_stats, PerStructure, Structure};
 use ramp_trace::{spec, BenchmarkProfile};
 use ramp_units::{ActivityFactor, Watts};
+use std::time::Instant;
 
 /// How the per-node worst-case operating point is synthesised from the
 /// application runs.
@@ -46,7 +48,10 @@ pub struct StudyConfig {
     pub benchmarks: Vec<BenchmarkProfile>,
     /// Nodes to evaluate (defaults to all five Table-4 points).
     pub nodes: Vec<NodeId>,
-    /// Worker threads for the app×node sweep.
+    /// Worker threads for the app×node sweep. Defaults to the
+    /// `RAMP_THREADS` environment variable when set, otherwise the
+    /// machine's available parallelism; results are identical for any
+    /// value (see [`Executor`]).
     pub threads: usize,
     /// Worst-case synthesis mode.
     pub worst_case: WorstCaseMode,
@@ -58,9 +63,7 @@ impl Default for StudyConfig {
             pipeline: PipelineConfig::default(),
             benchmarks: spec::all_profiles(),
             nodes: NodeId::ALL.to_vec(),
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            threads: Executor::from_env().threads(),
             worst_case: WorstCaseMode::default(),
         }
     }
@@ -90,53 +93,6 @@ impl StudyConfig {
     }
 }
 
-/// Runs a closure over items on a small scoped thread pool, preserving
-/// input order in the output.
-fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = items.len();
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let items_ref = &items;
-    let f_ref = &f;
-    crossbeam::thread::scope(|scope| {
-        let mut remaining: &mut [Option<R>] = &mut out;
-        let mut handles = Vec::new();
-        for chunk in split_indices(n, threads.max(1)) {
-            let (head, tail) = remaining.split_at_mut(chunk.len());
-            remaining = tail;
-            handles.push(scope.spawn(move |_| {
-                for (slot, idx) in head.iter_mut().zip(chunk) {
-                    *slot = Some(f_ref(&items_ref[idx]));
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("study worker panicked");
-        }
-    })
-    .expect("thread scope failed");
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
-}
-
-/// Splits `0..n` into at most `k` contiguous index ranges.
-fn split_indices(n: usize, k: usize) -> Vec<Vec<usize>> {
-    let k = k.min(n.max(1));
-    let mut out = Vec::with_capacity(k);
-    let base = n / k;
-    let extra = n % k;
-    let mut start = 0;
-    for i in 0..k {
-        let len = base + usize::from(i < extra);
-        out.push((start..start + len).collect());
-        start += len;
-    }
-    out
-}
-
 /// Runs the complete scaling study.
 ///
 /// # Errors
@@ -163,16 +119,16 @@ pub fn run_study(config: &StudyConfig) -> Result<StudyResults, RampError> {
         ));
     }
     let models = standard_models();
+    let executor = Executor::new(config.threads);
+    let wall_start = Instant::now();
+    let cache_before = timing_cache_stats();
 
     // Phase 1: reference (180 nm) runs, in parallel over benchmarks.
     let reference_node = TechNode::reference();
-    let ref_runs: Vec<Result<AppNodeRun, RampError>> = parallel_map(
-        config.benchmarks.clone(),
-        config.threads,
-        |profile| {
+    let ref_runs: Vec<Result<AppNodeRun, RampError>> =
+        executor.map(&config.benchmarks, |profile| {
             run_app_on_node(profile, &reference_node, &config.pipeline, &models, None)
-        },
-    );
+        });
     let ref_runs: Vec<AppNodeRun> = ref_runs.into_iter().collect::<Result<_, _>>()?;
 
     // Phase 2: qualification from the reference runs.
@@ -190,7 +146,7 @@ pub fn run_study(config: &StudyConfig) -> Result<StudyResults, RampError> {
         }
     }
     let scaled: Vec<Result<AppNodeRun, RampError>> =
-        parallel_map(jobs, config.threads, |(profile, node, ref_power)| {
+        executor.map(&jobs, |(profile, node, ref_power)| {
             run_app_on_node(
                 profile,
                 &TechNode::get(*node),
@@ -226,7 +182,30 @@ pub fn run_study(config: &StudyConfig) -> Result<StudyResults, RampError> {
         })
         .collect();
 
-    Ok(StudyResults::new(app_results, worst, qualification))
+    // Execution metrics: summed stage costs vs wall-clock, plus cache
+    // effectiveness over this study. Kept out of the serialized results
+    // so the output bytes stay independent of thread count.
+    let mut stages = StageTimings::default();
+    for run in ref_runs.iter().chain(scaled.iter()) {
+        stages.accumulate(&run.timings);
+    }
+    let cache_after = timing_cache_stats();
+    let metrics = StudyMetrics {
+        threads: executor.threads(),
+        wall_seconds: wall_start.elapsed().as_secs_f64(),
+        timing_seconds: stages.timing.as_secs_f64(),
+        first_pass_seconds: stages.first_pass.as_secs_f64(),
+        second_pass_seconds: stages.second_pass.as_secs_f64(),
+        runs: (ref_runs.len() + scaled.len()) as u64,
+        intervals: stages.intervals,
+        structure_updates: stages.structure_updates,
+        cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
+        cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
+    };
+
+    let mut results = StudyResults::new(app_results, worst, qualification);
+    results.set_metrics(metrics);
+    Ok(results)
 }
 
 /// Synthesises the paper's worst-case operating point for a node (see
@@ -293,22 +272,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn split_indices_covers_everything() {
-        for (n, k) in [(10, 3), (16, 8), (5, 16), (0, 4), (7, 1)] {
-            let chunks = split_indices(n, k);
-            let all: Vec<usize> = chunks.into_iter().flatten().collect();
-            assert_eq!(all, (0..n).collect::<Vec<_>>(), "n={n} k={k}");
-        }
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(items, 7, |&x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
     fn study_requires_reference_node() {
         let mut cfg = StudyConfig::quick();
         cfg.nodes = vec![NodeId::N90];
@@ -327,6 +290,15 @@ mod tests {
         // 2 apps × 5 nodes, 5 worst-case entries.
         assert_eq!(results.app_results().len(), 10);
         assert_eq!(results.worst_cases().len(), 5);
+        // Metrics describe the sweep that just ran.
+        let metrics = results.metrics();
+        assert_eq!(metrics.runs, 10);
+        assert!(metrics.wall_seconds > 0.0);
+        assert!(metrics.intervals > 0);
+        assert_eq!(
+            metrics.structure_updates,
+            metrics.intervals * Structure::COUNT as u64
+        );
         // Scaling must raise the total FIT for every app.
         for app in ["gzip", "ammp"] {
             let base = results.result(app, NodeId::N180).unwrap().fit.total();

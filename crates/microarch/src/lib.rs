@@ -31,6 +31,7 @@ mod config;
 mod engine;
 mod stats;
 mod structures;
+mod timing_cache;
 
 pub use activity::{default_capacities, ActivityCollector, ActivityRecord, ActivityTrace};
 pub use bpred::GsharePredictor;
@@ -39,3 +40,7 @@ pub use config::{CacheConfig, MachineConfig};
 pub use engine::{simulate, Engine, SimulationLength, SimulationOutput};
 pub use stats::SimStats;
 pub use structures::{PerStructure, Structure};
+pub use timing_cache::{
+    clear_timing_cache, simulate_profile_cached, timing_cache_stats, TimingCacheStats,
+    TIMING_CACHE_CAPACITY,
+};

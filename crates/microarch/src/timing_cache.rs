@@ -1,0 +1,299 @@
+//! Process-wide cache of timing-pass results.
+//!
+//! The timing simulation of a benchmark depends only on the machine
+//! configuration, the benchmark profile (trace generation is a pure
+//! function of the profile, seed included), the simulation length, and
+//! the activity-sampling interval. Study sweeps evaluate the same
+//! benchmark at several technology nodes, and nodes that share a clock
+//! frequency share the interval length too — so their timing passes are
+//! byte-identical and worth computing once.
+//!
+//! The cache is keyed by fingerprints of the serialized machine config
+//! and profile plus the two scalar parameters, holds results behind
+//! `Arc` so hits are O(1) clones, evicts least-recently-used entries
+//! beyond a fixed capacity, and deduplicates in-flight computations: if
+//! two workers ask for the same key simultaneously, one simulates and
+//! the other blocks on the same [`OnceLock`] rather than redoing the
+//! work. Results are bit-identical to a fresh [`simulate`] call by
+//! construction — the cache stores, it never recomputes or approximates.
+
+use crate::engine::{simulate, SimulationLength, SimulationOutput};
+use crate::MachineConfig;
+use ramp_trace::{BenchmarkProfile, TraceGenerator};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum retained entries. A full 16-benchmark × 5-node study touches
+/// 64 distinct keys (the two 65 nm points share a frequency), so the
+/// whole sweep fits with room for ablation variants.
+pub const TIMING_CACHE_CAPACITY: usize = 128;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    machine: u64,
+    profile: u64,
+    length: (bool, u64),
+    interval_cycles: u64,
+}
+
+/// FNV-1a over the canonical JSON encoding; collisions are astronomically
+/// unlikely across the handful of configs a process ever touches.
+fn fingerprint<T: serde::Serialize + ?Sized>(value: &T) -> u64 {
+    let json = serde_json::to_string(value).expect("config types serialize infallibly");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+struct Entry {
+    cell: Arc<OnceLock<Arc<SimulationOutput>>>,
+    last_used: u64,
+}
+
+struct CacheState {
+    map: HashMap<Key, Entry>,
+    tick: u64,
+}
+
+static CACHE: Mutex<Option<CacheState>> = Mutex::new(None);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Counters describing cache effectiveness, for study summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingCacheStats {
+    /// Lookups that found an existing (possibly in-flight) entry.
+    pub hits: u64,
+    /// Lookups that had to run the simulation.
+    pub misses: u64,
+    /// Entries currently retained.
+    pub entries: usize,
+}
+
+/// Current process-wide cache counters.
+pub fn timing_cache_stats() -> TimingCacheStats {
+    let guard = CACHE.lock().expect("timing cache lock");
+    TimingCacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        entries: guard.as_ref().map_or(0, |s| s.map.len()),
+    }
+}
+
+/// Empties the cache and zeroes the counters (tests, benchmarks).
+pub fn clear_timing_cache() {
+    let mut guard = CACHE.lock().expect("timing cache lock");
+    *guard = None;
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Runs (or replays) the timing pass for a benchmark profile.
+///
+/// Returns exactly what
+/// `simulate(machine, TraceGenerator::new(profile), length, interval_cycles)`
+/// would, behind an `Arc`; the first caller per key simulates and later
+/// callers share the stored result. Concurrent callers with the same key
+/// block on the in-flight computation instead of duplicating it.
+pub fn simulate_profile_cached(
+    machine: &MachineConfig,
+    profile: &BenchmarkProfile,
+    length: SimulationLength,
+    interval_cycles: u64,
+) -> Arc<SimulationOutput> {
+    let key = Key {
+        machine: fingerprint(machine),
+        profile: fingerprint(profile),
+        length: match length {
+            SimulationLength::Instructions(n) => (false, n),
+            SimulationLength::Cycles(c) => (true, c),
+        },
+        interval_cycles,
+    };
+
+    let cell = {
+        let mut guard = CACHE.lock().expect("timing cache lock");
+        let state = guard.get_or_insert_with(|| CacheState {
+            map: HashMap::new(),
+            tick: 0,
+        });
+        state.tick += 1;
+        let tick = state.tick;
+        let cell = match state.map.get_mut(&key) {
+            Some(entry) => {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                entry.last_used = tick;
+                Arc::clone(&entry.cell)
+            }
+            None => {
+                MISSES.fetch_add(1, Ordering::Relaxed);
+                let cell = Arc::new(OnceLock::new());
+                state.map.insert(
+                    key,
+                    Entry {
+                        cell: Arc::clone(&cell),
+                        last_used: tick,
+                    },
+                );
+                cell
+            }
+        };
+        while state.map.len() > TIMING_CACHE_CAPACITY {
+            // Evict the least-recently-used completed entry; in-flight
+            // entries survive because their `Arc` is held by a worker
+            // anyway.
+            let victim = state
+                .map
+                .iter()
+                .filter(|(k, e)| e.cell.get().is_some() && **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    state.map.remove(&k);
+                }
+                None => break,
+            }
+        }
+        cell
+    };
+
+    // The simulation itself runs outside the map lock so other keys
+    // proceed in parallel; `get_or_init` serializes same-key callers.
+    Arc::clone(cell.get_or_init(|| {
+        Arc::new(simulate(
+            machine,
+            TraceGenerator::new(profile),
+            length,
+            interval_cycles,
+        ))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramp_trace::spec;
+
+    /// Serializes access across the tests in this module: they observe
+    /// and reset process-global counters.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn hit_returns_identical_output() {
+        let _guard = locked();
+        clear_timing_cache();
+        let machine = MachineConfig::power4_180nm();
+        let profile = spec::profile("gzip").unwrap();
+        let fresh = simulate(
+            &machine,
+            TraceGenerator::new(&profile),
+            SimulationLength::Instructions(20_000),
+            1_100,
+        );
+        let a = simulate_profile_cached(
+            &machine,
+            &profile,
+            SimulationLength::Instructions(20_000),
+            1_100,
+        );
+        let b = simulate_profile_cached(
+            &machine,
+            &profile,
+            SimulationLength::Instructions(20_000),
+            1_100,
+        );
+        assert!(Arc::ptr_eq(&a, &b), "second lookup shares the stored Arc");
+        assert_eq!(format!("{:?}", *a), format!("{fresh:?}"));
+        let stats = timing_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn distinct_interval_lengths_are_distinct_keys() {
+        let _guard = locked();
+        clear_timing_cache();
+        let machine = MachineConfig::power4_180nm();
+        let profile = spec::profile("ammp").unwrap();
+        let a = simulate_profile_cached(
+            &machine,
+            &profile,
+            SimulationLength::Instructions(10_000),
+            1_100,
+        );
+        let b = simulate_profile_cached(
+            &machine,
+            &profile,
+            SimulationLength::Instructions(10_000),
+            1_650,
+        );
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(timing_cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn concurrent_same_key_simulates_once() {
+        let _guard = locked();
+        clear_timing_cache();
+        let machine = MachineConfig::power4_180nm();
+        let profile = spec::profile("gcc").unwrap();
+        let outputs: Vec<Arc<SimulationOutput>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        simulate_profile_cached(
+                            &machine,
+                            &profile,
+                            SimulationLength::Instructions(15_000),
+                            2_000,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for out in &outputs[1..] {
+            assert!(Arc::ptr_eq(&outputs[0], out));
+        }
+        let stats = timing_cache_stats();
+        assert_eq!(stats.misses, 1, "one thread simulated");
+        assert_eq!(stats.hits, 7, "the rest shared it");
+    }
+
+    #[test]
+    fn eviction_keeps_recently_used_entries() {
+        let _guard = locked();
+        clear_timing_cache();
+        let machine = MachineConfig::power4_180nm();
+        let profile = spec::profile("mesa").unwrap();
+        // Fill past capacity using distinct interval lengths as keys.
+        for i in 0..(TIMING_CACHE_CAPACITY as u64 + 8) {
+            simulate_profile_cached(
+                &machine,
+                &profile,
+                SimulationLength::Instructions(2_000),
+                1_000 + i,
+            );
+        }
+        let stats = timing_cache_stats();
+        assert!(stats.entries <= TIMING_CACHE_CAPACITY);
+        // The most recent key must still be resident: re-requesting it is
+        // a hit, not a re-simulation.
+        let misses_before = stats.misses;
+        simulate_profile_cached(
+            &machine,
+            &profile,
+            SimulationLength::Instructions(2_000),
+            1_000 + TIMING_CACHE_CAPACITY as u64 + 7,
+        );
+        assert_eq!(timing_cache_stats().misses, misses_before);
+    }
+}

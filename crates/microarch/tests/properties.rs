@@ -2,7 +2,9 @@
 //! invariants over randomly generated instruction streams.
 
 use proptest::prelude::*;
-use ramp_microarch::{simulate, Engine, MachineConfig, SimulationLength, Structure};
+use ramp_microarch::{
+    simulate, simulate_profile_cached, Engine, MachineConfig, SimulationLength, Structure,
+};
 use ramp_trace::{BranchInfo, MemRef, TraceRecord, ALL_OP_CLASSES};
 
 /// Strategy: a random but architecturally well-formed trace record.
@@ -146,6 +148,40 @@ proptest! {
         let slow = run(&base);
         let fast = run(&wide);
         prop_assert!(fast <= slow, "wider machine took {fast} vs {slow}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The timing cache is an invisible optimisation: for any profile,
+    /// budget, and interval length it returns exactly the trace a fresh
+    /// simulation produces, and repeated lookups share one result.
+    #[test]
+    fn cached_timing_equals_fresh_simulation(
+        bench_idx in 0usize..16,
+        instructions in 5_000u64..40_000,
+        interval_idx in 0usize..3,
+    ) {
+        let interval_cycles = [1_100u64, 1_650, 2_000][interval_idx];
+        let profiles = ramp_trace::spec::all_profiles();
+        let profile = &profiles[bench_idx % profiles.len()];
+        let cfg = MachineConfig::power4_180nm();
+        let length = SimulationLength::Instructions(instructions);
+
+        let cached = simulate_profile_cached(&cfg, profile, length, interval_cycles);
+        let fresh = simulate(
+            &cfg,
+            ramp_trace::TraceGenerator::new(profile),
+            length,
+            interval_cycles,
+        );
+        prop_assert_eq!(&cached.stats, &fresh.stats, "{}", profile.name);
+        prop_assert_eq!(&cached.activity, &fresh.activity, "{}", profile.name);
+
+        // A repeat lookup is a hit on the very same shared output.
+        let again = simulate_profile_cached(&cfg, profile, length, interval_cycles);
+        prop_assert!(std::sync::Arc::ptr_eq(&cached, &again));
     }
 }
 

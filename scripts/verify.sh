@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + full test suite with a locked dependency
+# graph, then the parallel-determinism contract at two thread counts.
+#
+# Usage: scripts/verify.sh
+# Exits non-zero on the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build (locked) =="
+cargo build --release --workspace --locked
+
+echo "== tier 1: tests (locked) =="
+cargo test --release --workspace --locked -q
+
+echo "== determinism: study JSON byte-identical across thread counts =="
+# The test itself sweeps StudyConfig.threads in {1, 2, 8}; running the
+# binary under two RAMP_THREADS values additionally covers the env-var
+# path that the default configuration takes.
+for threads in 1 4; do
+    echo "-- RAMP_THREADS=${threads}"
+    RAMP_THREADS="${threads}" cargo test --release --locked -q \
+        --test parallel_determinism
+done
+
+echo "verify: OK"

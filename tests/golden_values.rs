@@ -1,0 +1,144 @@
+//! Golden-value regression tests over a fixed, deterministic quick study.
+//!
+//! The whole stack is bit-reproducible (see `determinism.rs` and
+//! `parallel_determinism.rs`), so the headline aggregates of a fixed
+//! configuration are stable numbers. These tests pin them inside narrow
+//! tolerance bands: a drift means a model, calibration, or pipeline
+//! change — intended changes must re-measure the bands (run the ignored
+//! `print_current_values` helper with `--nocapture` to regenerate).
+
+use ramp_core::mechanisms::MechanismKind;
+use ramp_core::{run_study, NodeId, StudyConfig, StudyResults};
+
+/// The fixed configuration the golden numbers are measured on: two FP and
+/// two INT benchmarks at the quick pipeline length.
+const BENCHMARKS: [&str; 4] = ["gzip", "vpr", "ammp", "apsi"];
+
+/// The five Table-4 nodes in scaling order.
+const NODES_IN_ORDER: [NodeId; 5] = [
+    NodeId::N180,
+    NodeId::N130,
+    NodeId::N90,
+    NodeId::N65LowV,
+    NodeId::N65HighV,
+];
+
+fn golden_study() -> StudyResults {
+    let cfg = StudyConfig::quick().with_benchmarks(&BENCHMARKS).unwrap();
+    run_study(&cfg).unwrap()
+}
+
+/// Per-mechanism average FIT across all four benchmarks at one node.
+fn mechanism_fit(results: &StudyResults, node: NodeId, m: MechanismKind) -> f64 {
+    let rs: Vec<_> = results
+        .app_results()
+        .iter()
+        .filter(|r| r.node == node)
+        .collect();
+    rs.iter().map(|r| r.fit.mechanism_total(m).value()).sum::<f64>() / rs.len() as f64
+}
+
+#[test]
+fn total_fit_grows_monotonically_from_180nm_to_65nm() {
+    let results = golden_study();
+    let fits: Vec<f64> = NODES_IN_ORDER
+        .iter()
+        .map(|&n| results.overall_average_fit(n).value())
+        .collect();
+    for (w, pair) in fits.windows(2).enumerate() {
+        assert!(
+            pair[1] > pair[0],
+            "average FIT must grow at every scaling step: {:?} -> {:?} ({fits:?})",
+            NODES_IN_ORDER[w],
+            NODES_IN_ORDER[w + 1]
+        );
+    }
+    // And per application, not just on average.
+    for app in BENCHMARKS {
+        let per_app: Vec<f64> = NODES_IN_ORDER
+            .iter()
+            .map(|&n| results.result(app, n).unwrap().fit.total().value())
+            .collect();
+        for pair in per_app.windows(2) {
+            assert!(pair[1] > pair[0], "{app}: {per_app:?}");
+        }
+    }
+}
+
+#[test]
+fn qualification_anchors_the_180nm_budget() {
+    let results = golden_study();
+    // Qualification is exact by construction: 1000 FIT per mechanism,
+    // 4000 FIT total, averaged over the study's own reference runs.
+    let total = results.overall_average_fit(NodeId::N180).value();
+    assert!((total - 4000.0).abs() < 1e-6 * 4000.0, "reference total {total}");
+    for m in MechanismKind::ALL {
+        let avg = mechanism_fit(&results, NodeId::N180, m);
+        assert!((avg - 1000.0).abs() < 1e-6 * 1000.0, "{m} reference average {avg}");
+    }
+}
+
+#[test]
+fn per_mechanism_growth_stays_in_golden_bands() {
+    let results = golden_study();
+    // Growth factor (65 nm 1.0 V over 180 nm) per mechanism, measured on
+    // 2026-08 for the fixed configuration above; bands are ±15 % relative
+    // so legitimate platform float noise passes but model drift fails.
+    let golden: [(MechanismKind, f64); 4] = [
+        (MechanismKind::Em, GOLDEN_EM),
+        (MechanismKind::Sm, GOLDEN_SM),
+        (MechanismKind::Tddb, GOLDEN_TDDB),
+        (MechanismKind::Tc, GOLDEN_TC),
+    ];
+    for (m, expect) in golden {
+        let measured =
+            mechanism_fit(&results, NodeId::N65HighV, m) / mechanism_fit(&results, NodeId::N180, m);
+        assert!(
+            (measured / expect - 1.0).abs() < 0.15,
+            "{m}: growth factor {measured:.3} outside ±15% of golden {expect:.3}"
+        );
+    }
+    // The paper's qualitative ordering is far inside the bands.
+    let g = |m| mechanism_fit(&results, NodeId::N65HighV, m);
+    assert!(g(MechanismKind::Tddb) > g(MechanismKind::Em));
+    assert!(g(MechanismKind::Em) > g(MechanismKind::Sm));
+    assert!(g(MechanismKind::Sm) > g(MechanismKind::Tc));
+}
+
+#[test]
+fn total_fit_values_match_golden_numbers() {
+    let results = golden_study();
+    for (&node, &expect) in NODES_IN_ORDER.iter().zip(&GOLDEN_TOTALS) {
+        let measured = results.overall_average_fit(node).value();
+        assert!(
+            (measured / expect - 1.0).abs() < 0.10,
+            "{node}: average FIT {measured:.1} outside ±10% of golden {expect:.1}"
+        );
+    }
+}
+
+// Golden numbers for the fixed configuration (see `print_current_values`).
+const GOLDEN_TOTALS: [f64; 5] = [4000.0, 4996.9, 6666.3, 8121.9, 16655.6];
+const GOLDEN_EM: f64 = 4.151;
+const GOLDEN_SM: f64 = 1.910;
+const GOLDEN_TDDB: f64 = 8.756;
+const GOLDEN_TC: f64 = 1.838;
+
+/// Regeneration helper: prints the current values in the exact shape of
+/// the constants above. `cargo test --release --test golden_values -- \
+/// --ignored --nocapture`.
+#[test]
+#[ignore = "prints golden values instead of asserting"]
+fn print_current_values() {
+    let results = golden_study();
+    let totals: Vec<String> = NODES_IN_ORDER
+        .iter()
+        .map(|&n| format!("{:.1}", results.overall_average_fit(n).value()))
+        .collect();
+    println!("const GOLDEN_TOTALS: [f64; 5] = [{}];", totals.join(", "));
+    for m in MechanismKind::ALL {
+        let g = mechanism_fit(&results, NodeId::N65HighV, m)
+            / mechanism_fit(&results, NodeId::N180, m);
+        println!("const GOLDEN_{}: f64 = {g:.3};", format!("{m:?}").to_uppercase());
+    }
+}

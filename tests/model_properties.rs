@@ -118,6 +118,44 @@ proptest! {
         prop_assert!((mixed - expect).abs() < 1e-9 * expect);
     }
 
+    /// After qualification, the total FIT — and every per-mechanism
+    /// contribution — is monotone non-decreasing in a uniform junction
+    /// temperature rise at fixed voltage and activity, on every node.
+    #[test]
+    fn qualified_fit_monotone_in_temperature(
+        t in 325.0f64..378.0,
+        dt in 0.0f64..10.0,
+        v in 0.9f64..1.3,
+        p in 0.05f64..0.95,
+        node_idx in 0usize..5,
+    ) {
+        let models = standard_models();
+        let node = TechNode::get(NodeId::ALL[node_idx]);
+        let rates_at = |t: f64| {
+            let mut acc = RateAccumulator::new(&models, node);
+            acc.observe(&PerStructure::from_fn(|_| op(t, v, p)), 1.0);
+            acc.finish()
+        };
+        let cool = rates_at(t);
+        let hot = rates_at(t + dt);
+        let qual = Qualification::from_reference_runs(&[cool]).unwrap();
+        let cool_report = qual.fit_report(&cool);
+        let hot_report = qual.fit_report(&hot);
+        prop_assert!(
+            hot_report.total().value() >= cool_report.total().value() * (1.0 - 1e-12),
+            "total FIT fell from {} to {} for +{dt} K at {t} K",
+            cool_report.total(),
+            hot_report.total()
+        );
+        for m in MechanismKind::ALL {
+            prop_assert!(
+                hot_report.mechanism_total(m).value()
+                    >= cool_report.mechanism_total(m).value() * (1.0 - 1e-12),
+                "{m} FIT fell for +{dt} K at {t} K"
+            );
+        }
+    }
+
     /// Qualification scale-invariance: scaling all reference rates by a
     /// common factor leaves qualified FIT reports unchanged.
     #[test]

@@ -1,0 +1,66 @@
+//! Byte-level determinism of the parallel study executor.
+//!
+//! The executor reassembles results in input order and the execution
+//! metrics are excluded from serialization, so the JSON emitted for a
+//! study must be **byte-identical** for every thread count — this is the
+//! contract that makes `RAMP_THREADS` a pure performance knob.
+
+use ramp_core::{run_study, StudyConfig};
+
+fn study_json(threads: usize, benchmarks: &[&str], quick: bool) -> String {
+    let base = if quick {
+        StudyConfig::quick()
+    } else {
+        StudyConfig::default()
+    };
+    let mut cfg = base.with_benchmarks(benchmarks).unwrap();
+    cfg.threads = threads;
+    let results = run_study(&cfg).unwrap();
+    assert_eq!(
+        results.metrics().threads,
+        threads,
+        "metrics must record the thread count actually used"
+    );
+    serde_json::to_string(&results).unwrap()
+}
+
+#[test]
+fn quick_study_json_is_byte_identical_across_thread_counts() {
+    let benchmarks = ["gzip", "vpr", "ammp", "apsi"];
+    let serial = study_json(1, &benchmarks, true);
+    for threads in [2, 8] {
+        let parallel = study_json(threads, &benchmarks, true);
+        assert!(
+            serial == parallel,
+            "serialized study diverged between 1 and {threads} threads \
+             (lengths {} vs {})",
+            serial.len(),
+            parallel.len()
+        );
+    }
+}
+
+#[test]
+fn execution_metrics_stay_out_of_the_serialized_form() {
+    let json = study_json(2, &["gzip"], true);
+    for leak in ["wall_seconds", "cache_hits", "structure_updates"] {
+        assert!(
+            !json.contains(leak),
+            "thread-dependent metric field {leak:?} leaked into the JSON"
+        );
+    }
+}
+
+#[test]
+#[ignore = "runs the production-length study three times (several minutes)"]
+fn full_study_json_is_byte_identical_across_thread_counts() {
+    let benchmarks = ramp_trace::spec::all_profiles();
+    let names: Vec<&str> = benchmarks.iter().map(|p| p.name.as_str()).collect();
+    let serial = study_json(1, &names, false);
+    for threads in [2, 8] {
+        assert!(
+            serial == study_json(threads, &names, false),
+            "full study diverged at {threads} threads"
+        );
+    }
+}

@@ -1,0 +1,382 @@
+//! Offline API-compatible subset of `serde`.
+//!
+//! Provides the [`Serialize`] / [`Deserialize`] traits over an owned
+//! [`Value`] data model, implementations for the primitive and container
+//! types this workspace serializes, and re-exports the derive macros from
+//! `serde_derive`. See `vendor/README.md` for scope and caveats.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The self-describing data model every serializable type lowers into.
+///
+/// Numbers keep their integer/float distinction so `u64` quantities (trace
+/// addresses, instruction counts) survive round-trips losslessly even
+/// beyond 2^53.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (used for negative integers).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Finite IEEE-754 double.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered map (insertion order is preserved — important for
+    /// byte-identical re-serialization).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if `self` is not an object or lacks the field.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The elements of an array value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if `self` is not an array.
+    pub fn elements(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(Error::new(format!("expected array, found {}", other.kind()))),
+        }
+    }
+
+    /// The string payload of a string value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if `self` is not a string.
+    pub fn str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::new(format!("expected string, found {}", other.kind()))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    other => {
+                        return Err(Error::new(format!(
+                            "expected unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::new(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 {
+                    Value::UInt(n as u64)
+                } else {
+                    Value::Int(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n).map_err(|_| {
+                        Error::new(format!("integer {n} out of i64 range"))
+                    })?,
+                    other => {
+                        return Err(Error::new(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::new(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let raw = u64::from_value(v)?;
+        usize::try_from(raw).map_err(|_| Error::new(format!("integer {raw} out of usize range")))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(Error::new(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.elements()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.elements()?;
+        if items.len() != N {
+            return Err(Error::new(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::new("array length changed during deserialization"))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        let some = Some(3.5f64).to_value();
+        assert_eq!(Option::<f64>::from_value(&some).unwrap(), Some(3.5));
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn array_length_checked() {
+        let v = Value::Array(vec![Value::UInt(1), Value::UInt(2)]);
+        assert!(<[u64; 2]>::from_value(&v).is_ok());
+        assert!(<[u64; 3]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn u64_precision_preserved() {
+        let big = u64::MAX - 1;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+    }
+}

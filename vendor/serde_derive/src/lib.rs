@@ -1,0 +1,447 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input item
+//! is parsed by walking raw `TokenTree`s, and the generated impl is built
+//! as a source string and re-parsed into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields, honouring `#[serde(skip)]` and
+//!   `#[serde(default)]` per field;
+//! - tuple structs — a single-field (newtype) struct serializes
+//!   transparently as its inner value (`#[serde(transparent)]` is accepted
+//!   and is the same behaviour), multi-field structs as arrays;
+//! - enums whose variants all carry no data, serialized as the variant
+//!   name string;
+//! - generic type parameters (each parameter is bounded by the derived
+//!   trait).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(Vec<FieldAttrs>),
+    Unit,
+    Enum(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    type_params: Vec<String>,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parses one `#[serde(...)]`-style attribute body into field flags.
+fn apply_serde_attr(group: &proc_macro::Group, attrs: &mut FieldAttrs) {
+    let mut trees = group.stream().into_iter();
+    match trees.next() {
+        Some(TokenTree::Ident(word)) if word.to_string() == "serde" => {}
+        _ => return, // not a serde attribute (doc comment, allow, ...)
+    }
+    if let Some(TokenTree::Group(args)) = trees.next() {
+        for tok in args.stream() {
+            if let TokenTree::Ident(flag) = tok {
+                match flag.to_string().as_str() {
+                    "skip" => attrs.skip = true,
+                    "default" => attrs.default = true,
+                    // `transparent` is the native behaviour for newtypes.
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Consumes leading `#[...]` attributes, folding serde flags into `attrs`.
+fn skip_attributes(tokens: &[TokenTree], mut idx: usize, attrs: &mut FieldAttrs) -> usize {
+    while idx < tokens.len() {
+        match &tokens[idx] {
+            TokenTree::Punct(p) if p.as_char() == '#' => match tokens.get(idx + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    apply_serde_attr(g, attrs);
+                    idx += 2;
+                }
+                _ => break,
+            },
+            _ => break,
+        }
+    }
+    idx
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(tokens: &[TokenTree], mut idx: usize) -> usize {
+    if let Some(TokenTree::Ident(word)) = tokens.get(idx) {
+        if word.to_string() == "pub" {
+            idx += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(idx) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    idx += 1;
+                }
+            }
+        }
+    }
+    idx
+}
+
+/// Consumes tokens of a type (or expression) until a top-level `,`,
+/// tracking `<...>` nesting so generic arguments don't split fields.
+fn skip_until_comma(tokens: &[TokenTree], mut idx: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while idx < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[idx] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return idx,
+                _ => {}
+            }
+        }
+        idx += 1;
+    }
+    idx
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        idx = skip_attributes(&tokens, idx, &mut attrs);
+        idx = skip_visibility(&tokens, idx);
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(word)) => word.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        idx += 1;
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => idx += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        idx = skip_until_comma(&tokens, idx);
+        idx += 1; // past the comma (or end)
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> Vec<FieldAttrs> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        idx = skip_attributes(&tokens, idx, &mut attrs);
+        idx = skip_visibility(&tokens, idx);
+        if idx >= tokens.len() {
+            break;
+        }
+        idx = skip_until_comma(&tokens, idx);
+        idx += 1;
+        fields.push(attrs);
+    }
+    fields
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        idx = skip_attributes(&tokens, idx, &mut attrs);
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(word)) => word.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+            None => break,
+        };
+        idx += 1;
+        match tokens.get(idx) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` carries data; the vendored serde derive \
+                     only supports unit-variant enums"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                idx += 1;
+                idx = skip_until_comma(&tokens, idx);
+            }
+            _ => {}
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(idx) {
+            if p.as_char() == ',' {
+                idx += 1;
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+/// Parses the generic parameter list after the item name. Only plain type
+/// parameters (optionally bounded) and lifetimes are supported.
+fn parse_generics(tokens: &[TokenTree], mut idx: usize) -> Result<(Vec<String>, usize), String> {
+    let mut params = Vec::new();
+    match tokens.get(idx) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => idx += 1,
+        _ => return Ok((params, idx)),
+    }
+    let mut depth = 1i32;
+    let mut at_param_start = true;
+    while idx < tokens.len() {
+        match &tokens[idx] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok((params, idx + 1));
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                // Lifetime parameter: skip the following ident.
+                idx += 1;
+                at_param_start = false;
+            }
+            TokenTree::Ident(word) if at_param_start => {
+                let w = word.to_string();
+                if w == "const" {
+                    return Err("const generics are not supported by the vendored derive".into());
+                }
+                params.push(w);
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        idx += 1;
+    }
+    Err("unbalanced generic parameter list".into())
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut container_attrs = FieldAttrs::default();
+    let mut idx = skip_attributes(&tokens, 0, &mut container_attrs);
+    idx = skip_visibility(&tokens, idx);
+    let keyword = match tokens.get(idx) {
+        Some(TokenTree::Ident(word)) => word.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    idx += 1;
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(word)) => word.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    idx += 1;
+    let (type_params, idx) = parse_generics(&tokens, idx)?;
+    if let Some(TokenTree::Ident(word)) = tokens.get(idx) {
+        if word.to_string() == "where" {
+            return Err("`where` clauses are not supported by the vendored derive".into());
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_enum_variants(g)?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item {
+        name,
+        type_params,
+        shape,
+    })
+}
+
+/// `impl<T: Bound, ...>` prefix and `Name<T, ...>` suffix for an item.
+fn generics_for(item: &Item, bound: &str) -> (String, String) {
+    if item.type_params.is_empty() {
+        return ("impl".into(), item.name.clone());
+    }
+    let params = item
+        .type_params
+        .iter()
+        .map(|p| format!("{p}: {bound}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let args = item.type_params.join(", ");
+    (
+        format!("impl<{params}>"),
+        format!("{}<{args}>", item.name),
+    )
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let (impl_prefix, self_ty) = generics_for(item, "::serde::Serialize");
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.attrs.skip) {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from({:?}), \
+                     ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::Tuple(fields) => {
+            let items = (0..fields.len())
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| format!("{}::{v} => {:?},", item.name, v))
+                .collect::<String>();
+            format!(
+                "::serde::Value::Str(::std::string::String::from(match self {{ {arms} }}))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{impl_prefix} ::serde::Serialize for {self_ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let (impl_prefix, self_ty) = generics_for(item, "::serde::Deserialize");
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.attrs.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else if f.attrs.default {
+                    inits.push_str(&format!(
+                        "{}: match __v.field({:?}) {{\n\
+                         ::std::result::Result::Ok(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+                         ::std::result::Result::Err(_) => ::std::default::Default::default(),\n\
+                         }},\n",
+                        f.name, f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{}: ::serde::Deserialize::from_value(__v.field({:?})?)?,\n",
+                        f.name, f.name
+                    ));
+                }
+            }
+            format!(
+                "::std::result::Result::Ok({} {{\n{inits}}})",
+                item.name
+            )
+        }
+        Shape::Tuple(fields) if fields.len() == 1 => format!(
+            "::std::result::Result::Ok({}(::serde::Deserialize::from_value(__v)?))",
+            item.name
+        ),
+        Shape::Tuple(fields) => {
+            let n = fields.len();
+            let inits = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __items = __v.elements()?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::new(\
+                 ::std::format!(\"expected {n}-element array, found {{}}\", __items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({}({inits}))",
+                item.name
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({})", item.name),
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({}::{v}),",
+                        v, item.name
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "match __v.str()? {{\n{arms}\n__other => ::std::result::Result::Err(\
+                 ::serde::Error::new(::std::format!(\
+                 \"unknown variant `{{}}` of {}\", __other))),\n}}",
+                item.name
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{impl_prefix} ::serde::Deserialize for {self_ty} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+/// Derives `serde::Serialize` (vendored subset).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("derive(Serialize) codegen error: {e}"))),
+        Err(e) => compile_error(&format!("derive(Serialize): {e}")),
+    }
+}
+
+/// Derives `serde::Deserialize` (vendored subset).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("derive(Deserialize) codegen error: {e}"))),
+        Err(e) => compile_error(&format!("derive(Deserialize): {e}")),
+    }
+}
