@@ -21,6 +21,7 @@ use ramp_thermal::{ThermalParams, ThermalSimulator, ThermalState};
 use ramp_units::{ActivityFactor, Kelvin, Mttf, Seconds, SquareMillimeters, Watts};
 
 fn main() {
+    ramp_bench::init_obs();
     sofr_vs_min_mttf();
     averaging_vs_mean_conditions();
     qualification_margin();

@@ -90,12 +90,19 @@ fn fit_power_residual(profile: &ramp_trace::BenchmarkProfile) -> (f64, f64) {
 }
 
 fn main() {
+    ramp_bench::init_obs();
     // Each profile's fit is independent, so both modes fan out over the
     // shared executor; `map` returns in input order, so the printed table
     // is identical to the serial one for any RAMP_THREADS.
     let executor = ramp_core::Executor::from_env();
     let profiles = spec::all_profiles();
     let fit_power = std::env::args().any(|a| a == "--power");
+    ramp_obs::info!(
+        "calibrating {} profiles ({}) on {} threads",
+        profiles.len(),
+        if fit_power { "power residuals" } else { "dep distances" },
+        executor.threads()
+    );
     if fit_power {
         println!("benchmark   target_W  residual");
         let fits = executor.map(&profiles, fit_power_residual);

@@ -7,6 +7,7 @@ use ramp_core::NodeId;
 use ramp_trace::Suite;
 
 fn main() {
+    ramp_bench::init_obs();
     let results = load_or_run_study();
 
     for (panel, suite) in [("(a) SpecFP", Suite::Fp), ("(b) SpecInt", Suite::Int)] {

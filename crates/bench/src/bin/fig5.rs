@@ -9,6 +9,7 @@ use ramp_core::NodeId;
 use ramp_trace::{spec, Suite};
 
 fn main() {
+    ramp_bench::init_obs();
     let results = load_or_run_study();
 
     for m in MechanismKind::ALL {

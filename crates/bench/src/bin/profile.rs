@@ -1,0 +1,132 @@
+//! Instrumented study runner: executes a study with the full observability
+//! stack on, then renders the collapsed span tree (a flamegraph-style text
+//! report), the run manifest, and — with `--check` — validates the emitted
+//! JSONL event stream and manifest for the CI smoke job.
+//!
+//! ```text
+//! cargo run --release -p ramp-bench --bin profile            # quick subset
+//! cargo run --release -p ramp-bench --bin profile -- --full  # all 16 x 5
+//! cargo run --release -p ramp-bench --bin profile -- --check # + validation
+//! ```
+//!
+//! Events go to `RAMP_EVENTS` when set, else `target/ramp-profile-events.jsonl`.
+
+use ramp_core::{run_study, RunManifest, StudyConfig};
+use std::path::PathBuf;
+
+/// Benchmarks for the default (quick) profile run: two per suite.
+const QUICK_BENCHMARKS: [&str; 4] = ["gzip", "vpr", "ammp", "apsi"];
+
+fn main() {
+    ramp_bench::init_obs();
+    let full = std::env::args().any(|a| a == "--full");
+    let check = std::env::args().any(|a| a == "--check");
+
+    // Always write an event stream: that is the point of this binary.
+    if ramp_obs::event_file_path().is_none() {
+        let path = std::env::var_os("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target"))
+            .join("ramp-profile-events.jsonl");
+        let filter = ramp_obs::Filter::from_env()
+            .with_default_at_least(ramp_obs::Level::Debug);
+        ramp_obs::install_jsonl(&path, filter).expect("create JSONL event file");
+    }
+    ramp_obs::reset_spans();
+
+    let config = if full {
+        StudyConfig::default()
+    } else {
+        let mut cfg = StudyConfig::quick()
+            .with_benchmarks(&QUICK_BENCHMARKS)
+            .expect("quick benchmark subset is valid");
+        cfg.pipeline.record_thermal_trace = true;
+        cfg.pipeline.thermal_trace_stride = 50;
+        cfg
+    };
+    let results = run_study(&config).expect("instrumented study should run");
+    let manifest = ramp_bench::write_manifest(&config, &results);
+    ramp_obs::flush();
+
+    println!("{}", ramp_obs::profile_report());
+    println!("{}", manifest.summary());
+    ramp_bench::print_study_metrics(&results);
+
+    if check {
+        match validate(&manifest) {
+            Ok(summary) => {
+                println!("{summary}");
+                println!("obs smoke: OK");
+            }
+            Err(err) => {
+                eprintln!("obs smoke: FAILED: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// CI validation: the manifest must reference a real, well-formed JSONL
+/// event file whose span coverage matches the runs that executed, and the
+/// manifest's stage tree must account for the study wall-clock.
+fn validate(manifest: &RunManifest) -> Result<String, String> {
+    let path = manifest
+        .event_file
+        .as_ref()
+        .ok_or("manifest has no event_file")?;
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read event file {path}: {e}"))?;
+
+    let mut lines = 0u64;
+    for (i, line) in raw.lines().enumerate() {
+        serde_json::from_str::<serde::Value>(line)
+            .map_err(|e| format!("line {} is not valid JSON: {e}: {line}", i + 1))?;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("event file is empty".into());
+    }
+
+    // One span per pipeline stage per (app, node) run. The encoder is ours,
+    // so exact substring matching on the key fields is reliable.
+    let span_ends = |name: &str| -> u64 {
+        let needle = format!("\"name\":\"{name}\"");
+        raw.lines()
+            .filter(|l| l.contains("\"type\":\"span_end\"") && l.contains(&needle))
+            .count() as u64
+    };
+    for stage in ["run", "timing", "first_pass", "second_pass"] {
+        let got = span_ends(stage);
+        if got < manifest.runs {
+            return Err(format!(
+                "only {got} span_end events for stage {stage:?}, expected >= {} (one per run)",
+                manifest.runs
+            ));
+        }
+    }
+    if span_ends("study") < 1 {
+        return Err("no span_end event for the study root".into());
+    }
+
+    // The aggregated stage tree must account for the study wall-clock.
+    let study_seconds = manifest.stage_seconds("study");
+    let wall = manifest.wall_seconds;
+    if wall <= 0.0 {
+        return Err("manifest wall_seconds is not positive".into());
+    }
+    let rel_err = (study_seconds - wall).abs() / wall;
+    if rel_err > 0.10 {
+        return Err(format!(
+            "stage tree root ({study_seconds:.3}s) disagrees with wall-clock ({wall:.3}s) \
+             by {:.1}% (> 10%)",
+            rel_err * 100.0
+        ));
+    }
+
+    Ok(format!(
+        "validated {lines} JSONL lines; {} runs with full stage coverage; \
+         stage tree within {:.1}% of {wall:.2}s wall",
+        manifest.runs,
+        rel_err * 100.0
+    ))
+}

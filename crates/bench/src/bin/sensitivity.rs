@@ -8,6 +8,7 @@
 use ramp_core::sensitivity::{ordering_is_robust, sensitivity_table};
 
 fn main() {
+    ramp_bench::init_obs();
     let spread = std::env::args()
         .nth(1)
         .and_then(|s| s.parse::<f64>().ok())

@@ -6,10 +6,15 @@ use ramp_core::{run_study, NodeId, StudyConfig};
 use ramp_trace::Suite;
 
 fn main() {
+    ramp_bench::init_obs();
     let config = StudyConfig::default();
-    eprintln!("running study with {} threads (set RAMP_THREADS to override)", config.threads);
+    ramp_obs::info!(
+        "running study with {} threads (set RAMP_THREADS to override)",
+        config.threads
+    );
     let results = run_study(&config).expect("study should run");
     ramp_bench::print_study_metrics(&results);
+    ramp_bench::write_manifest(&config, &results);
 
     // `--csv <dir>` dumps the raw data for external plotting.
     let mut args = std::env::args();
@@ -26,7 +31,7 @@ fn main() {
             .expect("write worst_case.csv");
         std::fs::write(dir.join("nodes.csv"), results.node_summary_csv())
             .expect("write nodes.csv");
-        eprintln!("wrote apps.csv / worst_case.csv / nodes.csv to {}", dir.display());
+        ramp_obs::info!("wrote apps.csv / worst_case.csv / nodes.csv to {}", dir.display());
     }
 
     println!("{}", results.summary());

@@ -19,6 +19,7 @@ fn op(t: f64, v: f64) -> OperatingPoint {
 }
 
 fn main() {
+    ramp_bench::init_obs();
     let models = standard_models();
     let n180 = TechNode::reference();
     let n65 = TechNode::get(NodeId::N65HighV);

@@ -7,6 +7,7 @@ use ramp_core::TechNode;
 use ramp_microarch::MachineConfig;
 
 fn main() {
+    ramp_bench::init_obs();
     let cfg = MachineConfig::power4_180nm();
     let node = TechNode::reference();
 

@@ -7,6 +7,7 @@ use ramp_core::NodeId;
 use ramp_trace::{spec, Suite};
 
 fn main() {
+    ramp_bench::init_obs();
     let results = load_or_run_study();
 
     println!("Table 3. Average IPC and power for the 180nm base processor.");

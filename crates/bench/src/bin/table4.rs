@@ -7,6 +7,7 @@ use ramp_bench::load_or_run_study;
 use ramp_core::{NodeId, TechNode};
 
 fn main() {
+    ramp_bench::init_obs();
     let results = load_or_run_study();
 
     println!("Table 4. Scaled parameters used (last two columns simulated).");

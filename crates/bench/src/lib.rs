@@ -28,16 +28,51 @@
 
 pub mod plot;
 
-use ramp_core::{run_study, StudyConfig, StudyResults};
+use ramp_core::{run_study, RunManifest, StudyConfig, StudyResults};
 use std::path::PathBuf;
+
+/// Initialises `ramp-obs` from the environment: a stderr sink gated by
+/// `RAMP_LOG` (default `info`) plus a JSONL sink when `RAMP_EVENTS` names
+/// a file. Every bench binary calls this first; repeated calls are no-ops.
+pub fn init_obs() {
+    ramp_obs::init_from_env();
+}
+
+fn target_dir() -> PathBuf {
+    std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"))
+}
 
 /// Location of the cached study results, relative to the workspace root.
 #[must_use]
 pub fn cache_path() -> PathBuf {
-    let target = std::env::var_os("CARGO_TARGET_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target"));
-    target.join("ramp-study-cache.json")
+    target_dir().join("ramp-study-cache.json")
+}
+
+/// Location of the run manifest written next to a freshly-run study.
+#[must_use]
+pub fn manifest_path() -> PathBuf {
+    target_dir().join("ramp-run-manifest.json")
+}
+
+/// Captures and writes the run manifest for a study that just executed,
+/// returning it. Failures to write are logged, not fatal: the manifest is
+/// diagnostics, never an input.
+pub fn write_manifest(config: &StudyConfig, results: &StudyResults) -> RunManifest {
+    let manifest = RunManifest::capture(config, results);
+    let path = manifest_path();
+    match serde_json::to_string(&manifest) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                ramp_obs::warn!("could not write manifest {}: {e}", path.display());
+            } else {
+                ramp_obs::debug!("manifest written to {}", path.display());
+            }
+        }
+        Err(e) => ramp_obs::warn!("could not serialise manifest: {e}"),
+    }
+    manifest
 }
 
 /// Loads the cached full-study results, running the study (and writing the
@@ -49,35 +84,37 @@ pub fn cache_path() -> PathBuf {
 /// useful way to continue without results.
 #[must_use]
 pub fn load_or_run_study() -> StudyResults {
+    init_obs();
     let fresh = std::env::args().any(|a| a == "--fresh");
     let path = cache_path();
     if !fresh {
         if let Ok(bytes) = std::fs::read(&path) {
             match serde_json::from_slice::<StudyResults>(&bytes) {
                 Ok(results) => {
-                    eprintln!("[harness] loaded cached study from {}", path.display());
+                    ramp_obs::info!("loaded cached study from {}", path.display());
                     return results;
                 }
                 Err(e) => {
-                    eprintln!("[harness] cache unreadable ({e}); re-running study");
+                    ramp_obs::warn!("cache unreadable ({e}); re-running study");
                 }
             }
         }
     }
     let config = StudyConfig::default();
-    eprintln!(
-        "[harness] running full study (16 benchmarks x 5 nodes, {} threads)…",
+    ramp_obs::info!(
+        "running full study (16 benchmarks x 5 nodes, {} threads)...",
         config.threads
     );
     let results = run_study(&config).expect("full study should run");
     print_study_metrics(&results);
+    write_manifest(&config, &results);
     match serde_json::to_vec(&results) {
         Ok(bytes) => {
             if let Err(e) = std::fs::write(&path, bytes) {
-                eprintln!("[harness] could not write cache {}: {e}", path.display());
+                ramp_obs::warn!("could not write cache {}: {e}", path.display());
             }
         }
-        Err(e) => eprintln!("[harness] could not serialise results: {e}"),
+        Err(e) => ramp_obs::warn!("could not serialise results: {e}"),
     }
     results
 }
@@ -93,11 +130,11 @@ pub fn load_or_run_study() -> StudyResults {
 pub fn print_study_metrics(results: &StudyResults) {
     let metrics = results.metrics();
     if metrics.runs == 0 {
-        eprintln!("[harness] no execution metrics (results loaded from cache, not run)");
+        ramp_obs::info!("no execution metrics (results loaded from cache, not run)");
         return;
     }
     for line in metrics.report().lines() {
-        eprintln!("[harness] {line}");
+        ramp_obs::info!("{line}");
     }
 }
 

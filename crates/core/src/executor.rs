@@ -47,8 +47,8 @@ impl Executor {
             Ok(raw) => match raw.trim().parse::<usize>() {
                 Ok(n) if n >= 1 => Executor::new(n),
                 _ => {
-                    eprintln!(
-                        "warning: ignoring {THREADS_ENV}={raw:?} (want a positive integer)"
+                    ramp_obs::warn!(
+                        "ignoring {THREADS_ENV}={raw:?} (want a positive integer)"
                     );
                     Executor::new(Self::default_threads())
                 }
@@ -92,30 +92,62 @@ impl Executor {
     {
         let n = items.len();
         let workers = self.threads.min(n.max(1));
+        let queue_depth = ramp_obs::gauge("executor.queue_depth");
+        let in_flight = ramp_obs::gauge("executor.in_flight");
+        let jobs_completed = ramp_obs::counter("executor.jobs_completed");
+        ramp_obs::gauge("executor.workers").set(workers as f64);
+        queue_depth.set(n as f64);
         if workers <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            // The serial path still runs under a `worker` span so the
+            // aggregated span tree keeps the same shape for any
+            // RAMP_THREADS value.
+            let mut span = ramp_obs::span!("worker");
+            let out: Vec<R> = items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    queue_depth.add(-1.0);
+                    let r = f(i, t);
+                    jobs_completed.incr();
+                    r
+                })
+                .collect();
+            span.set_detail(format!("jobs={n}"));
+            return out;
         }
 
+        // Workers are re-rooted at the caller's span path so their spans
+        // aggregate under the same tree node regardless of which OS
+        // thread ran which job.
+        let parent_path = ramp_obs::current_path();
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        // Workers keep results local and merge once at the
-                        // end, so the shared lock is uncontended.
-                        let mut local: Vec<(usize, R)> = Vec::new();
-                        loop {
-                            let idx = next.fetch_add(1, Ordering::Relaxed);
-                            if idx >= n {
-                                break;
+                        ramp_obs::with_root_path(&parent_path, || {
+                            let mut span = ramp_obs::span!("worker");
+                            in_flight.add(1.0);
+                            // Workers keep results local and merge once at
+                            // the end, so the shared lock is uncontended.
+                            let mut local: Vec<(usize, R)> = Vec::new();
+                            loop {
+                                let idx = next.fetch_add(1, Ordering::Relaxed);
+                                if idx >= n {
+                                    break;
+                                }
+                                queue_depth.add(-1.0);
+                                local.push((idx, f(idx, &items[idx])));
+                                jobs_completed.incr();
                             }
-                            local.push((idx, f(idx, &items[idx])));
-                        }
-                        collected
-                            .lock()
-                            .expect("no worker holds the lock across a panic")
-                            .append(&mut local);
+                            span.set_detail(format!("jobs={}", local.len()));
+                            in_flight.add(-1.0);
+                            collected
+                                .lock()
+                                .expect("no worker holds the lock across a panic")
+                                .append(&mut local);
+                        });
                     })
                 })
                 .collect();

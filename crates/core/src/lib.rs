@@ -49,6 +49,7 @@ mod error;
 mod executor;
 mod export;
 pub mod lifetime;
+mod manifest;
 pub mod mechanisms;
 mod operating;
 mod pipeline;
@@ -61,6 +62,10 @@ mod tech;
 
 pub use error::RampError;
 pub use executor::{Executor, THREADS_ENV};
+pub use manifest::{
+    config_digest, ManifestCacheStats, MetricEntry, RunManifest, StageNode,
+    MANIFEST_SCHEMA_VERSION,
+};
 pub use operating::OperatingPoint;
 pub use pipeline::{run_app_on_node, AppNodeRun, PipelineConfig, StageTimings};
 pub use qualification::{FitReport, Qualification, FIT_PER_MECHANISM};

@@ -1,0 +1,282 @@
+//! Run manifests: a serializable record of *how* a study executed.
+//!
+//! [`StudyResults`] deliberately contains only simulation outcomes — its
+//! bytes are identical for any thread count or logging configuration. The
+//! complementary [`RunManifest`] captures the execution side: a digest of
+//! the configuration, the thread count, the per-stage wall-clock tree
+//! aggregated from `ramp-obs` spans, cache statistics, a snapshot of
+//! every registered metric, and the path of the JSONL event file (when
+//! one was written). Bench binaries emit it as a JSON file next to the
+//! study results.
+
+use crate::pipeline::PipelineConfig;
+use crate::results::StudyResults;
+use crate::study::StudyConfig;
+use ramp_microarch::timing_cache_stats;
+use ramp_obs::{MetricValue, SpanNode};
+use serde::{Deserialize, Serialize};
+
+/// Manifest schema version, bumped on incompatible field changes.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// One node of the per-stage wall-clock tree (aggregated spans).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageNode {
+    /// Stage name (span name), e.g. `"first_pass"`.
+    pub name: String,
+    /// Full `/`-joined span path, e.g. `"study/run/first_pass"`.
+    pub path: String,
+    /// Spans collapsed into this node (0 for synthetic parents).
+    pub count: u64,
+    /// Summed wall-clock across those spans, seconds.
+    pub total_seconds: f64,
+    /// Child stages.
+    pub children: Vec<StageNode>,
+}
+
+impl StageNode {
+    fn from_span(node: &SpanNode) -> Self {
+        StageNode {
+            name: node.name.clone(),
+            path: node.path.clone(),
+            count: node.count,
+            total_seconds: node.total_ns as f64 / 1e9,
+            children: node.children.iter().map(Self::from_span).collect(),
+        }
+    }
+
+    /// Finds a stage by its full `/`-joined path in this subtree.
+    #[must_use]
+    pub fn find(&self, path: &str) -> Option<&StageNode> {
+        if self.path == path {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(path))
+    }
+}
+
+/// A snapshot of one metric, flattened for serialization (the vendored
+/// serde stub has no map support, so metrics are a named list).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricEntry {
+    /// Registered metric name.
+    pub name: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: String,
+    /// Counter/gauge value; for histograms, the observation count.
+    pub value: f64,
+    /// Histogram sum of observed values (0 for counters and gauges).
+    pub sum: f64,
+}
+
+/// Timing-cache effectiveness at manifest-capture time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ManifestCacheStats {
+    /// Process-lifetime cache hits.
+    pub hits: u64,
+    /// Process-lifetime cache misses.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// Execution record emitted alongside [`StudyResults`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Manifest schema version ([`MANIFEST_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Wall-clock capture time, Unix milliseconds.
+    pub created_unix_ms: u64,
+    /// FNV-1a digest (hex) of the study configuration.
+    pub config_digest: String,
+    /// Worker threads the sweep used.
+    pub threads: u64,
+    /// (benchmark, node) runs evaluated.
+    pub runs: u64,
+    /// Total study wall-clock, seconds.
+    pub wall_seconds: f64,
+    /// Per-stage wall-clock tree aggregated from spans.
+    pub stages: Vec<StageNode>,
+    /// Snapshot of every registered metric.
+    pub metrics: Vec<MetricEntry>,
+    /// Timing-cache counters.
+    pub cache: ManifestCacheStats,
+    /// Path of the JSONL event file, when a sink was installed.
+    pub event_file: Option<String>,
+}
+
+/// Owned, serializable view of the configuration, hashed for the digest.
+/// Thread count and worst-case labels that do not change simulation
+/// output are excluded so the digest identifies the *science*, not the
+/// execution.
+#[derive(Debug, Serialize)]
+struct ConfigDigestView {
+    pipeline: PipelineConfig,
+    benchmarks: Vec<String>,
+    nodes: Vec<String>,
+}
+
+/// FNV-1a over the canonical JSON encoding, rendered as 16 hex digits.
+fn fnv1a_hex(json: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Digest of a study configuration (stable across thread counts).
+#[must_use]
+pub fn config_digest(config: &StudyConfig) -> String {
+    let view = ConfigDigestView {
+        pipeline: config.pipeline.clone(),
+        benchmarks: config.benchmarks.iter().map(|p| p.name.clone()).collect(),
+        nodes: config.nodes.iter().map(|n| n.label().to_string()).collect(),
+    };
+    let json = serde_json::to_string(&view).expect("config digest view serializes");
+    fnv1a_hex(&json)
+}
+
+impl RunManifest {
+    /// Captures a manifest for a study that just ran: snapshots the span
+    /// tree, the metric registry, and the timing cache, and records the
+    /// JSONL event file the sinks are writing to (if any).
+    ///
+    /// Call after [`crate::run_study`] returns, before resetting spans.
+    #[must_use]
+    pub fn capture(config: &StudyConfig, results: &StudyResults) -> Self {
+        let metrics = results.metrics();
+        let cache = timing_cache_stats();
+        let created_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            created_unix_ms,
+            config_digest: config_digest(config),
+            threads: metrics.threads as u64,
+            runs: metrics.runs,
+            wall_seconds: metrics.wall_seconds,
+            stages: ramp_obs::span_tree().iter().map(StageNode::from_span).collect(),
+            metrics: ramp_obs::metrics_snapshot()
+                .iter()
+                .map(|snap| match &snap.value {
+                    MetricValue::Counter(v) => MetricEntry {
+                        name: snap.name.clone(),
+                        kind: "counter".to_string(),
+                        value: *v as f64,
+                        sum: 0.0,
+                    },
+                    MetricValue::Gauge(v) => MetricEntry {
+                        name: snap.name.clone(),
+                        kind: "gauge".to_string(),
+                        value: *v,
+                        sum: 0.0,
+                    },
+                    MetricValue::Histogram { count, sum, .. } => MetricEntry {
+                        name: snap.name.clone(),
+                        kind: "histogram".to_string(),
+                        value: *count as f64,
+                        sum: *sum,
+                    },
+                })
+                .collect(),
+            cache: ManifestCacheStats {
+                hits: cache.hits,
+                misses: cache.misses,
+                entries: cache.entries as u64,
+            },
+            event_file: ramp_obs::event_file_path()
+                .map(|p| p.display().to_string()),
+        }
+    }
+
+    /// Finds a stage by its full `/`-joined path anywhere in the tree.
+    #[must_use]
+    pub fn find_stage(&self, path: &str) -> Option<&StageNode> {
+        self.stages.iter().find_map(|s| s.find(path))
+    }
+
+    /// Summed wall-clock of the stage at `path`, seconds (0 if absent).
+    #[must_use]
+    pub fn stage_seconds(&self, path: &str) -> f64 {
+        self.find_stage(path).map_or(0.0, |s| s.total_seconds)
+    }
+
+    /// Short human-readable summary (for bench binaries' stderr).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "manifest: config {} | {} runs on {} threads in {:.2}s",
+            self.config_digest, self.runs, self.threads, self.wall_seconds
+        );
+        let _ = writeln!(
+            out,
+            "  cache: {} hits / {} misses ({} resident)",
+            self.cache.hits, self.cache.misses, self.cache.entries
+        );
+        match &self.event_file {
+            Some(path) => {
+                let _ = writeln!(out, "  events: {path}");
+            }
+            None => {
+                let _ = writeln!(out, "  events: <no JSONL sink installed>");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn digest_is_stable_and_thread_independent() {
+        let a = StudyConfig::quick().with_benchmarks(&["gzip"]).unwrap();
+        let mut b = StudyConfig::quick().with_benchmarks(&["gzip"]).unwrap();
+        b.threads = a.threads + 7;
+        assert_eq!(config_digest(&a), config_digest(&b));
+    }
+
+    #[test]
+    fn digest_tracks_configuration_changes() {
+        let base = StudyConfig::quick().with_benchmarks(&["gzip"]).unwrap();
+        let other_bench = StudyConfig::quick().with_benchmarks(&["vpr"]).unwrap();
+        assert_ne!(config_digest(&base), config_digest(&other_bench));
+
+        let mut other_nodes = StudyConfig::quick().with_benchmarks(&["gzip"]).unwrap();
+        other_nodes.nodes = vec![NodeId::N180, NodeId::N90];
+        assert_ne!(config_digest(&base), config_digest(&other_nodes));
+
+        let mut other_pipeline = StudyConfig::quick().with_benchmarks(&["gzip"]).unwrap();
+        other_pipeline.pipeline.trace_repeats += 1;
+        assert_ne!(config_digest(&base), config_digest(&other_pipeline));
+    }
+
+    #[test]
+    fn stage_nodes_roundtrip_through_json() {
+        let node = StageNode {
+            name: "study".to_string(),
+            path: "study".to_string(),
+            count: 1,
+            total_seconds: 1.5,
+            children: vec![StageNode {
+                name: "run".to_string(),
+                path: "study/run".to_string(),
+                count: 10,
+                total_seconds: 1.4,
+                children: vec![],
+            }],
+        };
+        let json = serde_json::to_string(&node).unwrap();
+        let back: StageNode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, node);
+        assert_eq!(back.find("study/run").unwrap().count, 10);
+    }
+}

@@ -22,13 +22,19 @@ use ramp_microarch::{
     Structure,
 };
 use ramp_power::{
-    DynamicPowerModel, DynamicScaling, LeakageModel, PowerModel, StructureBudgets,
+    DynamicPowerModel, DynamicScaling, FeedbackTracker, LeakageModel, PowerModel,
+    StructureBudgets,
 };
 use ramp_thermal::{ThermalParams, ThermalSimulator, ThermalState};
 use ramp_trace::BenchmarkProfile;
 use ramp_units::{ActivityFactor, Kelvin, Seconds, Watts};
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// Convergence tolerance (kelvin) reported for the first-pass fixed point.
+/// The loop runs a fixed iteration count; the tracker only classifies
+/// whether the final sweep still moved temperatures by more than this.
+const FEEDBACK_TOLERANCE_K: f64 = 0.05;
 
 /// Configuration of the evaluation pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,6 +56,11 @@ pub struct PipelineConfig {
     /// into [`AppNodeRun::thermal_trace`] (off by default: a production
     /// run stores tens of thousands of intervals).
     pub record_thermal_trace: bool,
+    /// Downsampling stride for the recorded thermal trace: every
+    /// `thermal_trace_stride`-th interval is kept (1 = every interval).
+    /// Long runs can set e.g. 100 to bound trace memory and the volume of
+    /// per-interval trace events emitted through the obs sinks.
+    pub thermal_trace_stride: u32,
     /// Thermal time-compression factor: silicon/spreader transients run
     /// this many times faster than wall-clock. Our traces compress the
     /// paper's 100 M-instruction runs ~8×; compressing the thermal time
@@ -71,6 +82,7 @@ impl Default for PipelineConfig {
             leakage_beta: ramp_power::DEFAULT_BETA,
             first_pass_iterations: 8,
             record_thermal_trace: false,
+            thermal_trace_stride: 1,
             time_compression: 8.0,
         }
     }
@@ -107,6 +119,11 @@ impl PipelineConfig {
         if self.first_pass_iterations == 0 {
             return Err(RampError::InvalidConfiguration(
                 "first_pass_iterations must be positive".into(),
+            ));
+        }
+        if self.thermal_trace_stride == 0 {
+            return Err(RampError::InvalidConfiguration(
+                "thermal_trace_stride must be positive".into(),
             ));
         }
         if !self.time_compression.is_finite() || self.time_compression < 1.0 {
@@ -244,14 +261,21 @@ fn first_pass(
     let mut temps = PerStructure::from_fn(|_| Kelvin::new_const(345.0));
     let mut sim = sim_builder(Watts::new(1.0).expect("literal"))?;
     let mut state = ThermalState::uniform(Kelvin::new_const(345.0));
+    let mut tracker = FeedbackTracker::new(FEEDBACK_TOLERANCE_K);
     for _ in 0..iterations {
         let sample = power.sample(avg_activity, &temps);
         sim = sim_builder(sample.total())?;
         state = sim
             .initial_state(&sample.per_structure_total())
             .map_err(RampError::ThermalSolve)?;
+        let max_delta = Structure::ALL
+            .iter()
+            .map(|&s| (state.structures[s].value() - temps[s].value()).abs())
+            .fold(0.0_f64, f64::max);
+        tracker.observe(max_delta);
         temps = state.structures;
     }
+    tracker.finish();
     Ok((sim, state))
 }
 
@@ -297,11 +321,12 @@ pub fn run_app_on_node(
     profile
         .validate()
         .map_err(RampError::InvalidConfiguration)?;
+    let run_span = ramp_obs::span!("run", "app={} node={}", profile.name, node.id.label());
 
     // ---- Timing pass ----------------------------------------------------
     // Cached: nodes sharing a clock frequency (and therefore an interval
     // length) replay the same timing result instead of re-simulating.
-    let timing_start = Instant::now();
+    let timing_span = ramp_obs::span!("timing");
     let machine = MachineConfig::power4_180nm();
     let out = simulate_profile_cached(
         &machine,
@@ -309,7 +334,7 @@ pub fn run_app_on_node(
         SimulationLength::Instructions(cfg.instructions),
         interval_cycles(node),
     );
-    let timing_elapsed = timing_start.elapsed();
+    let timing_elapsed = timing_span.finish();
     let activity: &ActivityTrace = &out.activity;
     if activity.intervals().is_empty() {
         return Err(RampError::InvalidConfiguration(
@@ -320,7 +345,7 @@ pub fn run_app_on_node(
     let peak_activity = activity.peak();
 
     // ---- First pass: steady state / sink initialisation ------------------
-    let first_pass_start = Instant::now();
+    let first_pass_span = ramp_obs::span!("first_pass");
     let power = power_model(profile, node, cfg)?;
     let thermal_params = cfg.thermal;
     let area = node.core_area();
@@ -343,18 +368,21 @@ pub fn run_app_on_node(
         &avg_activity,
         cfg.first_pass_iterations,
     )?;
-    let first_pass_elapsed = first_pass_start.elapsed();
+    let first_pass_elapsed = first_pass_span.finish();
 
     // ---- Second pass: transient + RAMP accumulation ----------------------
-    let second_pass_start = Instant::now();
+    let second_pass_span = ramp_obs::span!("second_pass");
     let mut state = initial;
     let mut acc = RateAccumulator::new(models, *node);
     let mut dyn_sum = 0.0;
     let mut leak_sum = 0.0;
     let mut samples = 0u64;
-    let mut thermal_trace: Option<Vec<PerStructure<Kelvin>>> = cfg
-        .record_thermal_trace
-        .then(|| Vec::with_capacity(activity.intervals().len() * cfg.trace_repeats as usize));
+    let stride = cfg.thermal_trace_stride as u64;
+    let mut thermal_trace: Option<Vec<PerStructure<Kelvin>>> = cfg.record_thermal_trace.then(|| {
+        let total = activity.intervals().len() * cfg.trace_repeats as usize;
+        Vec::with_capacity(total.div_ceil(stride.max(1) as usize))
+    });
+    let trace_events = ramp_obs::enabled(ramp_obs::Level::Trace, "ramp_core::pipeline::thermal");
     // Time compression: each 1 µs sampling interval advances the thermal
     // state by `time_compression` µs, split into explicitly stable
     // sub-steps.
@@ -366,15 +394,24 @@ pub fn run_app_on_node(
     for _ in 0..cfg.trace_repeats {
         for interval in activity.intervals() {
             let sample = power.sample(&interval.factors, &state.structures);
-            for _ in 0..substeps {
-                state = sim.step(&state, &sample.per_structure_total(), dt);
-            }
+            state = sim.step_many(&state, &sample.per_structure_total(), dt, substeps);
             let ops = PerStructure::from_fn(|s| {
                 OperatingPoint::new(state.structures[s], node.vdd, interval.factors[s])
             });
             acc.observe(&ops, 1.0);
-            if let Some(trace) = thermal_trace.as_mut() {
-                trace.push(state.structures);
+            if samples % stride == 0 {
+                if let Some(trace) = thermal_trace.as_mut() {
+                    trace.push(state.structures);
+                }
+                if trace_events {
+                    let (hot, hot_temp) = state.hottest();
+                    ramp_obs::trace!(
+                        target: "ramp_core::pipeline::thermal",
+                        "interval={samples} hottest={hot} t_hot={:.3}K sink={:.3}K",
+                        hot_temp.value(),
+                        state.sink.value()
+                    );
+                }
             }
             dyn_sum += sample.dynamic_total().value();
             leak_sum += sample.leakage_total().value();
@@ -382,13 +419,21 @@ pub fn run_app_on_node(
         }
     }
     let rates = acc.finish();
+    let second_pass_elapsed = second_pass_span.finish();
     let timings = StageTimings {
         timing: timing_elapsed,
         first_pass: first_pass_elapsed,
-        second_pass: second_pass_start.elapsed(),
+        second_pass: second_pass_elapsed,
         intervals: samples,
         structure_updates: samples * Structure::COUNT as u64,
     };
+    let mut run_span = run_span;
+    run_span.set_detail(format!(
+        "app={} node={} intervals={samples}",
+        profile.name,
+        node.id.label()
+    ));
+    drop(run_span);
 
     Ok(AppNodeRun {
         app: profile.name.clone(),
@@ -495,6 +540,47 @@ mod tests {
             .flat_map(|t| Structure::ALL.iter().map(move |&s| t[s].value()))
             .fold(f64::MIN, f64::max);
         assert!((traced_peak - on.max_temperature().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_trace_stride_downsamples() {
+        let models = standard_models();
+        let profile = spec::profile("mesa").unwrap();
+        let full_cfg = PipelineConfig {
+            record_thermal_trace: true,
+            ..PipelineConfig::quick()
+        };
+        let full = run_app_on_node(&profile, &TechNode::reference(), &full_cfg, &models, None)
+            .unwrap();
+        let full_len = full.thermal_trace.as_ref().unwrap().len();
+
+        let strided_cfg = PipelineConfig {
+            record_thermal_trace: true,
+            thermal_trace_stride: 7,
+            ..PipelineConfig::quick()
+        };
+        let strided =
+            run_app_on_node(&profile, &TechNode::reference(), &strided_cfg, &models, None)
+                .unwrap();
+        let trace = strided.thermal_trace.as_ref().unwrap();
+        assert_eq!(trace.len(), full_len.div_ceil(7), "every 7th interval kept");
+        // Downsampling must not perturb the simulation itself.
+        assert_eq!(full.rates, strided.rates);
+        // Kept samples are exactly the 0th, 7th, 14th... of the full trace.
+        let full_trace = full.thermal_trace.as_ref().unwrap();
+        for (i, t) in trace.iter().enumerate() {
+            assert_eq!(*t, full_trace[i * 7]);
+        }
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        let mut cfg = PipelineConfig::quick();
+        cfg.thermal_trace_stride = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(RampError::InvalidConfiguration(_))
+        ));
     }
 
     #[test]

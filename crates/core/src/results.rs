@@ -162,6 +162,22 @@ impl StudyMetrics {
         }
     }
 
+    /// Publishes the metrics into the `ramp-obs` registry (gauges under
+    /// `study.*`), so snapshots taken for run manifests include them
+    /// alongside the live pipeline counters.
+    pub fn publish(&self) {
+        ramp_obs::gauge("study.threads").set(self.threads as f64);
+        ramp_obs::gauge("study.wall_seconds").set(self.wall_seconds);
+        ramp_obs::gauge("study.timing_seconds").set(self.timing_seconds);
+        ramp_obs::gauge("study.first_pass_seconds").set(self.first_pass_seconds);
+        ramp_obs::gauge("study.second_pass_seconds").set(self.second_pass_seconds);
+        ramp_obs::gauge("study.runs").set(self.runs as f64);
+        ramp_obs::gauge("study.intervals").set(self.intervals as f64);
+        ramp_obs::gauge("study.structure_updates").set(self.structure_updates as f64);
+        ramp_obs::gauge("study.cache_hits").set(self.cache_hits as f64);
+        ramp_obs::gauge("study.cache_misses").set(self.cache_misses as f64);
+    }
+
     /// Multi-line human-readable report, printed by the study binaries.
     #[must_use]
     pub fn report(&self) -> String {

@@ -19,7 +19,6 @@ use crate::{NodeId, OperatingPoint, Qualification, RampError, TechNode};
 use ramp_microarch::{timing_cache_stats, PerStructure, Structure};
 use ramp_trace::{spec, BenchmarkProfile};
 use ramp_units::{ActivityFactor, Watts};
-use std::time::Instant;
 
 /// How the per-node worst-case operating point is synthesised from the
 /// application runs.
@@ -120,21 +119,37 @@ pub fn run_study(config: &StudyConfig) -> Result<StudyResults, RampError> {
     }
     let models = standard_models();
     let executor = Executor::new(config.threads);
-    let wall_start = Instant::now();
+    let study_span = ramp_obs::span!(
+        "study",
+        "benchmarks={} nodes={} threads={}",
+        config.benchmarks.len(),
+        config.nodes.len(),
+        executor.threads()
+    );
+    ramp_obs::info!(
+        "study: {} benchmarks x {} nodes on {} threads",
+        config.benchmarks.len(),
+        config.nodes.len(),
+        executor.threads()
+    );
     let cache_before = timing_cache_stats();
 
     // Phase 1: reference (180 nm) runs, in parallel over benchmarks.
     let reference_node = TechNode::reference();
+    let reference_span = ramp_obs::span!("reference");
     let ref_runs: Vec<Result<AppNodeRun, RampError>> =
         executor.map(&config.benchmarks, |profile| {
             run_app_on_node(profile, &reference_node, &config.pipeline, &models, None)
         });
     let ref_runs: Vec<AppNodeRun> = ref_runs.into_iter().collect::<Result<_, _>>()?;
+    reference_span.finish();
 
     // Phase 2: qualification from the reference runs.
+    let qualify_span = ramp_obs::span!("qualify");
     let rates: Vec<_> = ref_runs.iter().map(|r| r.rates).collect();
     let qualification =
         Qualification::from_reference_runs(&rates).map_err(RampError::Qualification)?;
+    qualify_span.finish();
 
     // Phase 3: scaled nodes, anchored to each benchmark's 180 nm power.
     let mut jobs: Vec<(BenchmarkProfile, NodeId, Watts)> = Vec::new();
@@ -145,6 +160,7 @@ pub fn run_study(config: &StudyConfig) -> Result<StudyResults, RampError> {
             }
         }
     }
+    let scaled_span = ramp_obs::span!("scaled", "jobs={}", jobs.len());
     let scaled: Vec<Result<AppNodeRun, RampError>> =
         executor.map(&jobs, |(profile, node, ref_power)| {
             run_app_on_node(
@@ -156,6 +172,7 @@ pub fn run_study(config: &StudyConfig) -> Result<StudyResults, RampError> {
             )
         });
     let scaled: Vec<AppNodeRun> = scaled.into_iter().collect::<Result<_, _>>()?;
+    scaled_span.finish();
 
     // Collect all runs into results.
     let mut app_results: Vec<AppNodeResult> = Vec::new();
@@ -174,6 +191,7 @@ pub fn run_study(config: &StudyConfig) -> Result<StudyResults, RampError> {
     }
 
     // Phase 4: per-node worst case.
+    let worst_span = ramp_obs::span!("worst_case");
     let worst = config
         .nodes
         .iter()
@@ -181,6 +199,7 @@ pub fn run_study(config: &StudyConfig) -> Result<StudyResults, RampError> {
             worst_case_for_node(node, &app_results, &models, &qualification, config.worst_case)
         })
         .collect();
+    worst_span.finish();
 
     // Execution metrics: summed stage costs vs wall-clock, plus cache
     // effectiveness over this study. Kept out of the serialized results
@@ -190,9 +209,10 @@ pub fn run_study(config: &StudyConfig) -> Result<StudyResults, RampError> {
         stages.accumulate(&run.timings);
     }
     let cache_after = timing_cache_stats();
+    let wall = study_span.finish();
     let metrics = StudyMetrics {
         threads: executor.threads(),
-        wall_seconds: wall_start.elapsed().as_secs_f64(),
+        wall_seconds: wall.as_secs_f64(),
         timing_seconds: stages.timing.as_secs_f64(),
         first_pass_seconds: stages.first_pass.as_secs_f64(),
         second_pass_seconds: stages.second_pass.as_secs_f64(),
@@ -202,6 +222,14 @@ pub fn run_study(config: &StudyConfig) -> Result<StudyResults, RampError> {
         cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
         cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
     };
+    metrics.publish();
+    ramp_obs::info!(
+        "study complete: {} runs in {:.2}s ({} cache hits / {} misses)",
+        metrics.runs,
+        metrics.wall_seconds,
+        metrics.cache_hits,
+        metrics.cache_misses
+    );
 
     let mut results = StudyResults::new(app_results, worst, qualification);
     results.set_metrics(metrics);

@@ -126,11 +126,13 @@ pub fn simulate_profile_cached(
         let cell = match state.map.get_mut(&key) {
             Some(entry) => {
                 HITS.fetch_add(1, Ordering::Relaxed);
+                ramp_obs::counter("timing_cache.hits").incr();
                 entry.last_used = tick;
                 Arc::clone(&entry.cell)
             }
             None => {
                 MISSES.fetch_add(1, Ordering::Relaxed);
+                ramp_obs::counter("timing_cache.misses").incr();
                 let cell = Arc::new(OnceLock::new());
                 state.map.insert(
                     key,
@@ -159,18 +161,25 @@ pub fn simulate_profile_cached(
                 None => break,
             }
         }
+        ramp_obs::gauge("timing_cache.entries").set(state.map.len() as f64);
         cell
     };
 
     // The simulation itself runs outside the map lock so other keys
     // proceed in parallel; `get_or_init` serializes same-key callers.
     Arc::clone(cell.get_or_init(|| {
-        Arc::new(simulate(
+        let in_flight = ramp_obs::gauge("timing_cache.in_flight");
+        in_flight.add(1.0);
+        let span = ramp_obs::span!("timing_sim", "interval_cycles={interval_cycles}");
+        let output = Arc::new(simulate(
             machine,
             TraceGenerator::new(profile),
             length,
             interval_cycles,
-        ))
+        ));
+        drop(span);
+        in_flight.add(-1.0);
+        output
     }))
 }
 

@@ -1,0 +1,310 @@
+//! Verbosity levels and the `RAMP_LOG` directive filter.
+//!
+//! The filter grammar follows the familiar `env_logger` shape, reduced to
+//! what the workspace needs:
+//!
+//! ```text
+//! RAMP_LOG=info                         # one default level
+//! RAMP_LOG=debug,ramp_thermal=off       # default + per-target overrides
+//! RAMP_LOG=ramp_core::pipeline=trace    # module-path prefix match
+//! ```
+//!
+//! Directives are comma-separated; each is either a bare level (the
+//! default for unmatched targets) or `target-prefix=level`. The longest
+//! matching prefix wins, where a prefix only matches at a `::` boundary
+//! (so `ramp_core` matches `ramp_core::study` but not `ramp_corex`).
+//! Unparseable directives are ignored.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Severity/verbosity of an event, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// The operation failed; output is likely wrong or missing.
+    Error = 1,
+    /// Something suspicious that does not stop the run.
+    Warn = 2,
+    /// High-level progress (phase boundaries, summaries).
+    Info = 3,
+    /// Per-run and per-span detail (default granularity of span events).
+    Debug = 4,
+    /// Per-interval firehose (thermal samples and the like).
+    Trace = 5,
+}
+
+impl Level {
+    /// Every level, most severe first.
+    pub const ALL: [Level; 5] = [
+        Level::Error,
+        Level::Warn,
+        Level::Info,
+        Level::Debug,
+        Level::Trace,
+    ];
+
+    /// Lower-case name, as accepted by [`Level::from_str`].
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    pub(crate) fn as_u8(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            _ => Err(()),
+        }
+    }
+}
+
+/// One parsed `RAMP_LOG` directive: a target prefix and the level it
+/// enables, where `None` means "off".
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Directive {
+    prefix: String,
+    level: Option<Level>,
+}
+
+/// A per-target level filter parsed from a `RAMP_LOG`-style spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filter {
+    default: Option<Level>,
+    directives: Vec<Directive>,
+}
+
+impl Default for Filter {
+    fn default() -> Self {
+        Filter {
+            default: Some(Level::Info),
+            directives: Vec::new(),
+        }
+    }
+}
+
+impl Filter {
+    /// Environment variable the default filter is read from.
+    pub const ENV: &'static str = "RAMP_LOG";
+
+    /// A filter that rejects everything.
+    #[must_use]
+    pub fn off() -> Self {
+        Filter {
+            default: None,
+            directives: Vec::new(),
+        }
+    }
+
+    /// A filter with one uniform level and no per-target overrides.
+    #[must_use]
+    pub fn at(level: Level) -> Self {
+        Filter {
+            default: Some(level),
+            directives: Vec::new(),
+        }
+    }
+
+    /// Parses a spec (see module docs). Never fails: malformed directives
+    /// are skipped, and an empty spec yields the default (`info`).
+    #[must_use]
+    pub fn parse(spec: &str) -> Self {
+        let mut filter = Filter::default();
+        let mut saw_any = false;
+        for raw in spec.split(',') {
+            let part = raw.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let parsed_level = |s: &str| -> Option<Option<Level>> {
+                if s.trim().eq_ignore_ascii_case("off") {
+                    Some(None)
+                } else {
+                    s.parse::<Level>().ok().map(Some)
+                }
+            };
+            match part.split_once('=') {
+                None => {
+                    if let Some(level) = parsed_level(part) {
+                        filter.default = level;
+                        saw_any = true;
+                    }
+                }
+                Some((prefix, level_str)) => {
+                    if let Some(level) = parsed_level(level_str) {
+                        filter.directives.push(Directive {
+                            prefix: prefix.trim().to_string(),
+                            level,
+                        });
+                        saw_any = true;
+                    }
+                }
+            }
+        }
+        if !saw_any && !spec.trim().is_empty() {
+            // The whole spec was garbage; fall back to the default filter
+            // rather than silently going quiet.
+            return Filter::default();
+        }
+        filter
+    }
+
+    /// Parses the `RAMP_LOG` environment variable (default `info` when
+    /// unset or empty).
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(Self::ENV) {
+            Ok(spec) if !spec.trim().is_empty() => Filter::parse(&spec),
+            _ => Filter::default(),
+        }
+    }
+
+    /// Returns a copy whose *default* level is at least `floor` (used by
+    /// the JSONL sink, which always records span/debug detail even when
+    /// the console is quieter). Per-target `off` directives still apply.
+    #[must_use]
+    pub fn with_default_at_least(mut self, floor: Level) -> Self {
+        self.default = Some(self.default.map_or(floor, |d| d.max(floor)));
+        self
+    }
+
+    /// Whether an event at `level` from `target` passes the filter.
+    #[must_use]
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        let mut best: Option<&Directive> = None;
+        for d in &self.directives {
+            if !prefix_matches(&d.prefix, target) {
+                continue;
+            }
+            if best.is_none_or(|b| d.prefix.len() >= b.prefix.len()) {
+                best = Some(d);
+            }
+        }
+        let effective = match best {
+            Some(d) => d.level,
+            None => self.default,
+        };
+        effective.is_some_and(|max| level <= max)
+    }
+
+    /// The most verbose level any target could pass (None = fully off).
+    #[must_use]
+    pub fn max_level(&self) -> Option<Level> {
+        self.directives
+            .iter()
+            .filter_map(|d| d.level)
+            .chain(self.default)
+            .max()
+    }
+}
+
+/// Module-path prefix match at a `::` boundary.
+fn prefix_matches(prefix: &str, target: &str) -> bool {
+    if prefix.is_empty() {
+        return true;
+    }
+    match target.strip_prefix(prefix) {
+        Some(rest) => rest.is_empty() || rest.starts_with("::"),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_verbosity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Debug < Level::Trace);
+        assert_eq!("warn".parse::<Level>(), Ok(Level::Warn));
+        assert_eq!("TRACE".parse::<Level>(), Ok(Level::Trace));
+        assert!("loud".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn default_filter_is_info() {
+        let f = Filter::default();
+        assert!(f.enabled(Level::Info, "anything"));
+        assert!(!f.enabled(Level::Debug, "anything"));
+    }
+
+    #[test]
+    fn bare_level_sets_default() {
+        let f = Filter::parse("debug");
+        assert!(f.enabled(Level::Debug, "x"));
+        assert!(!f.enabled(Level::Trace, "x"));
+    }
+
+    #[test]
+    fn per_target_overrides_default() {
+        let f = Filter::parse("warn,ramp_core=trace");
+        assert!(f.enabled(Level::Trace, "ramp_core::pipeline"));
+        assert!(f.enabled(Level::Trace, "ramp_core"));
+        assert!(!f.enabled(Level::Info, "ramp_thermal"));
+        assert!(f.enabled(Level::Warn, "ramp_thermal"));
+    }
+
+    #[test]
+    fn prefix_only_matches_at_module_boundary() {
+        let f = Filter::parse("off,ramp_core=info");
+        assert!(f.enabled(Level::Info, "ramp_core::study"));
+        assert!(!f.enabled(Level::Error, "ramp_corex"));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let f = Filter::parse("ramp_core=trace,ramp_core::pipeline=off");
+        assert!(f.enabled(Level::Trace, "ramp_core::study"));
+        assert!(!f.enabled(Level::Error, "ramp_core::pipeline"));
+    }
+
+    #[test]
+    fn off_disables_everything() {
+        let f = Filter::parse("off");
+        assert!(!f.enabled(Level::Error, "x"));
+        assert_eq!(f.max_level(), None);
+    }
+
+    #[test]
+    fn garbage_spec_falls_back_to_default() {
+        let f = Filter::parse("extremely-loud");
+        assert!(f.enabled(Level::Info, "x"));
+    }
+
+    #[test]
+    fn floor_raises_quiet_defaults_only() {
+        let f = Filter::parse("warn").with_default_at_least(Level::Debug);
+        assert!(f.enabled(Level::Debug, "x"));
+        let f = Filter::parse("trace").with_default_at_least(Level::Debug);
+        assert!(f.enabled(Level::Trace, "x"));
+    }
+
+    #[test]
+    fn max_level_spans_directives() {
+        let f = Filter::parse("warn,ramp_core=trace");
+        assert_eq!(f.max_level(), Some(Level::Trace));
+    }
+}

@@ -1,0 +1,380 @@
+//! Process-wide metric instruments: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Instruments are registered by name in a global registry and handed out
+//! behind `Arc`, so the hot path (incrementing) is lock-free atomics; the
+//! registry lock is only taken at registration/lookup and snapshot time.
+//! Callers that update a metric in a tight loop should look the handle up
+//! once per run (e.g. at simulator construction) and reuse it.
+//!
+//! All values are monotone (counters) or last-write-wins (gauges); the
+//! registry is append-only until [`reset_metrics`], which tests use to
+//! start from a clean slate.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing integer metric.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Convenience for `add(1)`.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point metric (also supports deltas, for
+/// in-flight style gauges).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0.0_f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative) atomically.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram with fixed upper-bound buckets plus an overflow bucket.
+///
+/// `bounds` are inclusive upper bounds in ascending order; an observation
+/// `v` lands in the first bucket with `v <= bound`, or in the overflow
+/// bucket beyond the last bound.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Records `n` identical observations (one bucket update).
+    pub fn observe_n(&self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        let add = v * n as f64;
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + add).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The configured upper bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final element is the overflow bucket.
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observed value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+static REGISTRY: Mutex<BTreeMap<String, Instrument>> = Mutex::new(BTreeMap::new());
+
+fn registry() -> std::sync::MutexGuard<'static, BTreeMap<String, Instrument>> {
+    REGISTRY
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Returns (registering on first use) the counter named `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different instrument kind.
+#[must_use]
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Instrument::Counter(Arc::new(Counter::default())))
+    {
+        Instrument::Counter(c) => Arc::clone(c),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Returns (registering on first use) the gauge named `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different instrument kind.
+#[must_use]
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::default())))
+    {
+        Instrument::Gauge(g) => Arc::clone(g),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Returns (registering on first use) the histogram named `name` with the
+/// given bucket upper bounds. A histogram registered earlier keeps its
+/// original bounds.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different instrument kind,
+/// or if `bounds` are not strictly ascending.
+#[must_use]
+pub fn histogram(name: &str, bounds: &[f64]) -> Arc<Histogram> {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new(bounds))))
+    {
+        Instrument::Histogram(h) => Arc::clone(h),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// A point-in-time copy of one metric's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// The value payload of a [`MetricSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram {
+        /// Bucket upper bounds.
+        bounds: Vec<f64>,
+        /// Per-bucket counts (last = overflow).
+        counts: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: f64,
+    },
+}
+
+/// Snapshots every registered metric, sorted by name.
+#[must_use]
+pub fn metrics_snapshot() -> Vec<MetricSnapshot> {
+    registry()
+        .iter()
+        .map(|(name, inst)| MetricSnapshot {
+            name: name.clone(),
+            value: match inst {
+                Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                Instrument::Histogram(h) => MetricValue::Histogram {
+                    bounds: h.bounds().to_vec(),
+                    counts: h.bucket_counts(),
+                    count: h.count(),
+                    sum: h.sum(),
+                },
+            },
+        })
+        .collect()
+}
+
+/// Unregisters every metric (tests). Handles already held keep working
+/// but are no longer visible to [`metrics_snapshot`].
+pub fn reset_metrics() {
+    registry().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_is_shared() {
+        let a = counter("test.counter.shared");
+        let b = counter("test.counter.shared");
+        a.add(3);
+        b.incr();
+        assert_eq!(a.get(), 4);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn gauge_set_and_delta() {
+        let g = gauge("test.gauge.basic");
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_observations_correctly() {
+        let h = histogram("test.hist.buckets", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 9.0] {
+            h.observe(v);
+        }
+        // v <= 1 → bucket 0 (0.5 and the boundary value 1.0);
+        // 1 < v <= 2 → bucket 1; 2 < v <= 4 → bucket 2; rest overflow.
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 15.0).abs() < 1e-12);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_observe_n_weights_one_bucket() {
+        let h = histogram("test.hist.weighted", &[10.0]);
+        h.observe_n(3.0, 4);
+        assert_eq!(h.bucket_counts(), vec![4, 0]);
+        assert!((h.sum() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = histogram("test.hist.bad", &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        counter("test.snap.a").add(7);
+        gauge("test.snap.b").set(1.25);
+        let snap = metrics_snapshot();
+        let names: Vec<&str> = snap.iter().map(|m| m.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        let a = snap.iter().find(|m| m.name == "test.snap.a").unwrap();
+        assert_eq!(a.value, MetricValue::Counter(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let _ = counter("test.kind.clash");
+        let _ = gauge("test.kind.clash");
+    }
+}

@@ -1,0 +1,217 @@
+//! Aggregated span statistics and the collapsed flamegraph-style report.
+//!
+//! Every ended span folds its `(path, duration)` into a global registry
+//! keyed by the full `/`-joined path — the same collapsing a flamegraph
+//! performs. [`span_stats`] exposes the flat view, [`span_tree`] rebuilds
+//! the hierarchy, and [`profile_report`] renders it as an indented text
+//! tree with counts, totals, and percent-of-parent.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct PathTotals {
+    count: u64,
+    total_ns: u64,
+}
+
+static SPANS: Mutex<BTreeMap<String, PathTotals>> = Mutex::new(BTreeMap::new());
+
+fn spans() -> std::sync::MutexGuard<'static, BTreeMap<String, PathTotals>> {
+    SPANS.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub(crate) fn record_span(path: &str, dur: Duration) {
+    let mut map = spans();
+    let entry = map.entry(path.to_string()).or_default();
+    entry.count += 1;
+    entry.total_ns += dur.as_nanos() as u64;
+}
+
+/// Aggregate statistics for one collapsed span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanPathStats {
+    /// Full `/`-joined path, e.g. `study/run/timing`.
+    pub path: String,
+    /// Number of spans that ended on this path.
+    pub count: u64,
+    /// Summed duration across those spans, in nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Flat per-path totals, sorted by path.
+#[must_use]
+pub fn span_stats() -> Vec<SpanPathStats> {
+    spans()
+        .iter()
+        .map(|(path, t)| SpanPathStats {
+            path: path.clone(),
+            count: t.count,
+            total_ns: t.total_ns,
+        })
+        .collect()
+}
+
+/// One node of the reconstructed span hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Leaf name (last path segment).
+    pub name: String,
+    /// Full `/`-joined path.
+    pub path: String,
+    /// Number of spans collapsed into this node.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+    /// Child nodes, sorted by path.
+    pub children: Vec<SpanNode>,
+}
+
+/// Rebuilds the span hierarchy from the collapsed paths. Parents that
+/// never ended as spans themselves (possible when workers re-root under a
+/// synthetic path) appear with `count == 0`.
+#[must_use]
+pub fn span_tree() -> Vec<SpanNode> {
+    let flat = span_stats();
+    let mut roots: Vec<SpanNode> = Vec::new();
+    for stat in &flat {
+        insert(&mut roots, "", &stat.path, stat);
+    }
+    roots
+}
+
+fn insert(nodes: &mut Vec<SpanNode>, parent_path: &str, rest: &str, stat: &SpanPathStats) {
+    let (head, tail) = match rest.split_once('/') {
+        Some((h, t)) => (h, Some(t)),
+        None => (rest, None),
+    };
+    let path = if parent_path.is_empty() {
+        head.to_string()
+    } else {
+        format!("{parent_path}/{head}")
+    };
+    let node = match nodes.iter_mut().find(|n| n.name == head) {
+        Some(n) => n,
+        None => {
+            nodes.push(SpanNode {
+                name: head.to_string(),
+                path: path.clone(),
+                count: 0,
+                total_ns: 0,
+                children: Vec::new(),
+            });
+            nodes.last_mut().expect("just pushed")
+        }
+    };
+    match tail {
+        None => {
+            node.count += stat.count;
+            node.total_ns += stat.total_ns;
+        }
+        Some(tail) => insert(&mut node.children, &path, tail, stat),
+    }
+}
+
+/// Renders the span tree as an indented flamegraph-style text report:
+///
+/// ```text
+/// study                       1×   12.345 s  100.0%
+///   run                      80×   12.101 s   98.0%
+///     timing                 80×    1.204 s    9.9%
+/// ```
+///
+/// Each line shows the node's summed wall-clock and its percentage of the
+/// parent's. Because worker spans run concurrently, children under a
+/// parallel phase can legitimately sum to **more** than 100% of their
+/// parent — the overshoot is the measured parallel speedup. Synthetic
+/// parents that never ended as spans themselves (count 0) inherit the sum
+/// of their children.
+#[must_use]
+pub fn profile_report() -> String {
+    let tree = span_tree();
+    let mut out = String::new();
+    out.push_str("span tree (collapsed by path; % of parent; >100% = parallelism)\n");
+    if tree.is_empty() {
+        out.push_str("  <no spans recorded>\n");
+        return out;
+    }
+    for root in &tree {
+        render(&mut out, root, 0, own_ns(root));
+    }
+    out
+}
+
+/// A node's wall-clock: its own summed span time, or — for synthetic
+/// parents that never ended as spans — the rollup of its children.
+fn own_ns(node: &SpanNode) -> u64 {
+    if node.count > 0 {
+        node.total_ns
+    } else {
+        node.children.iter().map(own_ns).sum()
+    }
+}
+
+fn render(out: &mut String, node: &SpanNode, depth: usize, parent_ns: u64) {
+    let own = own_ns(node);
+    let pct = 100.0 * own as f64 / parent_ns.max(1) as f64;
+    let label = format!("{:indent$}{}", "", node.name, indent = depth * 2);
+    let secs = own as f64 / 1e9;
+    out.push_str(&format!(
+        "{label:<40} {:>7}x {:>10.3} s {:>6.1}%\n",
+        node.count, secs, pct
+    ));
+    for child in &node.children {
+        render(out, child, depth + 1, own.max(1));
+    }
+}
+
+/// Clears the aggregated span registry (tests and repeated profile runs).
+pub fn reset_spans() {
+    spans().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span registry is global; exercise it through unique path prefixes so
+    // parallel tests cannot interfere.
+    #[test]
+    fn collapsed_paths_rebuild_into_a_tree() {
+        record_span("ptest/run/timing", Duration::from_millis(2));
+        record_span("ptest/run/timing", Duration::from_millis(3));
+        record_span("ptest/run", Duration::from_millis(10));
+        record_span("ptest", Duration::from_millis(11));
+        let tree = span_tree();
+        let root = tree.iter().find(|n| n.name == "ptest").unwrap();
+        assert_eq!(root.count, 1);
+        let run = root.children.iter().find(|n| n.name == "run").unwrap();
+        assert_eq!(run.count, 1);
+        assert_eq!(run.total_ns, 10_000_000);
+        let timing = run.children.iter().find(|n| n.name == "timing").unwrap();
+        assert_eq!(timing.count, 2);
+        assert_eq!(timing.total_ns, 5_000_000);
+    }
+
+    #[test]
+    fn report_contains_every_path_segment() {
+        record_span("rtest/alpha", Duration::from_millis(1));
+        record_span("rtest/beta", Duration::from_millis(1));
+        let report = profile_report();
+        assert!(report.contains("rtest"));
+        assert!(report.contains("alpha"));
+        assert!(report.contains("beta"));
+    }
+
+    #[test]
+    fn synthetic_parents_get_zero_count() {
+        record_span("stest/worker/job", Duration::from_millis(4));
+        let tree = span_tree();
+        let root = tree.iter().find(|n| n.name == "stest").unwrap();
+        assert_eq!(root.count, 0);
+        let worker = root.children.iter().find(|n| n.name == "worker").unwrap();
+        assert_eq!(worker.count, 0);
+        assert_eq!(worker.children[0].count, 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Spans: named, nested timing scopes.
+//!
+//! A [`SpanGuard`] times the region between its creation and its
+//! [`finish`](SpanGuard::finish) (or drop). Spans nest through a
+//! thread-local path stack — the span named `"timing"` created inside the
+//! span `"run"` inside `"study"` has the path `study/run/timing`. On end,
+//! every span is folded into the global profile registry (see
+//! [`crate::profile`]) and a `span_end` event is dispatched to the sinks.
+//!
+//! Worker threads spawned mid-span do not inherit the parent's stack
+//! automatically (it is thread-local); the executor re-roots them with
+//! [`with_root_path`] so the aggregate tree stays shaped the same
+//! regardless of `RAMP_THREADS`.
+
+use crate::level::Level;
+use crate::sink::{self, Event, EventKind};
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static PATH: RefCell<PathStack> = RefCell::new(PathStack::default());
+}
+
+#[derive(Default)]
+struct PathStack {
+    /// `/`-joined span names, e.g. `study/run/timing`.
+    buf: String,
+    /// Length of `buf` before each push, for O(1) pops.
+    marks: Vec<usize>,
+}
+
+impl PathStack {
+    fn push(&mut self, name: &str) -> String {
+        self.marks.push(self.buf.len());
+        if !self.buf.is_empty() {
+            self.buf.push('/');
+        }
+        self.buf.push_str(name);
+        self.buf.clone()
+    }
+
+    fn pop(&mut self) {
+        if let Some(mark) = self.marks.pop() {
+            self.buf.truncate(mark);
+        }
+    }
+}
+
+/// The current thread's span path (`""` outside any span).
+#[must_use]
+pub fn current_path() -> String {
+    PATH.with(|p| p.borrow().buf.clone())
+}
+
+/// Runs `f` with this thread's span stack replaced by `path` as a
+/// pre-entered root, restoring the previous stack afterwards.
+///
+/// This is how worker threads adopt the caller's position in the tree:
+/// the executor captures [`current_path`] before fan-out and each worker
+/// wraps its loop in `with_root_path(&parent, …)`.
+pub fn with_root_path<R>(path: &str, f: impl FnOnce() -> R) -> R {
+    let saved = PATH.with(|p| {
+        let mut stack = p.borrow_mut();
+        let saved = std::mem::take(&mut *stack);
+        stack.buf = path.to_string();
+        saved
+    });
+    struct Restore(Option<PathStack>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if let Some(saved) = self.0.take() {
+                PATH.with(|p| *p.borrow_mut() = saved);
+            }
+        }
+    }
+    let _restore = Restore(Some(saved));
+    f()
+}
+
+/// An active span. Create with [`span_guard`] or the [`span!`](crate::span!)
+/// macro; end explicitly with [`finish`](SpanGuard::finish) to get the
+/// duration, or let it drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    target: &'static str,
+    name: &'static str,
+    detail: String,
+    path: String,
+    start: Instant,
+    finished: bool,
+}
+
+impl SpanGuard {
+    /// Time elapsed since the span started.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The span's full `/`-joined path.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Replaces the detail string attached to the `span_end` event.
+    pub fn set_detail(&mut self, detail: String) {
+        self.detail = detail;
+    }
+
+    /// Ends the span and returns its duration.
+    pub fn finish(mut self) -> Duration {
+        self.end()
+    }
+
+    fn end(&mut self) -> Duration {
+        let dur = self.start.elapsed();
+        if self.finished {
+            return dur;
+        }
+        self.finished = true;
+        PATH.with(|p| p.borrow_mut().pop());
+        crate::profile::record_span(&self.path, dur);
+        if sink::any_sink() {
+            sink::dispatch(&Event {
+                kind: EventKind::SpanEnd,
+                level: Level::Debug,
+                target: self.target,
+                name: self.name,
+                path: &self.path,
+                message: &self.detail,
+                duration_ns: Some(dur.as_nanos() as u64),
+                seq: sink::next_seq(),
+                elapsed_us: sink::elapsed_us(),
+                thread: sink::thread_id(),
+            });
+        }
+        dur
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.end();
+    }
+}
+
+/// Enters a span named `name` under the current thread's path, emitting a
+/// `span_start` event. Prefer the [`span!`](crate::span!) macro, which
+/// fills in `target` from `module_path!()`.
+#[must_use]
+pub fn span_guard(target: &'static str, name: &'static str, detail: String) -> SpanGuard {
+    let path = PATH.with(|p| p.borrow_mut().push(name));
+    if sink::any_sink() {
+        sink::dispatch(&Event {
+            kind: EventKind::SpanStart,
+            level: Level::Debug,
+            target,
+            name,
+            path: &path,
+            message: &detail,
+            duration_ns: None,
+            seq: sink::next_seq(),
+            elapsed_us: sink::elapsed_us(),
+            thread: sink::thread_id(),
+        });
+    }
+    SpanGuard {
+        target,
+        name,
+        detail,
+        path,
+        start: Instant::now(),
+        finished: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let outer = span_guard("t", "outer", String::new());
+        assert_eq!(outer.path(), "outer");
+        {
+            let inner = span_guard("t", "inner", String::new());
+            assert_eq!(inner.path(), "outer/inner");
+            assert_eq!(current_path(), "outer/inner");
+        }
+        assert_eq!(current_path(), "outer");
+        let dur = outer.finish();
+        assert!(dur >= Duration::ZERO);
+        assert_eq!(current_path(), "");
+    }
+
+    #[test]
+    fn with_root_path_adopts_and_restores() {
+        let outer = span_guard("t", "alpha", String::new());
+        with_root_path("study/run", || {
+            let s = span_guard("t", "beta", String::new());
+            assert_eq!(s.path(), "study/run/beta");
+        });
+        assert_eq!(current_path(), "alpha");
+        drop(outer);
+    }
+
+    #[test]
+    fn finish_is_idempotent_with_drop() {
+        let s = span_guard("t", "once", String::new());
+        let _ = s.finish();
+        // Dropping after finish must not double-pop someone else's frame.
+        let other = span_guard("t", "other", String::new());
+        assert_eq!(other.path(), "other");
+    }
+}

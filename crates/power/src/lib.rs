@@ -34,10 +34,12 @@
 
 mod budget;
 mod dynamic;
+mod feedback;
 mod leakage;
 mod model;
 
 pub use budget::StructureBudgets;
+pub use feedback::FeedbackTracker;
 pub use dynamic::{DynamicPowerModel, DynamicScaling};
 pub use leakage::{LeakageModel, DEFAULT_BETA, LEAKAGE_REFERENCE_TEMP};
 pub use model::{PowerModel, PowerSample};

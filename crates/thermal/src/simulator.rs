@@ -19,6 +19,12 @@ use crate::network::{RcNetwork, ThermalParams, ThermalState};
 use crate::Floorplan;
 use ramp_microarch::{PerStructure, Structure};
 use ramp_units::{Kelvin, Seconds, SquareMillimeters, Watts};
+use std::sync::Arc;
+
+/// Bucket bounds for the per-interval substep-count histogram: substeps
+/// are `ceil(interval / max_stable_step)`, typically single digits for
+/// the default intervals but growing with finer floorplans.
+const SUBSTEP_BOUNDS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
 /// Two-pass thermal simulator for one die size.
 ///
@@ -41,6 +47,9 @@ use ramp_units::{Kelvin, Seconds, SquareMillimeters, Watts};
 #[derive(Debug, Clone)]
 pub struct ThermalSimulator {
     network: RcNetwork,
+    steady_solves: Arc<ramp_obs::Counter>,
+    transient_steps: Arc<ramp_obs::Counter>,
+    substeps_hist: Arc<ramp_obs::Histogram>,
 }
 
 impl ThermalSimulator {
@@ -53,7 +62,18 @@ impl ThermalSimulator {
     pub fn new(die_area: SquareMillimeters, params: ThermalParams) -> Result<Self, String> {
         let fp = Floorplan::power4(die_area);
         let network = RcNetwork::build(&fp, params)?;
-        Ok(ThermalSimulator { network })
+        Ok(Self::from_network(network))
+    }
+
+    fn from_network(network: RcNetwork) -> Self {
+        // Metric handles are resolved once per simulator so the per-step
+        // hot path touches only atomics, never the registry lock.
+        ThermalSimulator {
+            network,
+            steady_solves: ramp_obs::counter("thermal.steady_solves"),
+            transient_steps: ramp_obs::counter("thermal.transient_steps"),
+            substeps_hist: ramp_obs::histogram("thermal.substeps_per_interval", &SUBSTEP_BOUNDS),
+        }
     }
 
     /// Builds a simulator whose sink resistance has been rescaled so that
@@ -77,9 +97,7 @@ impl ThermalSimulator {
         let sim = Self::new(die_area, params)?;
         // ΔT_sink = P · R must match: R' = R · P_ref / P_here.
         let r = params.sink_resistance * avg_power_reference.value() / avg_power_here.value();
-        Ok(ThermalSimulator {
-            network: sim.network.with_sink_resistance(r),
-        })
+        Ok(Self::from_network(sim.network.with_sink_resistance(r)))
     }
 
     /// The underlying network.
@@ -99,6 +117,7 @@ impl ThermalSimulator {
         &self,
         average_powers: &PerStructure<Watts>,
     ) -> Result<ThermalState, String> {
+        self.steady_solves.incr();
         self.network
             .steady_state(average_powers)
             .map_err(|e| e.to_string())
@@ -113,7 +132,29 @@ impl ThermalSimulator {
         powers: &PerStructure<Watts>,
         dt: Seconds,
     ) -> ThermalState {
+        self.transient_steps.incr();
         self.network.step(state, powers, dt)
+    }
+
+    /// Integrates one activity interval as `substeps` equal transient
+    /// steps of `dt` each, recording the substep count in the
+    /// `thermal.substeps_per_interval` histogram. Equivalent to calling
+    /// [`ThermalSimulator::step`] `substeps` times.
+    #[must_use]
+    pub fn step_many(
+        &self,
+        state: &ThermalState,
+        powers: &PerStructure<Watts>,
+        dt: Seconds,
+        substeps: u32,
+    ) -> ThermalState {
+        self.substeps_hist.observe(f64::from(substeps));
+        self.transient_steps.add(u64::from(substeps));
+        let mut current = *state;
+        for _ in 0..substeps {
+            current = self.network.step(&current, powers, dt);
+        }
+        current
     }
 
     /// Convenience: the sink temperature the first pass would produce.
@@ -226,6 +267,30 @@ mod tests {
         }
         let t2 = state.hottest().1;
         assert!(t2.value() < t1.value());
+    }
+
+    #[test]
+    fn step_many_matches_repeated_single_steps() {
+        let sim = ThermalSimulator::new(
+            SquareMillimeters::new(81.0).unwrap(),
+            ThermalParams::reference(),
+        )
+        .unwrap();
+        let avg = uniform(3.0);
+        let hot = uniform(6.5);
+        let init = sim.initial_state(&avg).unwrap();
+        let mut manual = init;
+        for _ in 0..7 {
+            manual = sim.step(&manual, &hot, Seconds::MICROSECOND);
+        }
+        let batched = sim.step_many(&init, &hot, Seconds::MICROSECOND, 7);
+        for s in Structure::ALL {
+            assert_eq!(
+                manual.structures[s].value().to_bits(),
+                batched.structures[s].value().to_bits(),
+                "{s} must be bit-identical"
+            );
+        }
     }
 
     #[test]

@@ -24,4 +24,11 @@ for threads in 1 4; do
         --test parallel_determinism
 done
 
+echo "== observability: instrumented study, JSONL events, manifest =="
+# Runs a short study with tracing + metrics fully on, then validates that
+# the JSONL event stream parses, covers every pipeline stage, and that the
+# manifest's stage tree accounts for the wall-clock (within 10%).
+RAMP_LOG=debug RAMP_EVENTS=target/obs-smoke-events.jsonl \
+    cargo run --release --locked -p ramp-bench --bin profile -- --check
+
 echo "verify: OK"

@@ -1,0 +1,113 @@
+//! End-to-end observability contract: a quick study run with the full
+//! stack installed must produce a JSONL event stream with one span per
+//! pipeline stage per run, and a manifest whose stage tree accounts for
+//! the measured wall-clock.
+//!
+//! The sink and span registries are process-global, so everything lives
+//! in a single test function (this file is its own test binary, so other
+//! integration tests cannot interfere).
+
+use ramp_core::{run_study, RunManifest, StudyConfig};
+use ramp_obs::{Filter, Level};
+
+#[test]
+fn instrumented_study_produces_manifest_and_event_stream() {
+    let events_path = std::env::temp_dir().join(format!(
+        "ramp-obs-instrumentation-{}.jsonl",
+        std::process::id()
+    ));
+    ramp_obs::reset_sinks();
+    ramp_obs::reset_spans();
+    ramp_obs::reset_metrics();
+    ramp_obs::install_jsonl(&events_path, Filter::at(Level::Debug))
+        .expect("create temp JSONL sink");
+
+    let mut config = StudyConfig::quick().with_benchmarks(&["gzip", "ammp"]).unwrap();
+    config.threads = 2;
+    config.pipeline.record_thermal_trace = true;
+    config.pipeline.thermal_trace_stride = 25;
+    let results = run_study(&config).expect("quick study runs");
+    let manifest = RunManifest::capture(&config, &results);
+    ramp_obs::flush();
+
+    // runs = benchmarks x nodes (plus nothing else in the quick config).
+    let expected_runs = (config.benchmarks.len() * config.nodes.len()) as u64;
+    assert_eq!(manifest.runs, expected_runs);
+    assert_eq!(manifest.threads, 2);
+    assert_eq!(manifest.schema_version, ramp_core::MANIFEST_SCHEMA_VERSION);
+    assert_eq!(manifest.config_digest, ramp_core::config_digest(&config));
+
+    // The manifest must point at the file the sink is actually writing.
+    assert_eq!(
+        manifest.event_file.as_deref(),
+        Some(events_path.to_str().unwrap()),
+        "manifest event_file must reference the installed JSONL sink"
+    );
+
+    // Every line of the event stream is valid JSON, and every pipeline
+    // stage ended exactly one span per (app, node) run.
+    let raw = std::fs::read_to_string(&events_path).expect("read event stream");
+    assert!(!raw.is_empty(), "event stream is empty");
+    for (i, line) in raw.lines().enumerate() {
+        serde_json::from_str::<serde::Value>(line)
+            .unwrap_or_else(|e| panic!("line {}: invalid JSON ({e}): {line}", i + 1));
+    }
+    let span_ends = |name: &str| {
+        let needle = format!("\"name\":\"{name}\"");
+        raw.lines()
+            .filter(|l| l.contains("\"type\":\"span_end\"") && l.contains(&needle))
+            .count() as u64
+    };
+    for stage in ["run", "timing", "first_pass", "second_pass"] {
+        assert_eq!(
+            span_ends(stage),
+            expected_runs,
+            "stage {stage:?} must end exactly one span per run"
+        );
+    }
+    assert_eq!(span_ends("study"), 1, "exactly one study root span");
+
+    // Stage tree: the aggregated study root must account for the study
+    // wall-clock (acceptance criterion: within 10%).
+    assert!(manifest.wall_seconds > 0.0);
+    let study_seconds = manifest.stage_seconds("study");
+    let rel_err = (study_seconds - manifest.wall_seconds).abs() / manifest.wall_seconds;
+    assert!(
+        rel_err <= 0.10,
+        "stage tree root ({study_seconds:.4}s) vs wall ({:.4}s): off by {:.1}%",
+        manifest.wall_seconds,
+        rel_err * 100.0
+    );
+
+    // Per-run stages nest under study/run (serial) or study/<phase>/worker/run
+    // (parallel); either way the collapsed run totals bound the phase time.
+    let run_count: u64 = ramp_obs::span_stats()
+        .iter()
+        .filter(|s| s.path.ends_with("/run"))
+        .map(|s| s.count)
+        .sum();
+    assert_eq!(run_count, expected_runs, "collapsed run spans must cover every run");
+
+    // The manifest metric snapshot carries the executor + cache counters.
+    let metric = |name: &str| {
+        manifest
+            .metrics
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("metric {name:?} missing from manifest"))
+    };
+    assert_eq!(metric("executor.jobs_completed").kind, "counter");
+    assert!(metric("study.runs").value >= expected_runs as f64);
+    assert!(
+        metric("thermal.substeps_per_interval").value > 0.0,
+        "thermal histogram must have observations"
+    );
+
+    // The manifest itself round-trips through JSON.
+    let json = serde_json::to_string(&manifest).unwrap();
+    let back: RunManifest = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, manifest);
+
+    ramp_obs::reset_sinks();
+    let _ = std::fs::remove_file(&events_path);
+}

@@ -40,6 +40,74 @@ fn quick_study_json_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// In-memory sink accepting everything at trace level: exercises the full
+/// event pipeline (span dispatch, message formatting) without touching
+/// stderr or disk.
+#[derive(Debug, Default)]
+struct CollectingSink {
+    events: std::sync::Mutex<Vec<String>>,
+}
+
+impl ramp_obs::Sink for CollectingSink {
+    fn enabled(&self, _level: ramp_obs::Level, _target: &str) -> bool {
+        true
+    }
+    fn max_level(&self) -> Option<ramp_obs::Level> {
+        Some(ramp_obs::Level::Trace)
+    }
+    fn on_event(&self, event: &ramp_obs::Event<'_>) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(format!("{:?}:{}", event.kind, event.path));
+    }
+}
+
+#[test]
+fn study_json_is_byte_identical_with_logging_enabled() {
+    let benchmarks = ["gzip", "vpr"];
+    // Baseline: no sinks installed at all.
+    ramp_obs::reset_sinks();
+    let baseline = study_json(2, &benchmarks, true);
+
+    // Instrumented: a trace-level in-memory sink plus a trace-level JSONL
+    // sink — the maximum observability configuration.
+    let sink = std::sync::Arc::new(CollectingSink::default());
+    ramp_obs::add_sink(sink.clone());
+    let jsonl_path = std::env::temp_dir().join(format!(
+        "ramp-determinism-events-{}.jsonl",
+        std::process::id()
+    ));
+    ramp_obs::install_jsonl(&jsonl_path, ramp_obs::Filter::at(ramp_obs::Level::Trace))
+        .expect("create temp JSONL sink");
+    let instrumented = study_json(2, &benchmarks, true);
+    ramp_obs::flush();
+
+    // The sinks really observed the study...
+    let events = sink.events.lock().unwrap();
+    assert!(
+        events.iter().any(|e| e.starts_with("SpanEnd") && e.ends_with("/timing")),
+        "collecting sink saw no timing span ends"
+    );
+    let jsonl = std::fs::read_to_string(&jsonl_path).expect("read JSONL");
+    assert!(
+        jsonl.lines().any(|l| l.contains("\"type\":\"span_end\"")),
+        "JSONL sink captured no span ends"
+    );
+    drop(events);
+    ramp_obs::reset_sinks();
+    let _ = std::fs::remove_file(&jsonl_path);
+
+    // ...and the results are still the same bytes.
+    assert!(
+        baseline == instrumented,
+        "StudyResults JSON changed when logging was enabled \
+         (lengths {} vs {})",
+        baseline.len(),
+        instrumented.len()
+    );
+}
+
 #[test]
 fn execution_metrics_stay_out_of_the_serialized_form() {
     let json = study_json(2, &["gzip"], true);
