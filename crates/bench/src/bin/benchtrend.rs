@@ -1,0 +1,73 @@
+//! Renders the trajectory across every checked-in `BENCH_<seq>.json`
+//! snapshot: wall-clock, cache effectiveness, and whether the numerical
+//! digest moved between consecutive baselines.
+//!
+//! ```text
+//! cargo run --release -p ramp-bench --bin benchtrend [-- --dir <path>]
+//! ```
+
+use ramp_bench::telemetry::{find_snapshots, load_snapshot};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut dir = PathBuf::from(".");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dir" => match it.next() {
+                Some(d) => dir = PathBuf::from(d),
+                None => {
+                    eprintln!("benchtrend: --dir requires a value");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("benchtrend: unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let files = find_snapshots(&dir);
+    if files.is_empty() {
+        eprintln!(
+            "benchtrend: no BENCH_*.json in {}; create one with `benchgate --update`",
+            dir.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "{:<6} {:>9} {:>9} {:>7} {:>5} {:>8}  {:<16}  {}",
+        "seq", "wall(s)", "spread", "hit%", "K", "threads", "digest", "note"
+    );
+    let mut previous_digest: Option<String> = None;
+    for (seq, path) in files {
+        let snap = match load_snapshot(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("benchtrend: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let note = match &previous_digest {
+            None => "first baseline",
+            Some(prev) if *prev == snap.numerics.results_digest => "",
+            Some(_) => "NUMERICS CHANGED",
+        };
+        println!(
+            "{:<6} {:>9.3} {:>9.3} {:>6.0}% {:>5} {:>8}  {:<16}  {}",
+            seq,
+            snap.total.median_seconds,
+            snap.total.spread_seconds(),
+            snap.cache.hit_rate * 100.0,
+            snap.workload.samples,
+            snap.executor.threads,
+            snap.numerics.results_digest,
+            note,
+        );
+        previous_digest = Some(snap.numerics.results_digest.clone());
+    }
+    ExitCode::SUCCESS
+}

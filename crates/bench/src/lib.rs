@@ -27,6 +27,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod plot;
+pub mod telemetry;
 
 use ramp_core::{run_study, RunManifest, StudyConfig, StudyResults};
 use std::path::PathBuf;

@@ -63,8 +63,8 @@ mod tech;
 pub use error::RampError;
 pub use executor::{Executor, THREADS_ENV};
 pub use manifest::{
-    config_digest, ManifestCacheStats, MetricEntry, RunManifest, StageNode,
-    MANIFEST_SCHEMA_VERSION,
+    config_digest, fnv1a_hex, results_digest, BenchSection, ManifestCacheStats, MetricEntry,
+    Provenance, RunManifest, StageNode, MANIFEST_SCHEMA_VERSION,
 };
 pub use operating::OperatingPoint;
 pub use pipeline::{run_app_on_node, AppNodeRun, PipelineConfig, StageTimings};

@@ -17,7 +17,83 @@ use ramp_obs::{MetricValue, SpanNode};
 use serde::{Deserialize, Serialize};
 
 /// Manifest schema version, bumped on incompatible field changes.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added execution provenance (host, OS, CPU count, git revision) and
+/// the optional benchmark section used by the `benchgate` telemetry
+/// harness.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+
+/// Where and on what a run executed — enough to interpret wall-clock
+/// numbers later. Captured once per process and cached.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Hostname (from `$HOSTNAME` or `/etc/hostname`; `"unknown"` when
+    /// neither is available).
+    pub host: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available hardware parallelism at capture time.
+    pub cpus: u64,
+    /// Short git revision of the working tree, when `git` resolves one.
+    pub git_rev: Option<String>,
+}
+
+impl Provenance {
+    /// Captures (or returns the cached) provenance for this process.
+    #[must_use]
+    pub fn capture() -> Self {
+        static CACHED: std::sync::OnceLock<Provenance> = std::sync::OnceLock::new();
+        CACHED
+            .get_or_init(|| Provenance {
+                host: hostname(),
+                os: std::env::consts::OS.to_string(),
+                arch: std::env::consts::ARCH.to_string(),
+                cpus: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+                git_rev: git_rev(),
+            })
+            .clone()
+    }
+}
+
+fn hostname() -> String {
+    if let Ok(host) = std::env::var("HOSTNAME") {
+        if !host.trim().is_empty() {
+            return host.trim().to_string();
+        }
+    }
+    if let Ok(host) = std::fs::read_to_string("/etc/hostname") {
+        if !host.trim().is_empty() {
+            return host.trim().to_string();
+        }
+    }
+    "unknown".to_string()
+}
+
+fn git_rev() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!rev.is_empty()).then_some(rev)
+}
+
+/// Benchmark-harness context for manifests captured inside a telemetry
+/// run (`benchgate`): which sample of how many this manifest describes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchSection {
+    /// Harness label, e.g. `"reference_workload"`.
+    pub label: String,
+    /// 1-based index of this sample.
+    pub sample: u32,
+    /// Total measured samples in the harness run.
+    pub samples: u32,
+}
 
 /// One node of the per-stage wall-clock tree (aggregated spans).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -89,6 +165,11 @@ pub struct RunManifest {
     pub created_unix_ms: u64,
     /// FNV-1a digest (hex) of the study configuration.
     pub config_digest: String,
+    /// Host/OS/git provenance of the capturing process.
+    pub provenance: Provenance,
+    /// Benchmark-harness context, when this manifest came from a
+    /// telemetry sample (see [`RunManifest::with_benchmark`]).
+    pub benchmark: Option<BenchSection>,
     /// Worker threads the sweep used.
     pub threads: u64,
     /// (benchmark, node) runs evaluated.
@@ -114,10 +195,15 @@ struct ConfigDigestView {
     pipeline: PipelineConfig,
     benchmarks: Vec<String>,
     nodes: Vec<String>,
+    worst_case: String,
 }
 
-/// FNV-1a over the canonical JSON encoding, rendered as 16 hex digits.
-fn fnv1a_hex(json: &str) -> String {
+/// FNV-1a over a canonical string encoding, rendered as 16 hex digits.
+/// Used for configuration and results digests; collision-resistant enough
+/// for drift *detection* (a digest mismatch is definitive, a match is
+/// backed by the byte-identity determinism tests).
+#[must_use]
+pub fn fnv1a_hex(json: &str) -> String {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for b in json.as_bytes() {
         hash ^= u64::from(*b);
@@ -133,8 +219,20 @@ pub fn config_digest(config: &StudyConfig) -> String {
         pipeline: config.pipeline.clone(),
         benchmarks: config.benchmarks.iter().map(|p| p.name.clone()).collect(),
         nodes: config.nodes.iter().map(|n| n.label().to_string()).collect(),
+        worst_case: config.worst_case.label().to_string(),
     };
     let json = serde_json::to_string(&view).expect("config digest view serializes");
+    fnv1a_hex(&json)
+}
+
+/// Digest of a study's numerical outputs: FNV-1a over the serialized
+/// [`StudyResults`]. Because the results JSON is byte-identical across
+/// thread counts and observability configurations (a tested contract),
+/// two equal digests mean the *science* matched exactly; any numerical
+/// drift — however small — changes the digest.
+#[must_use]
+pub fn results_digest(results: &StudyResults) -> String {
+    let json = serde_json::to_string(results).expect("study results serialize");
     fnv1a_hex(&json)
 }
 
@@ -155,6 +253,8 @@ impl RunManifest {
             schema_version: MANIFEST_SCHEMA_VERSION,
             created_unix_ms,
             config_digest: config_digest(config),
+            provenance: Provenance::capture(),
+            benchmark: None,
             threads: metrics.threads as u64,
             runs: metrics.runs,
             wall_seconds: metrics.wall_seconds,
@@ -192,6 +292,19 @@ impl RunManifest {
         }
     }
 
+    /// Attaches the benchmark-harness section (builder style): this
+    /// manifest describes measured sample `sample` of `samples` in the
+    /// harness run labelled `label`.
+    #[must_use]
+    pub fn with_benchmark(mut self, label: &str, sample: u32, samples: u32) -> Self {
+        self.benchmark = Some(BenchSection {
+            label: label.to_string(),
+            sample,
+            samples,
+        });
+        self
+    }
+
     /// Finds a stage by its full `/`-joined path anywhere in the tree.
     #[must_use]
     pub fn find_stage(&self, path: &str) -> Option<&StageNode> {
@@ -213,6 +326,15 @@ impl RunManifest {
             out,
             "manifest: config {} | {} runs on {} threads in {:.2}s",
             self.config_digest, self.runs, self.threads, self.wall_seconds
+        );
+        let _ = writeln!(
+            out,
+            "  host: {} ({}/{}, {} cpus, rev {})",
+            self.provenance.host,
+            self.provenance.os,
+            self.provenance.arch,
+            self.provenance.cpus,
+            self.provenance.git_rev.as_deref().unwrap_or("<none>"),
         );
         let _ = writeln!(
             out,
@@ -257,6 +379,44 @@ mod tests {
         let mut other_pipeline = StudyConfig::quick().with_benchmarks(&["gzip"]).unwrap();
         other_pipeline.pipeline.trace_repeats += 1;
         assert_ne!(config_digest(&base), config_digest(&other_pipeline));
+    }
+
+    #[test]
+    fn digest_tracks_worst_case_mode() {
+        let base = StudyConfig::quick().with_benchmarks(&["gzip"]).unwrap();
+        let mut other = StudyConfig::quick().with_benchmarks(&["gzip"]).unwrap();
+        other.worst_case = crate::WorstCaseMode::GlobalPeak;
+        assert_ne!(config_digest(&base), config_digest(&other));
+    }
+
+    #[test]
+    fn provenance_captures_this_machine() {
+        let p = Provenance::capture();
+        assert!(!p.host.is_empty());
+        assert!(!p.os.is_empty());
+        assert!(!p.arch.is_empty());
+        assert!(p.cpus >= 1);
+        // Captures are cached: a second call is identical.
+        assert_eq!(p, Provenance::capture());
+    }
+
+    #[test]
+    fn bench_section_roundtrips() {
+        let section = BenchSection {
+            label: "reference_workload".to_string(),
+            sample: 2,
+            samples: 5,
+        };
+        let json = serde_json::to_string(&section).unwrap();
+        let back: BenchSection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, section);
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a_hex(""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex("abc"), fnv1a_hex("abc"));
+        assert_ne!(fnv1a_hex("abc"), fnv1a_hex("abd"));
     }
 
     #[test]

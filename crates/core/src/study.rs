@@ -38,6 +38,17 @@ pub enum WorstCaseMode {
     PerStructurePeak,
 }
 
+impl WorstCaseMode {
+    /// Stable lower-snake name (used in config digests and reports).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WorstCaseMode::GlobalPeak => "global_peak",
+            WorstCaseMode::PerStructurePeak => "per_structure_peak",
+        }
+    }
+}
+
 /// Configuration of the scaling study.
 #[derive(Debug, Clone)]
 pub struct StudyConfig {

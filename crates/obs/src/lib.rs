@@ -41,8 +41,8 @@ mod span;
 
 pub use level::{Filter, Level};
 pub use metrics::{
-    counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram,
-    MetricSnapshot, MetricValue,
+    bucket_percentile, counter, diff_metric_snapshots, gauge, histogram, metrics_snapshot,
+    reset_metrics, Counter, Gauge, Histogram, MetricDelta, MetricSnapshot, MetricValue,
 };
 pub use profile::{profile_report, reset_spans, span_stats, span_tree, SpanNode, SpanPathStats};
 pub use sink::{
@@ -63,9 +63,13 @@ pub const EVENTS_ENV: &str = "RAMP_EVENTS";
 ///   quiet.
 ///
 /// Subsequent calls are no-ops, so library code may call it defensively.
+///
+/// Also installs the sink-flushing panic hook ([`install_panic_hook`]) so
+/// a mid-run panic cannot truncate a buffered `RAMP_EVENTS` stream.
 pub fn init_from_env() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
+        install_panic_hook();
         install_stderr(Filter::from_env());
         if let Ok(path) = std::env::var(EVENTS_ENV) {
             if !path.trim().is_empty() {
@@ -76,6 +80,26 @@ pub fn init_from_env() {
                 }
             }
         }
+    });
+}
+
+/// Chains a panic hook in front of the current one that flushes every
+/// sink before the panic is reported.
+///
+/// The JSONL sink buffers writes; without this, a panic that unwinds (or
+/// aborts) after a few small events leaves the `RAMP_EVENTS` file
+/// truncated mid-run, losing exactly the events that explain the crash.
+/// The hook runs on the panicking thread before unwinding, so everything
+/// emitted up to the panic site reaches disk. Installing more than once
+/// is a no-op; [`init_from_env`] calls this automatically.
+pub fn install_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            flush();
+            previous(info);
+        }));
     });
 }
 

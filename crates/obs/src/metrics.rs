@@ -181,6 +181,51 @@ impl Histogram {
             self.sum() / n as f64
         }
     }
+
+    /// Estimates the `q`-th percentile (`q` in `[0, 100]`) from the bucket
+    /// counts; see [`bucket_percentile`] for the estimation rules.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> f64 {
+        bucket_percentile(&self.bounds, &self.bucket_counts(), q)
+    }
+}
+
+/// Estimates the `q`-th percentile (`q` in `[0, 100]`) of a fixed-bucket
+/// histogram given its upper `bounds` and per-bucket `counts` (one extra
+/// trailing count for the overflow bucket).
+///
+/// Uses the standard cumulative-bucket estimator: the target rank
+/// `q/100 × count` is located in the first bucket whose cumulative count
+/// reaches it, and the value is linearly interpolated between the bucket's
+/// lower and upper bound (the first bucket's lower bound is taken as 0,
+/// which matches duration-style metrics). Ranks landing in the overflow
+/// bucket clamp to the last finite bound — the estimator cannot see past
+/// it. Returns 0 for an empty histogram.
+#[must_use]
+pub fn bucket_percentile(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || bounds.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 100.0) / 100.0) * total as f64;
+    let rank = rank.max(1.0); // percentiles below the first observation clamp to it
+    let mut cumulative = 0u64;
+    for (i, &n) in counts.iter().enumerate() {
+        let prev = cumulative;
+        cumulative += n;
+        if (cumulative as f64) < rank || n == 0 {
+            continue;
+        }
+        if i >= bounds.len() {
+            // Overflow bucket: no finite upper edge to interpolate toward.
+            return bounds[bounds.len() - 1];
+        }
+        let lower = if i == 0 { 0.0_f64.min(bounds[0]) } else { bounds[i - 1] };
+        let upper = bounds[i];
+        let fraction = (rank - prev as f64) / n as f64;
+        return lower + (upper - lower) * fraction;
+    }
+    bounds[bounds.len() - 1]
 }
 
 #[derive(Debug, Clone)]
@@ -308,6 +353,81 @@ pub fn reset_metrics() {
     registry().clear();
 }
 
+/// The change of one metric between two snapshots.
+///
+/// Counters and histograms report their monotone observation totals in
+/// `before`/`after`, gauges their last-written values; [`MetricDelta::delta`]
+/// is the difference either way. Metrics absent from the earlier snapshot
+/// report `before == 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Registered metric name.
+    pub name: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: &'static str,
+    /// Value in the earlier snapshot (0 when newly registered).
+    pub before: f64,
+    /// Value in the later snapshot.
+    pub after: f64,
+    /// For histograms, the change in the sum of observed values
+    /// (0 for counters and gauges).
+    pub sum_delta: f64,
+}
+
+impl MetricDelta {
+    /// `after - before`.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.after - self.before
+    }
+
+    /// Whether the metric moved between the snapshots.
+    #[must_use]
+    pub fn changed(&self) -> bool {
+        self.delta() != 0.0 || self.sum_delta != 0.0
+    }
+}
+
+fn snapshot_scalar(value: &MetricValue) -> (&'static str, f64, f64) {
+    match value {
+        MetricValue::Counter(v) => ("counter", *v as f64, 0.0),
+        MetricValue::Gauge(v) => ("gauge", *v, 0.0),
+        MetricValue::Histogram { count, sum, .. } => ("histogram", *count as f64, *sum),
+    }
+}
+
+/// Diffs two metric snapshots (as returned by [`metrics_snapshot`]),
+/// producing one [`MetricDelta`] per metric present in `after`, sorted by
+/// name. Metrics that only exist in `before` (possible after
+/// [`reset_metrics`]) are dropped — a deregistered instrument has no
+/// meaningful delta.
+#[must_use]
+pub fn diff_metric_snapshots(
+    before: &[MetricSnapshot],
+    after: &[MetricSnapshot],
+) -> Vec<MetricDelta> {
+    after
+        .iter()
+        .map(|m| {
+            let (kind, after_value, after_sum) = snapshot_scalar(&m.value);
+            let (before_value, before_sum) = before
+                .iter()
+                .find(|b| b.name == m.name)
+                .map_or((0.0, 0.0), |b| {
+                    let (_, v, s) = snapshot_scalar(&b.value);
+                    (v, s)
+                });
+            MetricDelta {
+                name: m.name.clone(),
+                kind,
+                before: before_value,
+                after: after_value,
+                sum_delta: after_sum - before_sum,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,5 +496,80 @@ mod tests {
     fn kind_mismatch_panics() {
         let _ = counter("test.kind.clash");
         let _ = gauge("test.kind.clash");
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let h = histogram("test.pct.empty", &[1.0, 2.0]);
+        for q in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn percentile_single_bucket_interpolates_from_zero() {
+        let h = histogram("test.pct.single", &[10.0]);
+        h.observe_n(5.0, 4);
+        // All mass in [0, 10]: rank q/100·4 interpolates linearly.
+        assert!((h.percentile(50.0) - 5.0).abs() < 1e-9);
+        assert!((h.percentile(100.0) - 10.0).abs() < 1e-9);
+        // Sub-first-observation ranks clamp to rank 1.
+        assert!((h.percentile(0.0) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_skewed_distribution() {
+        let h = histogram("test.pct.skewed", &[1.0, 2.0, 4.0, 8.0]);
+        // 90 fast observations, 9 mid, 1 beyond the last bound.
+        h.observe_n(0.5, 90);
+        h.observe_n(3.0, 9);
+        h.observe(100.0);
+        let p50 = h.percentile(50.0);
+        let p95 = h.percentile(95.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= 1.0, "p50 {p50} must sit in the first bucket");
+        assert!((2.0..=4.0).contains(&p95), "p95 {p95} must sit in the 2..4 bucket");
+        assert!(p50 <= p95 && p95 <= p99, "percentiles must be monotone");
+        // Overflow mass clamps to the last finite bound.
+        assert_eq!(h.percentile(100.0), 8.0);
+    }
+
+    #[test]
+    fn bucket_percentile_handles_boundless_histograms() {
+        assert_eq!(bucket_percentile(&[], &[5], 50.0), 0.0);
+    }
+
+    #[test]
+    fn diff_reports_counter_gauge_and_histogram_movement() {
+        let c = counter("test.diff.ctr");
+        let g = gauge("test.diff.gauge");
+        let h = histogram("test.diff.hist", &[1.0]);
+        c.add(2);
+        g.set(1.0);
+        let before = metrics_snapshot();
+        c.add(3);
+        g.set(-0.5);
+        h.observe_n(0.25, 4);
+        let after = metrics_snapshot();
+        let deltas = diff_metric_snapshots(&before, &after);
+        let find = |name: &str| deltas.iter().find(|d| d.name == name).unwrap();
+        let ctr = find("test.diff.ctr");
+        assert_eq!((ctr.kind, ctr.delta()), ("counter", 3.0));
+        let gau = find("test.diff.gauge");
+        assert_eq!((gau.kind, gau.delta()), ("gauge", -1.5));
+        let hist = find("test.diff.hist");
+        assert_eq!((hist.kind, hist.delta()), ("histogram", 4.0));
+        assert!((hist.sum_delta - 1.0).abs() < 1e-12);
+        assert!(ctr.changed() && gau.changed() && hist.changed());
+    }
+
+    #[test]
+    fn diff_treats_new_metrics_as_from_zero() {
+        let before = metrics_snapshot();
+        counter("test.diff.fresh").add(7);
+        let after = metrics_snapshot();
+        let deltas = diff_metric_snapshots(&before, &after);
+        let fresh = deltas.iter().find(|d| d.name == "test.diff.fresh").unwrap();
+        assert_eq!((fresh.before, fresh.after), (0.0, 7.0));
     }
 }

@@ -31,4 +31,12 @@ echo "== observability: instrumented study, JSONL events, manifest =="
 RAMP_LOG=debug RAMP_EVENTS=target/obs-smoke-events.jsonl \
     cargo run --release --locked -p ramp-bench --bin profile -- --check
 
+echo "== benchmark gate: smoke run against the checked-in baseline =="
+# Measures the reference workload once (K=1, loose tolerances) and gates
+# it against the latest BENCH_<seq>.json: exact numerical-digest match,
+# advisory wall-clock budgets. A failure here means the simulation's
+# numbers drifted or a pipeline stage disappeared.
+cargo run --release --locked -p ramp-bench --bin benchgate -- \
+    --smoke --emit target/bench-candidate.json
+
 echo "verify: OK"

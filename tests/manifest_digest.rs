@@ -1,0 +1,87 @@
+//! Stability contract of the manifest digests.
+//!
+//! The benchmark gate compares `config_digest` and `results_digest`
+//! across machines and sessions with *exact equality*, so both must be
+//! invariant to everything that does not change the science: thread
+//! counts, the order configuration fields were assigned in, and whether
+//! observability was collecting during the run.
+
+use ramp_core::{config_digest, results_digest, run_study, NodeId, StudyConfig, WorstCaseMode};
+
+fn base_config() -> StudyConfig {
+    StudyConfig::quick()
+        .with_benchmarks(&["gzip"])
+        .expect("gzip is a known benchmark")
+}
+
+#[test]
+fn config_digest_ignores_thread_count() {
+    let digests: Vec<String> = [1usize, 2, 8, 64]
+        .into_iter()
+        .map(|threads| {
+            let mut cfg = base_config();
+            cfg.threads = threads;
+            config_digest(&cfg)
+        })
+        .collect();
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "digest varies with thread count: {digests:?}"
+    );
+}
+
+#[test]
+fn config_digest_ignores_field_assignment_order() {
+    // Same end state reached by mutating fields in opposite orders.
+    let mut a = StudyConfig::quick();
+    a = a.with_benchmarks(&["gzip", "vpr"]).unwrap();
+    a.nodes = vec![NodeId::N180, NodeId::N65LowV];
+    a.worst_case = WorstCaseMode::GlobalPeak;
+    a.pipeline.trace_repeats += 1;
+
+    let mut b = StudyConfig::quick();
+    b.pipeline.trace_repeats += 1;
+    b.worst_case = WorstCaseMode::GlobalPeak;
+    b.nodes = vec![NodeId::N180, NodeId::N65LowV];
+    b = b.with_benchmarks(&["gzip", "vpr"]).unwrap();
+
+    assert_eq!(config_digest(&a), config_digest(&b));
+}
+
+#[test]
+fn config_digest_tracks_every_science_field() {
+    let base = config_digest(&base_config());
+
+    let mut benchmarks = base_config();
+    benchmarks = benchmarks.with_benchmarks(&["vpr"]).unwrap();
+    assert_ne!(config_digest(&benchmarks), base, "benchmark change missed");
+
+    let mut nodes = base_config();
+    nodes.nodes = vec![NodeId::N180];
+    assert_ne!(config_digest(&nodes), base, "node change missed");
+
+    let mut pipeline = base_config();
+    pipeline.pipeline.trace_repeats += 1;
+    assert_ne!(config_digest(&pipeline), base, "pipeline change missed");
+
+    let mut worst = base_config();
+    worst.worst_case = WorstCaseMode::GlobalPeak;
+    assert_ne!(config_digest(&worst), base, "worst-case mode change missed");
+}
+
+#[test]
+fn results_digest_is_identical_across_thread_counts() {
+    let digests: Vec<String> = [1usize, 3]
+        .into_iter()
+        .map(|threads| {
+            let mut cfg = base_config();
+            cfg.threads = threads;
+            let results = run_study(&cfg).expect("quick study runs");
+            results_digest(&results)
+        })
+        .collect();
+    assert_eq!(
+        digests[0], digests[1],
+        "results digest must not depend on the executor's thread count"
+    );
+}

@@ -102,6 +102,14 @@ fn instrumented_study_produces_manifest_and_event_stream() {
         metric("thermal.substeps_per_interval").value > 0.0,
         "thermal histogram must have observations"
     );
+    // Trace generation is instrumented too: each benchmark that ran has a
+    // per-profile instruction counter.
+    for app in ["gzip", "ammp"] {
+        assert!(
+            metric(&format!("trace.instructions.{app}")).value > 0.0,
+            "trace instruction counter for {app} must have counted"
+        );
+    }
 
     // The manifest itself round-trips through JSON.
     let json = serde_json::to_string(&manifest).unwrap();

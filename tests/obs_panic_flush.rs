@@ -1,0 +1,52 @@
+//! Regression test for the `ramp-obs` panic hook: a panic mid-run must
+//! not truncate the buffered JSONL event stream.
+//!
+//! The JSONL sink writes through a `BufWriter`, so without the hook a
+//! small number of events sits in userspace memory when a panic unwinds
+//! past the sink — exactly the events describing what led up to the
+//! crash. [`ramp_obs::install_panic_hook`] flushes every sink before the
+//! default hook runs.
+//!
+//! This test lives in its own integration-test binary because the panic
+//! hook is process-global state.
+
+use std::path::PathBuf;
+
+#[test]
+fn events_before_a_panic_survive_in_the_jsonl_file() {
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "ramp-obs-panic-flush-{}.jsonl",
+        std::process::id()
+    ));
+    let filter = ramp_obs::Filter::from_env().with_default_at_least(ramp_obs::Level::Debug);
+    ramp_obs::install_jsonl(&path, filter).expect("create JSONL event file");
+
+    // Silence the default hook's backtrace spew for the deliberate panic
+    // below, then layer the flushing hook on top of the silent one.
+    std::panic::set_hook(Box::new(|_| {}));
+    ramp_obs::install_panic_hook();
+
+    let worker = std::thread::spawn(|| {
+        let _span = ramp_obs::span!("doomed_stage", "step={}", 3);
+        ramp_obs::info!("checkpoint before the crash");
+        panic!("deliberate mid-run panic");
+    });
+    assert!(worker.join().is_err(), "worker must have panicked");
+
+    let raw = std::fs::read_to_string(&path).expect("event file exists");
+    std::fs::remove_file(&path).ok();
+
+    assert!(
+        raw.contains("checkpoint before the crash"),
+        "pre-panic log event lost; file contents:\n{raw}"
+    );
+    assert!(
+        raw.contains("doomed_stage") && raw.contains("span_start"),
+        "pre-panic span_start lost; file contents:\n{raw}"
+    );
+    // Every surviving line must still be valid JSON (no torn writes).
+    for (i, line) in raw.lines().enumerate() {
+        serde_json::from_str::<serde::Value>(line)
+            .unwrap_or_else(|e| panic!("line {} is not valid JSON ({e}): {line}", i + 1));
+    }
+}
