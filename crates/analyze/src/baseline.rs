@@ -1,0 +1,231 @@
+//! The checked-in finding baseline (`lint-baseline.toml`).
+//!
+//! A baseline entry accepts an existing finding without silencing the
+//! rule for new code. Entries are keyed by `(rule, file, symbol)` — no
+//! line numbers — so unrelated edits that shift a file do not invalidate
+//! the baseline, while moving the offending code to a new file or
+//! function (a real change) does.
+//!
+//! The format is a small, fixed subset of TOML (`[[finding]]` tables of
+//! string keys) parsed by hand so the analyzer stays dependency-free.
+
+use crate::findings::Finding;
+
+/// One accepted finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule name the entry accepts.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Enclosing-symbol key (see [`Finding::symbol`]).
+    pub symbol: String,
+}
+
+impl BaselineEntry {
+    /// True when `finding` is covered by this entry.
+    #[must_use]
+    pub fn matches(&self, finding: &Finding) -> bool {
+        self.rule == finding.rule
+            && self.file == finding.file
+            && self.symbol == finding.symbol
+    }
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Accepted findings, in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// A baseline file that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line of the first offending construct.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl Baseline {
+    /// Parses the baseline subset of TOML: comments, blank lines,
+    /// `[[finding]]` headers, and `key = "value"` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BaselineError`] naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut entries: Vec<BaselineEntry> = Vec::new();
+        let mut current: Option<BaselineEntry> = None;
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = (idx + 1) as u32;
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[finding]]" {
+                if let Some(entry) = current.take() {
+                    entries.push(entry);
+                }
+                current = Some(BaselineEntry {
+                    rule: String::new(),
+                    file: String::new(),
+                    symbol: String::new(),
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BaselineError {
+                    line: line_no,
+                    message: format!("expected `key = \"value\"`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let unquoted = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| BaselineError {
+                    line: line_no,
+                    message: format!("value for `{key}` must be double-quoted"),
+                })?;
+            let Some(entry) = current.as_mut() else {
+                return Err(BaselineError {
+                    line: line_no,
+                    message: "key outside any [[finding]] table".to_string(),
+                });
+            };
+            match key {
+                "rule" => entry.rule = unquoted.to_string(),
+                "file" => entry.file = unquoted.to_string(),
+                "symbol" => entry.symbol = unquoted.to_string(),
+                other => {
+                    return Err(BaselineError {
+                        line: line_no,
+                        message: format!("unknown key `{other}`"),
+                    })
+                }
+            }
+        }
+        if let Some(entry) = current.take() {
+            entries.push(entry);
+        }
+        if let Some(bad) = entries
+            .iter()
+            .find(|e| e.rule.is_empty() || e.file.is_empty() || e.symbol.is_empty())
+        {
+            return Err(BaselineError {
+                line: 0,
+                message: format!(
+                    "incomplete entry (rule=`{}`, file=`{}`, symbol=`{}`): every \
+                     [[finding]] needs rule, file, and symbol",
+                    bad.rule, bad.file, bad.symbol
+                ),
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// True when `finding` is accepted by some entry.
+    #[must_use]
+    pub fn covers(&self, finding: &Finding) -> bool {
+        self.entries.iter().any(|e| e.matches(finding))
+    }
+
+    /// Renders findings as a fresh baseline file (for `--write-baseline`).
+    #[must_use]
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# ramp-lint baseline: accepted findings, keyed by (rule, file, symbol).\n\
+             # Entries survive line shifts; regenerate with `ramp-lint --write-baseline`.\n",
+        );
+        // One entry per distinct key, in sorted order for stable diffs.
+        let mut keys: Vec<(String, String, String)> = findings
+            .iter()
+            .map(|f| (f.rule.to_string(), f.file.clone(), f.symbol.clone()))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        for (rule, file, symbol) in keys {
+            out.push_str(&format!(
+                "\n[[finding]]\nrule = \"{rule}\"\nfile = \"{file}\"\nsymbol = \"{symbol}\"\n"
+            ));
+        }
+        out
+    }
+
+    /// Entries that cover none of `findings` — stale after a cleanup,
+    /// worth pruning so the baseline only ever shrinks meaningfully.
+    #[must_use]
+    pub fn stale(&self, findings: &[Finding]) -> Vec<&BaselineEntry> {
+        self.entries
+            .iter()
+            .filter(|e| !findings.iter().any(|f| e.matches(f)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::Severity;
+
+    fn finding(rule: &'static str, file: &str, symbol: &str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Warning,
+            file: file.to_string(),
+            line: 42,
+            symbol: symbol.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_render_and_parse() {
+        let f = finding("panic-hygiene", "crates/core/src/a.rs", "load");
+        let text = Baseline::render(std::slice::from_ref(&f));
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.entries.len(), 1);
+        assert!(parsed.covers(&f));
+        // Line-independent: a moved finding still matches.
+        let mut moved = f;
+        moved.line = 999;
+        assert!(parsed.covers(&moved));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Baseline::parse("[[finding]]\nrule: nope\n").is_err());
+        assert!(Baseline::parse("rule = \"orphan\"\n").is_err());
+        assert!(Baseline::parse("[[finding]]\nrule = unquoted\n").is_err());
+        assert!(Baseline::parse("[[finding]]\nrule = \"r\"\n").is_err()); // incomplete
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\n[[finding]]\nrule = \"determinism\"\nfile = \"f.rs\"\nsymbol = \"s\"\n";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.entries.len(), 1);
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let b = Baseline::parse(
+            "[[finding]]\nrule = \"determinism\"\nfile = \"gone.rs\"\nsymbol = \"s\"\n",
+        )
+        .unwrap();
+        let live = finding("determinism", "other.rs", "s");
+        assert_eq!(b.stale(std::slice::from_ref(&live)).len(), 1);
+        assert_eq!(b.stale(&[]).len(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! `ramp-lint`: the workspace invariant checker CLI.
+//!
+//! ```text
+//! ramp-lint [--root DIR] [--format human|json] [--baseline FILE]
+//!           [--no-baseline] [--write-baseline]
+//! ```
+//!
+//! Exit codes: `0` clean (modulo baseline), `1` findings, `2` usage or
+//! I/O error. The JSON format is a single object suitable for CI
+//! artifact upload; human format is grep-able one-line-per-finding.
+
+use ramp_analyze::{analyze_workspace, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    format: Format,
+    baseline_path: Option<PathBuf>,
+    use_baseline: bool,
+    write_baseline: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+const USAGE: &str = "usage: ramp-lint [--root DIR] [--format human|json] \
+[--baseline FILE] [--no-baseline] [--write-baseline]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        format: Format::Human,
+        baseline_path: None,
+        use_baseline: true,
+        write_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = args.next().ok_or("--root needs a directory")?;
+                opts.root = PathBuf::from(dir);
+            }
+            "--format" => match args.next().as_deref() {
+                Some("human") => opts.format = Format::Human,
+                Some("json") => opts.format = Format::Json,
+                _ => return Err("--format needs `human` or `json`".to_string()),
+            },
+            "--baseline" => {
+                let file = args.next().ok_or("--baseline needs a file")?;
+                opts.baseline_path = Some(PathBuf::from(file));
+            }
+            "--no-baseline" => opts.use_baseline = false,
+            "--write-baseline" => opts.write_baseline = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_baseline(opts: &Options) -> Result<Baseline, String> {
+    if !opts.use_baseline {
+        return Ok(Baseline::default());
+    }
+    let path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint-baseline.toml"));
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Baseline::parse(&text)
+            .map_err(|e| format!("{}: {e}", path.display())),
+        // A missing default baseline just means "no accepted findings";
+        // a missing *explicit* baseline is an error.
+        Err(_) if opts.baseline_path.is_none() => Ok(Baseline::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("ramp-lint: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match load_baseline(&opts) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("ramp-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match analyze_workspace(&opts.root, &baseline) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!(
+                "ramp-lint: cannot analyze workspace at `{}`: {e}",
+                opts.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if opts.write_baseline {
+        let path = opts
+            .baseline_path
+            .clone()
+            .unwrap_or_else(|| opts.root.join("lint-baseline.toml"));
+        let text = Baseline::render(&report.findings);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("ramp-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "ramp-lint: wrote {} entries to {}",
+            report.findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    match opts.format {
+        Format::Human => print!("{}", report.to_human()),
+        Format::Json => println!("{}", report.to_json()),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,504 @@
+//! A minimal, *total* lexer for Rust source text.
+//!
+//! The analyzer needs just enough lexical structure to avoid the classic
+//! grep failure modes: rule patterns must not fire inside string literals,
+//! comments, char literals, or raw strings, and lifetimes (`'a`) must not
+//! be confused with char literals (`'a'`). Full parsing (types,
+//! expressions, macros) is deliberately out of scope — the rules operate
+//! on token patterns.
+//!
+//! Totality is a hard requirement: the lexer is run over every file in
+//! the workspace on every CI run, and over arbitrary byte soup in the
+//! property tests. It never panics and never loops: malformed input
+//! (unterminated strings or comments) simply produces a final token that
+//! runs to end-of-file.
+
+/// The lexical class of one [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `pub`, `f64`, `my_var`, `r#raw`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// A string literal of any flavour (`"…"`, `b"…"`, `r#"…"#`).
+    StrLit,
+    /// A numeric literal (`1`, `0xff`, `1.5e-3`, `1_000u64`).
+    NumLit,
+    /// A `//`-style comment, including doc comments (`///`, `//!`).
+    LineComment,
+    /// A `/* … */` comment, with nesting.
+    BlockComment,
+    /// A single punctuation character (`{`, `:`, `<`, `!`, …).
+    Punct,
+}
+
+/// One lexed token: its class, verbatim text, and 1-based start line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for comment tokens (which rules skip but suppression
+    /// scanning reads).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a token stream. Whitespace is dropped; comments are
+/// kept (they carry inline suppressions). Total: never panics, any input
+/// produces a (possibly empty) token list.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self, out: &mut String) {
+        if let Some(c) = self.chars.get(self.pos).copied() {
+            if c == '\n' {
+                self.line += 1;
+            }
+            out.push(c);
+            self.pos += 1;
+        }
+    }
+
+    fn skip(&mut self) {
+        let mut sink = String::new();
+        self.bump(&mut sink);
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.skip();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                tokens.push(self.line_comment());
+            } else if c == '/' && self.peek(1) == Some('*') {
+                tokens.push(self.block_comment());
+            } else if c == '"' {
+                tokens.push(self.string());
+            } else if c == '\'' {
+                tokens.push(self.quote());
+            } else if (c == 'r' || c == 'b') && self.literal_prefix_kind().is_some() {
+                tokens.push(self.prefixed_literal());
+            } else if c == 'r'
+                && self.peek(1) == Some('#')
+                && self.peek(2).is_some_and(is_ident_start)
+            {
+                tokens.push(self.raw_ident());
+            } else if is_ident_start(c) {
+                tokens.push(self.ident());
+            } else if c.is_ascii_digit() {
+                tokens.push(self.number());
+            } else {
+                let line = self.line;
+                let mut text = String::new();
+                self.bump(&mut text);
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                });
+            }
+        }
+        tokens
+    }
+
+    fn line_comment(&mut self) -> Token {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump(&mut text);
+        }
+        Token {
+            kind: TokenKind::LineComment,
+            text,
+            line,
+        }
+    }
+
+    fn block_comment(&mut self) -> Token {
+        let line = self.line;
+        let mut text = String::new();
+        // Opening `/*`.
+        self.bump(&mut text);
+        self.bump(&mut text);
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump(&mut text);
+                    self.bump(&mut text);
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump(&mut text);
+                    self.bump(&mut text);
+                }
+                (Some(_), _) => self.bump(&mut text),
+                (None, _) => break, // unterminated: run to EOF
+            }
+        }
+        Token {
+            kind: TokenKind::BlockComment,
+            text,
+            line,
+        }
+    }
+
+    /// A plain (escaped) string literal starting at `"`.
+    fn string(&mut self) -> Token {
+        let line = self.line;
+        let mut text = String::new();
+        self.bump(&mut text); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump(&mut text);
+                self.bump(&mut text); // the escaped char (may be EOF: no-op)
+            } else if c == '"' {
+                self.bump(&mut text);
+                break;
+            } else {
+                self.bump(&mut text);
+            }
+        }
+        Token {
+            kind: TokenKind::StrLit,
+            text,
+            line,
+        }
+    }
+
+    /// Classifies what a leading `r`/`b` introduces, without consuming.
+    /// `Some(hashes)` means a string-ish literal follows (raw with that
+    /// many `#`s; escaped when the count is 0 and the quote is direct);
+    /// `None` means it is just an identifier (`b`, `result`, `r#ident`).
+    fn literal_prefix_kind(&self) -> Option<usize> {
+        let mut i = 0;
+        // Optional `b` then optional `r` (covers b"", br"", r"").
+        if self.peek(i) == Some('b') {
+            i += 1;
+            if self.peek(i) == Some('\'') {
+                return Some(0); // byte char literal b'x'
+            }
+        }
+        let raw = self.peek(i) == Some('r');
+        if raw {
+            i += 1;
+        }
+        let mut hashes = 0usize;
+        if raw {
+            while self.peek(i) == Some('#') {
+                hashes += 1;
+                i += 1;
+            }
+        }
+        match self.peek(i) {
+            // `r#ident` (hashes but no quote) is a raw identifier.
+            Some('"') => Some(hashes),
+            _ => None,
+        }
+    }
+
+    /// Consumes a `b'…'`, `b"…"`, `r"…"`, `br#"…"#`-style literal whose
+    /// presence [`Lexer::literal_prefix_kind`] already established.
+    fn prefixed_literal(&mut self) -> Token {
+        let line = self.line;
+        let mut text = String::new();
+        // Consume prefix letters.
+        if self.peek(0) == Some('b') {
+            self.bump(&mut text);
+            if self.peek(0) == Some('\'') {
+                // Byte char literal: same rules as a char literal.
+                let inner = self.quote();
+                text.push_str(&inner.text);
+                return Token {
+                    kind: TokenKind::CharLit,
+                    text,
+                    line,
+                };
+            }
+        }
+        let raw = self.peek(0) == Some('r');
+        if raw {
+            self.bump(&mut text);
+        }
+        let mut hashes = 0usize;
+        while raw && self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump(&mut text);
+        }
+        if self.peek(0) != Some('"') {
+            // Defensive: should not happen after literal_prefix_kind.
+            return Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+            };
+        }
+        self.bump(&mut text); // opening quote
+        if !raw {
+            // b"…" supports escapes like a plain string.
+            while let Some(c) = self.peek(0) {
+                if c == '\\' {
+                    self.bump(&mut text);
+                    self.bump(&mut text);
+                } else if c == '"' {
+                    self.bump(&mut text);
+                    break;
+                } else {
+                    self.bump(&mut text);
+                }
+            }
+        } else {
+            // Raw string: ends at `"` followed by `hashes` `#`s, no escapes.
+            loop {
+                match self.peek(0) {
+                    None => break,
+                    Some('"') => {
+                        let mut all = true;
+                        for k in 0..hashes {
+                            if self.peek(1 + k) != Some('#') {
+                                all = false;
+                                break;
+                            }
+                        }
+                        self.bump(&mut text);
+                        if all {
+                            for _ in 0..hashes {
+                                self.bump(&mut text);
+                            }
+                            break;
+                        }
+                    }
+                    Some(_) => self.bump(&mut text),
+                }
+            }
+        }
+        Token {
+            kind: TokenKind::StrLit,
+            text,
+            line,
+        }
+    }
+
+    /// Disambiguates `'` into a lifetime/label or a char literal.
+    fn quote(&mut self) -> Token {
+        let line = self.line;
+        let mut text = String::new();
+        // Lifetime: `'` + ident-start + *not* a closing quote right after
+        // the (full) identifier. `'a'` is a char, `'a` and `'static` are
+        // lifetimes, `'_` is a placeholder lifetime.
+        let looks_like_lifetime = match (self.peek(1), self.peek(2)) {
+            (Some(c1), next) => is_ident_start(c1) && next != Some('\''),
+            _ => false,
+        };
+        if looks_like_lifetime {
+            self.bump(&mut text); // '
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    self.bump(&mut text);
+                } else {
+                    break;
+                }
+            }
+            return Token {
+                kind: TokenKind::Lifetime,
+                text,
+                line,
+            };
+        }
+        // Char literal: consume to the closing quote, honouring escapes.
+        // A newline before the close means malformed input (char literals
+        // are single-line); stop there so the rest of the file still lexes.
+        self.bump(&mut text); // opening '
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump(&mut text);
+                self.bump(&mut text);
+            } else if c == '\'' {
+                self.bump(&mut text);
+                break;
+            } else if c == '\n' {
+                break;
+            } else {
+                self.bump(&mut text);
+            }
+        }
+        Token {
+            kind: TokenKind::CharLit,
+            text,
+            line,
+        }
+    }
+
+    /// `r#ident` — the keyword-escape prefix is part of the token so
+    /// rules see one name, not `r` `#` `ident`.
+    fn raw_ident(&mut self) -> Token {
+        let line = self.line;
+        let mut text = String::new();
+        self.bump(&mut text); // `r`
+        self.bump(&mut text); // `#`
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.bump(&mut text);
+            } else {
+                break;
+            }
+        }
+        Token {
+            kind: TokenKind::Ident,
+            text,
+            line,
+        }
+    }
+
+    fn ident(&mut self) -> Token {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.bump(&mut text);
+            } else {
+                break;
+            }
+        }
+        Token {
+            kind: TokenKind::Ident,
+            text,
+            line,
+        }
+    }
+
+    fn number(&mut self) -> Token {
+        let line = self.line;
+        let mut text = String::new();
+        self.bump(&mut text);
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                // Digits, `_` separators, radix/type suffixes (0xff, 1u64).
+                let at_exponent = (c == 'e' || c == 'E')
+                    && !text.starts_with("0x")
+                    && !text.starts_with("0b")
+                    && !text.starts_with("0o");
+                self.bump(&mut text);
+                // Signed exponents: `1e-3`, `2.5E+10`.
+                if at_exponent {
+                    if let Some(s) = self.peek(0) {
+                        if (s == '+' || s == '-')
+                            && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                        {
+                            self.bump(&mut text);
+                        }
+                    }
+                }
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // Decimal point, but never a range operator (`0..10`).
+                self.bump(&mut text);
+            } else {
+                break;
+            }
+        }
+        Token {
+            kind: TokenKind::NumLit,
+            text,
+            line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("pub fn f(x: f64) -> f64 {}");
+        assert_eq!(t[0], (TokenKind::Ident, "pub".to_string()));
+        assert_eq!(t[1], (TokenKind::Ident, "fn".to_string()));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Punct && s == ":"));
+    }
+
+    #[test]
+    fn string_hides_contents() {
+        let t = kinds(r#"let s = "pub fn fake(x: f64)";"#);
+        assert!(t.iter().all(|(k, s)| *k != TokenKind::Ident || s != "fake"));
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokenKind::StrLit).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokenKind::CharLit).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn line_counting() {
+        let tokens = lex("a\nb\n\nc");
+        let lines: Vec<u32> = tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let t = kinds("for i in 0..10 { let x = 1.5e-3f64; }");
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::NumLit && s == "0"));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::NumLit && s == "10"));
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::NumLit && s == "1.5e-3f64"));
+    }
+}

@@ -1,0 +1,203 @@
+//! `ramp-analyze`: a dependency-free, token-level static analyzer that
+//! enforces the workspace's cross-cutting invariants.
+//!
+//! The simulation stack's guarantees — unit-safe public APIs,
+//! byte-identical results across thread counts, observability routed
+//! through `ramp-obs`, non-panicking library paths — are easy to erode
+//! one innocuous edit at a time. The `ramp-lint` binary in this crate
+//! walks every first-party crate and checks four named rules:
+//!
+//! | rule | severity | what it catches |
+//! |---|---|---|
+//! | `unit-safety` | error | raw `f64` in `pub fn` signatures of the model crates |
+//! | `determinism` | error | wall clocks, OS entropy, hash-order iteration in simulation code |
+//! | `obs-hygiene` | warning | `println!`/`eprintln!`/`dbg!` bypassing the sinks |
+//! | `panic-hygiene` | warning | `unwrap()`/`expect()`/`panic!` on library paths |
+//!
+//! Analysis is lexical, not syntactic: a hand-rolled total lexer
+//! ([`lexer`]) strips strings, char literals, and comments so rules see
+//! only real code tokens — the precision sweet spot between `grep`
+//! (false positives in strings and docs) and a full parser (a dependency
+//! this build environment cannot take).
+//!
+//! Two escape hatches keep the gate honest instead of noisy:
+//! `// ramp-lint:allow(rule)` on (or directly above) a line documents an
+//! individual exception in place, and `lint-baseline.toml` accepts
+//! pre-existing findings by `(rule, file, symbol)` so the gate can be
+//! introduced into a living codebase and burned down over time.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod context;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::{Baseline, BaselineEntry, BaselineError};
+pub use context::{FileContext, FileKind};
+pub use findings::{Finding, Severity};
+
+use std::path::Path;
+
+/// Everything one analysis run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived inline allows and the baseline — these
+    /// fail the run.
+    pub findings: Vec<Finding>,
+    /// Findings accepted by the checked-in baseline.
+    pub baselined: usize,
+    /// Findings suppressed by inline `ramp-lint:allow` comments.
+    pub suppressed: usize,
+    /// Source files analyzed.
+    pub files_scanned: usize,
+    /// Baseline entries that matched nothing (candidates for pruning).
+    pub stale_baseline: Vec<BaselineEntry>,
+}
+
+impl Report {
+    /// True when the run found nothing new.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the whole report as one JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self.findings.iter().map(Finding::to_json).collect();
+        let stale: Vec<String> = self
+            .stale_baseline
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"rule\":\"{}\",\"file\":\"{}\",\"symbol\":\"{}\"}}",
+                    findings::json_escape(&e.rule),
+                    findings::json_escape(&e.file),
+                    findings::json_escape(&e.symbol),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"findings\":[{}],\"total\":{},\"baselined\":{},\"suppressed_inline\":{},\"files_scanned\":{},\"stale_baseline\":[{}]}}",
+            findings.join(","),
+            self.findings.len(),
+            self.baselined,
+            self.suppressed,
+            self.files_scanned,
+            stale.join(","),
+        )
+    }
+
+    /// Renders the human-readable report (one line per finding plus a
+    /// summary line).
+    #[must_use]
+    pub fn to_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        for e in &self.stale_baseline {
+            out.push_str(&format!(
+                "note[stale-baseline] {} / {} / {} matches nothing — prune it\n",
+                e.rule, e.file, e.symbol
+            ));
+        }
+        out.push_str(&format!(
+            "ramp-lint: {} finding(s) ({} baselined, {} inline-suppressed) across {} files\n",
+            self.findings.len(),
+            self.baselined,
+            self.suppressed,
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+/// Analyzes one in-memory source file. This is the composition point the
+/// fixture tests drive directly; [`analyze_workspace`] is the same thing
+/// fed from disk.
+#[must_use]
+pub fn analyze_source(
+    crate_name: &str,
+    kind: FileKind,
+    rel_path: &str,
+    source: &str,
+) -> Vec<Finding> {
+    rules::check_file(&FileContext::new(crate_name, kind, rel_path, source))
+}
+
+/// Walks the workspace at `root`, runs every rule over every first-party
+/// file, and applies `baseline`.
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`] if the workspace cannot be walked or a
+/// source file cannot be read.
+pub fn analyze_workspace(root: &Path, baseline: &Baseline) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let mut all_raw: Vec<Finding> = Vec::new();
+    for file in workspace::discover(root)? {
+        let source = std::fs::read_to_string(&file.abs_path)?;
+        let ctx = FileContext::new(&file.crate_name, file.kind, &file.rel_path, &source);
+        let (findings, suppressed) = rules::check_file_counted(&ctx);
+        report.files_scanned += 1;
+        report.suppressed += suppressed;
+        all_raw.extend(findings);
+    }
+    report.stale_baseline = baseline
+        .stale(&all_raw)
+        .into_iter()
+        .cloned()
+        .collect();
+    for finding in all_raw {
+        if baseline.covers(&finding) {
+            report.baselined += 1;
+        } else {
+            report.findings.push(finding);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_shape() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "determinism",
+                severity: Severity::Error,
+                file: "f.rs".to_string(),
+                line: 3,
+                symbol: "g".to_string(),
+                message: "m".to_string(),
+            }],
+            baselined: 2,
+            suppressed: 1,
+            files_scanned: 10,
+            stale_baseline: vec![],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"total\":1"));
+        assert!(json.contains("\"baselined\":2"));
+        assert!(json.contains("\"files_scanned\":10"));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn human_report_summarises() {
+        let report = Report {
+            files_scanned: 4,
+            ..Report::default()
+        };
+        assert!(report.is_clean());
+        assert!(report.to_human().contains("0 finding(s)"));
+    }
+}

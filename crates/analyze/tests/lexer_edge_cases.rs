@@ -1,0 +1,180 @@
+//! Lexer edge cases plus a totality property: the analyzer's precision
+//! (no findings inside strings/comments) and its safety (never panics on
+//! arbitrary input) both live here.
+
+use proptest::prelude::*;
+use ramp_analyze::lexer::{lex, TokenKind};
+
+fn kinds(src: &str) -> Vec<TokenKind> {
+    lex(src).iter().map(|t| t.kind).collect()
+}
+
+fn texts(src: &str) -> Vec<String> {
+    lex(src).iter().map(|t| t.text.clone()).collect()
+}
+
+#[test]
+fn raw_strings_with_hashes_are_one_token() {
+    let src = r####"let s = r#"unwrap() " inside"#;"####;
+    let toks = lex(src);
+    let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::StrLit).collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].text.contains("unwrap()"));
+    // Nothing after the raw string was swallowed.
+    assert_eq!(toks.last().map(|t| t.text.as_str()), Some(";"));
+}
+
+#[test]
+fn raw_string_closes_only_on_matching_hash_count() {
+    let src = r#####"r##"has "# inside"## rest"#####;
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::StrLit);
+    assert!(toks[0].text.contains("\"#"));
+    assert_eq!(toks[1].text, "rest");
+}
+
+#[test]
+fn nested_block_comments_terminate_correctly() {
+    let src = "/* outer /* inner */ still outer */ ident";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::BlockComment);
+    assert!(toks[0].text.contains("inner"));
+    assert_eq!(toks[1].text, "ident");
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str) { let c = 'a'; }";
+    let toks = lex(src);
+    let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+    let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::CharLit).collect();
+    assert_eq!(lifetimes.len(), 2);
+    assert_eq!(chars.len(), 1);
+    assert_eq!(chars[0].text, "'a'");
+}
+
+#[test]
+fn static_lifetime_and_escaped_quote_char() {
+    let src = r"&'static str; let q = '\''; let n = '\n';";
+    let toks = lex(src);
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Lifetime && t.text == "'static"));
+    assert_eq!(
+        toks.iter().filter(|t| t.kind == TokenKind::CharLit).count(),
+        2
+    );
+}
+
+#[test]
+fn numbers_do_not_swallow_range_operators() {
+    let src = "for i in 0..10 {}";
+    let t = texts(src);
+    assert!(t.contains(&"0".to_string()));
+    assert!(t.contains(&"10".to_string()));
+    assert_eq!(t.iter().filter(|s| s.as_str() == ".").count(), 2);
+}
+
+#[test]
+fn float_exponents_and_underscores_lex_as_one_number() {
+    for src in ["1.5e-3", "2E+10", "1_000_000u64", "0xff_u8", "0b1010", "3.0f64"] {
+        let toks = lex(src);
+        assert_eq!(toks.len(), 1, "{src} should be one token, got {toks:?}");
+        assert_eq!(toks[0].kind, TokenKind::NumLit);
+    }
+}
+
+#[test]
+fn hex_e_is_a_digit_not_an_exponent() {
+    // `0xe` must not treat `e` as an exponent marker expecting a sign.
+    let toks = lex("0xDEAD 0xe + 1");
+    assert_eq!(toks[0].kind, TokenKind::NumLit);
+    assert_eq!(toks[1].kind, TokenKind::NumLit);
+    assert_eq!(toks[1].text, "0xe");
+}
+
+#[test]
+fn byte_strings_and_byte_chars() {
+    let src = r#"let b = b"bytes"; let c = b'x';"#;
+    let toks = lex(src);
+    assert!(toks.iter().any(|t| t.kind == TokenKind::StrLit && t.text.starts_with("b\"")));
+    assert!(toks.iter().any(|t| t.kind == TokenKind::CharLit && t.text.starts_with("b'")));
+}
+
+#[test]
+fn raw_identifiers_are_idents() {
+    let toks = lex("let r#fn = 1;");
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Ident && t.text == "r#fn"));
+}
+
+#[test]
+fn doc_comments_are_line_comments() {
+    let src = "/// doc with unwrap()\n//! inner doc\nfn f() {}";
+    let comments: Vec<_> = lex(src)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::LineComment)
+        .collect();
+    assert_eq!(comments.len(), 2);
+}
+
+#[test]
+fn unterminated_constructs_run_to_eof_without_panic() {
+    for src in ["\"never closed", "/* never closed", "r#\"never closed", "'", "b'"] {
+        let toks = lex(src);
+        assert!(!toks.is_empty(), "{src:?} should still produce tokens");
+    }
+}
+
+#[test]
+fn string_escapes_do_not_end_the_literal_early() {
+    let src = r#""has \" escaped quote" after"#;
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::StrLit);
+    assert!(toks[0].text.contains("escaped"));
+    assert_eq!(toks[1].text, "after");
+}
+
+#[test]
+fn line_numbers_track_newlines_inside_tokens() {
+    let src = "a\n/* two\nlines */\nb";
+    let toks = lex(src);
+    assert_eq!(toks[0].line, 1);
+    assert_eq!(toks[1].line, 2); // comment starts on line 2
+    assert_eq!(toks[2].line, 4); // `b` after the multi-line comment
+}
+
+#[test]
+fn crlf_input_lexes_cleanly() {
+    let src = "fn f() {\r\n  let x = 1;\r\n}\r\n";
+    assert!(kinds(src).contains(&TokenKind::NumLit));
+}
+
+// ---------------------------------------------------------------- properties
+
+/// Bytes biased toward the characters that steer the lexer's hard paths.
+const STEERING: &[u8] = br##"'"/*#rb\ne01x_.!{}<>-"##;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexing_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn lexing_quote_heavy_soup_never_panics(picks in proptest::collection::vec(0usize..STEERING.len(), 0..128)) {
+        let src: String = picks.iter().map(|&i| STEERING[i] as char).collect();
+        let toks = lex(&src);
+        // Totality also means no token is conjured from nothing.
+        let total: usize = toks.iter().map(|t| t.text.chars().count()).sum();
+        prop_assert!(total <= src.chars().count());
+    }
+
+    #[test]
+    fn lexing_is_deterministic(bytes in proptest::collection::vec(32u8..127, 0..128)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let a: Vec<_> = lex(&src).iter().map(|t| (t.kind, t.text.clone(), t.line)).collect();
+        let b: Vec<_> = lex(&src).iter().map(|t| (t.kind, t.text.clone(), t.line)).collect();
+        prop_assert_eq!(a, b);
+    }
+}

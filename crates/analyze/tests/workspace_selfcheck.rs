@@ -1,0 +1,64 @@
+//! The self-check: this workspace must pass its own lint, with the
+//! checked-in baseline, on every `cargo test` run. This is the inner
+//! gate backing the `ramp-lint` CI job — a regression fails the test
+//! suite even if the lint job is skipped.
+
+use ramp_analyze::{analyze_workspace, Baseline};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <root>/crates/analyze
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn workspace_is_lint_clean_under_the_checked_in_baseline() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is checked in at the workspace root");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    let report = analyze_workspace(&root, &baseline).expect("workspace analyzable");
+    assert!(
+        report.is_clean(),
+        "ramp-lint found unbaselined findings:\n{}",
+        report.to_human()
+    );
+    assert!(
+        report.stale_baseline.is_empty(),
+        "stale baseline entries (prune them):\n{}",
+        report.to_human()
+    );
+    assert!(report.files_scanned > 50, "workspace walk looks truncated");
+}
+
+#[test]
+fn baseline_stays_small() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is checked in at the workspace root");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    // The debt ceiling: the baseline may only shrink. If this fails
+    // because you added an entry, fix the finding instead.
+    assert!(
+        baseline.entries.len() <= 9,
+        "baseline grew to {} entries — burn findings down, don't accept them",
+        baseline.entries.len()
+    );
+}
+
+#[test]
+fn no_baseline_run_reports_exactly_the_baselined_findings() {
+    let root = workspace_root();
+    let report = analyze_workspace(&root, &Baseline::default()).expect("workspace analyzable");
+    // Every finding the baseline hides must still be *seen* without it,
+    // and each must map to a baseline entry (i.e. the baseline is live).
+    let text = std::fs::read_to_string(root.join("lint-baseline.toml")).expect("baseline exists");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    assert_eq!(report.findings.len(), baseline.entries.len());
+    for finding in &report.findings {
+        assert!(
+            baseline.covers(finding),
+            "unbaselined finding: {finding}"
+        );
+    }
+}

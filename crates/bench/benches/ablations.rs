@@ -25,7 +25,7 @@ fn bench_time_compression_cost(c: &mut Criterion) {
                     run_app_on_node(&profile, &TechNode::reference(), &cfg, &models, None)
                         .unwrap(),
                 )
-            })
+            });
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_interval_granularity_cost(c: &mut Criterion) {
                     SimulationLength::Instructions(100_000),
                     interval,
                 ))
-            })
+            });
         });
     }
     group.finish();

@@ -25,7 +25,7 @@ fn bench_single_rates(c: &mut Criterion) {
     let mut group = c.benchmark_group("mechanism_rate");
     for model in &models {
         group.bench_function(model.kind().label(), |b| {
-            b.iter(|| black_box(model.relative_rate(black_box(&point), &node)))
+            b.iter(|| black_box(model.relative_rate(black_box(&point), &node)));
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_observe_interval(c: &mut Criterion) {
                 acc.finish()
             },
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -60,7 +60,7 @@ fn bench_fit_report(c: &mut Criterion) {
         b.iter(|| {
             let report = qual.fit_report(black_box(&rates));
             black_box(report.total())
-        })
+        });
     });
 }
 

@@ -19,7 +19,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
             black_box(
                 run_app_on_node(&profile, &TechNode::reference(), &cfg, &models, None).unwrap(),
             )
-        })
+        });
     });
     group.bench_function("65nm_1.0V", |b| {
         b.iter(|| {
@@ -33,7 +33,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
                 )
                 .unwrap(),
             )
-        })
+        });
     });
     group.finish();
 }

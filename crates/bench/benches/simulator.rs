@@ -18,7 +18,7 @@ fn bench_trace_generation(c: &mut Criterion) {
                     .take(INSTRUCTIONS as usize)
                     .count();
                 black_box(n)
-            })
+            });
         });
     }
     group.finish();
@@ -43,7 +43,7 @@ fn bench_timing_simulation(c: &mut Criterion) {
                     1_100,
                 );
                 black_box(out.stats.ipc())
-            })
+            });
         });
     }
     group.finish();

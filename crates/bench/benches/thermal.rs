@@ -17,7 +17,7 @@ fn bench_steady_state(c: &mut Criterion) {
         let net = RcNetwork::build(&fp, ThermalParams::reference()).unwrap();
         let p = powers();
         group.bench_function(label, |b| {
-            b.iter(|| black_box(net.steady_state(black_box(&p)).unwrap()))
+            b.iter(|| black_box(net.steady_state(black_box(&p)).unwrap()));
         });
     }
     group.finish();
@@ -32,7 +32,7 @@ fn bench_transient_step(c: &mut Criterion) {
     let p = powers();
     let state = sim.initial_state(&p).unwrap();
     c.bench_function("thermal_transient_1us_step", |b| {
-        b.iter(|| black_box(sim.step(black_box(&state), &p, Seconds::MICROSECOND)))
+        b.iter(|| black_box(sim.step(black_box(&state), &p, Seconds::MICROSECOND)));
     });
 }
 
@@ -46,7 +46,7 @@ fn bench_two_pass_init(c: &mut Criterion) {
             )
             .unwrap();
             black_box(sim.initial_state(&p).unwrap())
-        })
+        });
     });
 }
 

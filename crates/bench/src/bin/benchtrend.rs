@@ -39,8 +39,8 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "{:<6} {:>9} {:>9} {:>7} {:>5} {:>8}  {:<16}  {}",
-        "seq", "wall(s)", "spread", "hit%", "K", "threads", "digest", "note"
+        "{:<6} {:>9} {:>9} {:>7} {:>5} {:>8}  {:<16}  note",
+        "seq", "wall(s)", "spread", "hit%", "K", "threads", "digest"
     );
     let mut previous_digest: Option<String> = None;
     for (seq, path) in files {

@@ -25,12 +25,10 @@ fn main() {
                 .nth(1)
                 .unwrap_or_else(|| ".".into()),
         );
-        std::fs::create_dir_all(&dir).expect("create csv output dir");
-        std::fs::write(dir.join("apps.csv"), results.to_csv()).expect("write apps.csv");
-        std::fs::write(dir.join("worst_case.csv"), results.worst_case_csv())
-            .expect("write worst_case.csv");
-        std::fs::write(dir.join("nodes.csv"), results.node_summary_csv())
-            .expect("write nodes.csv");
+        if let Err(e) = results.write_csv(&dir) {
+            ramp_obs::error!("csv export failed: {e}");
+            std::process::exit(1);
+        }
         ramp_obs::info!("wrote apps.csv / worst_case.csv / nodes.csv to {}", dir.display());
     }
 

@@ -63,15 +63,9 @@ pub fn manifest_path() -> PathBuf {
 pub fn write_manifest(config: &StudyConfig, results: &StudyResults) -> RunManifest {
     let manifest = RunManifest::capture(config, results);
     let path = manifest_path();
-    match serde_json::to_string(&manifest) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                ramp_obs::warn!("could not write manifest {}: {e}", path.display());
-            } else {
-                ramp_obs::debug!("manifest written to {}", path.display());
-            }
-        }
-        Err(e) => ramp_obs::warn!("could not serialise manifest: {e}"),
+    match manifest.write_json(&path) {
+        Ok(()) => ramp_obs::debug!("manifest written to {}", path.display()),
+        Err(e) => ramp_obs::warn!("could not write manifest: {e}"),
     }
     manifest
 }

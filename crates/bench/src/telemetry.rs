@@ -875,8 +875,8 @@ pub fn render_report(report: &GateReport) -> String {
 
     let _ = writeln!(
         out,
-        "  {:<44} {:>10} {:>10} {:>10}  {}",
-        "stage", "base(s)", "cur(s)", "budget(s)", "status"
+        "  {:<44} {:>10} {:>10} {:>10}  status",
+        "stage", "base(s)", "cur(s)", "budget(s)"
     );
     let render_row = |out: &mut String, d: &StageDelta| {
         let budget = if d.budget_seconds > 0.0 {

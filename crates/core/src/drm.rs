@@ -52,8 +52,8 @@ impl DvsLevel {
         let v = node.vdd.value();
         let f = node.frequency.value();
         let mk = |vr: f64, fr: f64| DvsLevel {
-            voltage: Volts::new(v * vr).expect("scaled voltage in range"),
-            frequency: Gigahertz::new(f * fr).expect("scaled frequency in range"),
+            voltage: Volts::new(v * vr).expect("scaled voltage in range"), // ramp-lint:allow(panic-hygiene) -- scale factors are validated fractions
+            frequency: Gigahertz::new(f * fr).expect("scaled frequency in range"), // ramp-lint:allow(panic-hygiene) -- scale factors are validated fractions
         };
         vec![mk(1.0, 1.0), mk(0.92, 0.85), mk(0.85, 0.70)]
     }
@@ -61,6 +61,7 @@ impl DvsLevel {
     /// Dynamic-power multiplier of this level relative to nominal
     /// (`(V/V₀)²·(f/f₀)`).
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- dimensionless power multiplier
     pub fn power_factor(&self, node: &TechNode) -> f64 {
         let vr = self.voltage.ratio_to(node.vdd);
         let fr = self.frequency.ratio_to(node.frequency);
@@ -70,6 +71,7 @@ impl DvsLevel {
     /// Throughput multiplier relative to nominal (≈ frequency ratio; the
     /// cycles-per-instruction of the fixed pipeline are unchanged).
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- dimensionless throughput multiplier
     pub fn performance_factor(&self, node: &TechNode) -> f64 {
         self.frequency.ratio_to(node.frequency)
     }
@@ -93,7 +95,7 @@ impl DrmPolicy {
     #[must_use]
     pub fn qualified_budget() -> Self {
         DrmPolicy {
-            fit_budget: Fit::new(4000.0).expect("static budget"),
+            fit_budget: Fit::new(4000.0).expect("static budget"), // ramp-lint:allow(panic-hygiene) -- constant is in range
             decision_intervals: 1000,
             hysteresis: 0.05,
         }
@@ -335,7 +337,7 @@ pub fn run_with_drm(
         temps = state.structures;
         sim = Some(s);
     }
-    let sim = sim.expect("first_pass_iterations >= 1 validated");
+    let sim = sim.expect("first_pass_iterations >= 1 validated"); // ramp-lint:allow(panic-hygiene) -- config validation guarantees >= 1 iteration
 
     // ---- Managed second pass ---------------------------------------------
     let mut controller = DrmController::new(policy, ladder.clone())
@@ -343,7 +345,7 @@ pub fn run_with_drm(
     let total_dt = 1e-6 * cfg.time_compression;
     let stable = sim.network().max_stable_step().value();
     let substeps = (total_dt / stable).ceil().max(1.0) as u32;
-    let dt = Seconds::new(total_dt / f64::from(substeps)).expect("positive sub-step");
+    let dt = Seconds::new(total_dt / f64::from(substeps)).expect("positive sub-step"); // ramp-lint:allow(panic-hygiene) -- substeps >= 1 keeps dt positive
 
     let mut acc = RateAccumulator::new(models, *node);
     let mut managed_running = 0.0_f64;
@@ -378,7 +380,7 @@ pub fn run_with_drm(
             intervals += 1;
             if intervals.is_multiple_of(u64::from(policy.decision_intervals)) {
                 let avg = Fit::new(managed_running / intervals as f64)
-                    .expect("mean of valid FITs is valid");
+                    .expect("mean of valid FITs is valid"); // ramp-lint:allow(panic-hygiene) -- mean of valid FITs stays in range
                 controller.decide(avg);
             }
         }

@@ -14,6 +14,10 @@ pub enum RampError {
     ThermalSolve(String),
     /// Qualification could not be derived from the reference runs.
     Qualification(String),
+    /// A filesystem read or write failed (path and OS error).
+    Io(String),
+    /// A value could not be serialized for export.
+    Serialize(String),
 }
 
 impl fmt::Display for RampError {
@@ -27,6 +31,8 @@ impl fmt::Display for RampError {
             }
             RampError::ThermalSolve(msg) => write!(f, "thermal solve failed: {msg}"),
             RampError::Qualification(msg) => write!(f, "qualification failed: {msg}"),
+            RampError::Io(msg) => write!(f, "I/O error: {msg}"),
+            RampError::Serialize(msg) => write!(f, "serialization error: {msg}"),
         }
     }
 }
@@ -51,6 +57,14 @@ mod tests {
         assert!(RampError::InvalidConfiguration("bad".into())
             .to_string()
             .contains("bad"));
+    }
+
+    #[test]
+    fn io_and_serialize_messages_carry_context() {
+        let io = RampError::Io("out/apps.csv: permission denied".into());
+        assert!(io.to_string().contains("apps.csv"));
+        let ser = RampError::Serialize("run manifest: bad value".into());
+        assert!(ser.to_string().contains("manifest"));
     }
 
     #[test]

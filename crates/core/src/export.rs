@@ -1,10 +1,12 @@
 //! Machine-readable exports of study results (CSV), for plotting the
 //! paper's figures with external tools.
 
+use crate::error::RampError;
 use crate::mechanisms::MechanismKind;
 use crate::results::StudyResults;
 use crate::NodeId;
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// Escapes a CSV field (quotes fields containing separators or quotes).
 fn csv_field(s: &str) -> String {
@@ -103,6 +105,30 @@ impl StudyResults {
         }
         out
     }
+
+    /// Writes the three CSV exports (`apps.csv`, `worst_case.csv`,
+    /// `nodes.csv`) into `dir`, creating the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RampError::Io`] carrying the offending path and the OS
+    /// error if the directory cannot be created or any file write fails.
+    pub fn write_csv(&self, dir: &Path) -> Result<(), RampError> {
+        let io = |path: &Path| {
+            let shown = path.display().to_string();
+            move |e: std::io::Error| RampError::Io(format!("{shown}: {e}"))
+        };
+        std::fs::create_dir_all(dir).map_err(io(dir))?;
+        for (name, contents) in [
+            ("apps.csv", self.to_csv()),
+            ("worst_case.csv", self.worst_case_csv()),
+            ("nodes.csv", self.node_summary_csv()),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, contents).map_err(io(&path))?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +195,31 @@ mod tests {
         let results = tiny_results();
         let csv = results.worst_case_csv();
         assert_eq!(csv.trim().lines().count(), 1); // header only
+    }
+
+    #[test]
+    fn write_csv_creates_all_three_files() {
+        let results = tiny_results();
+        let dir = std::env::temp_dir().join("ramp-export-write-test");
+        results.write_csv(&dir).unwrap();
+        for name in ["apps.csv", "worst_case.csv", "nodes.csv"] {
+            let contents = std::fs::read_to_string(dir.join(name)).unwrap();
+            assert!(contents.contains("node"), "{name} missing header");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_csv_surfaces_io_errors() {
+        let results = tiny_results();
+        // A directory path that collides with a regular file cannot be
+        // created; the error must carry the path.
+        let file = std::env::temp_dir().join("ramp-export-collision");
+        std::fs::write(&file, b"occupied").unwrap();
+        let err = results.write_csv(&file).unwrap_err();
+        assert!(matches!(err, crate::RampError::Io(_)));
+        assert!(err.to_string().contains("ramp-export-collision"));
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! one was written). Bench binaries emit it as a JSON file next to the
 //! study results.
 
+use crate::error::RampError;
 use crate::pipeline::PipelineConfig;
 use crate::results::StudyResults;
 use crate::study::StudyConfig;
@@ -221,7 +222,7 @@ pub fn config_digest(config: &StudyConfig) -> String {
         nodes: config.nodes.iter().map(|n| n.label().to_string()).collect(),
         worst_case: config.worst_case.label().to_string(),
     };
-    let json = serde_json::to_string(&view).expect("config digest view serializes");
+    let json = serde_json::to_string(&view).expect("config digest view serializes"); // ramp-lint:allow(panic-hygiene) -- digest view is plain data, always serializable
     fnv1a_hex(&json)
 }
 
@@ -232,7 +233,7 @@ pub fn config_digest(config: &StudyConfig) -> String {
 /// drift — however small — changes the digest.
 #[must_use]
 pub fn results_digest(results: &StudyResults) -> String {
-    let json = serde_json::to_string(results).expect("study results serialize");
+    let json = serde_json::to_string(results).expect("study results serialize"); // ramp-lint:allow(panic-hygiene) -- results schema is plain data, always serializable
     fnv1a_hex(&json)
 }
 
@@ -246,7 +247,7 @@ impl RunManifest {
     pub fn capture(config: &StudyConfig, results: &StudyResults) -> Self {
         let metrics = results.metrics();
         let cache = timing_cache_stats();
-        let created_unix_ms = std::time::SystemTime::now()
+        let created_unix_ms = std::time::SystemTime::now() // ramp-lint:allow(determinism) -- execution metadata only, never in results
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_millis() as u64);
         RunManifest {
@@ -292,6 +293,22 @@ impl RunManifest {
         }
     }
 
+    /// Serializes this manifest and writes it to `path` as one JSON
+    /// document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RampError::Serialize`] if the manifest cannot be encoded
+    /// and [`RampError::Io`] (with the path and OS error) if the write
+    /// fails.
+    pub fn write_json(&self, path: &std::path::Path) -> Result<(), RampError> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| RampError::Serialize(format!("run manifest: {e}")))?;
+        std::fs::write(path, json)
+            .map_err(|e| RampError::Io(format!("{}: {e}", path.display())))?;
+        Ok(())
+    }
+
     /// Attaches the benchmark-harness section (builder style): this
     /// manifest describes measured sample `sample` of `samples` in the
     /// harness run labelled `label`.
@@ -313,6 +330,7 @@ impl RunManifest {
 
     /// Summed wall-clock of the stage at `path`, seconds (0 if absent).
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- telemetry seconds, not a model quantity
     pub fn stage_seconds(&self, path: &str) -> f64 {
         self.find_stage(path).map_or(0.0, |s| s.total_seconds)
     }
@@ -417,6 +435,43 @@ mod tests {
         assert_eq!(fnv1a_hex(""), "cbf29ce484222325");
         assert_eq!(fnv1a_hex("abc"), fnv1a_hex("abc"));
         assert_ne!(fnv1a_hex("abc"), fnv1a_hex("abd"));
+    }
+
+    fn tiny_manifest() -> RunManifest {
+        RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            created_unix_ms: 0,
+            config_digest: "deadbeefdeadbeef".to_string(),
+            provenance: Provenance::capture(),
+            benchmark: None,
+            threads: 1,
+            runs: 1,
+            wall_seconds: 0.5,
+            stages: vec![],
+            metrics: vec![],
+            cache: ManifestCacheStats::default(),
+            event_file: None,
+        }
+    }
+
+    #[test]
+    fn write_json_roundtrips_through_file() {
+        let path = std::env::temp_dir().join("ramp-manifest-write-test.json");
+        let manifest = tiny_manifest();
+        manifest.write_json(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let back: RunManifest = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back, manifest);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_json_reports_path_on_failure() {
+        let manifest = tiny_manifest();
+        let path = std::path::Path::new("/nonexistent-dir-ramp/m.json");
+        let err = manifest.write_json(path).unwrap_err();
+        assert!(matches!(err, crate::RampError::Io(_)));
+        assert!(err.to_string().contains("nonexistent-dir-ramp"));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use super::{FailureModel, MechanismKind};
 use crate::{OperatingPoint, TechNode};
-use ramp_units::BOLTZMANN_EV_PER_K;
+use ramp_units::{Kelvin, BOLTZMANN_EV_PER_K};
 use serde::{Deserialize, Serialize};
 
 /// Gate-oxide breakdown failure model.
@@ -96,15 +96,19 @@ impl DielectricBreakdown {
         }
     }
 
-    /// The voltage exponent `a − b·T` at temperature `t` (K).
+    /// The dimensionless voltage exponent `a − b·T` at temperature `t`.
     #[must_use]
-    pub fn voltage_exponent(&self, t: f64) -> f64 {
-        self.a - self.b * t
+    // ramp-lint:allow(unit-safety) -- dimensionless exponent; no newtype applies
+    pub fn voltage_exponent(&self, t: Kelvin) -> f64 {
+        self.a - self.b * t.value()
     }
 
-    /// The Arrhenius exponent `(X + Y/T + Z·T)/(kT)` at temperature `t`.
+    /// The dimensionless Arrhenius exponent `(X + Y/T + Z·T)/(kT)` at
+    /// temperature `t`.
     #[must_use]
-    pub fn arrhenius_exponent(&self, t: f64) -> f64 {
+    // ramp-lint:allow(unit-safety) -- dimensionless exponent; no newtype applies
+    pub fn arrhenius_exponent(&self, t: Kelvin) -> f64 {
+        let t = t.value();
         (self.x_ev + self.y_ev_k / t + self.z_ev_per_k * t) / (BOLTZMANN_EV_PER_K * t)
     }
 }
@@ -115,7 +119,7 @@ impl FailureModel for DielectricBreakdown {
     }
 
     fn relative_rate(&self, op: &OperatingPoint, node: &TechNode) -> f64 {
-        let t = op.temperature.value();
+        let t = op.temperature;
         // Rate = 1/MTTF: V^{a−bT} · e^{−(X+Y/T+ZT)/kT} · 10^{Δtox/s} · A_rel.
         let ln_voltage = self.voltage_exponent(t) * op.voltage.value().ln();
         let ln_arrhenius = -self.arrhenius_exponent(t);
@@ -147,10 +151,11 @@ mod tests {
         let m = DielectricBreakdown::default();
         let r1 = rate(340.0, 1.3, NodeId::N180);
         let r2 = rate(380.0, 1.3, NodeId::N180);
-        let expect = ((m.voltage_exponent(380.0) - m.voltage_exponent(340.0))
+        let k = |v| Kelvin::new(v).unwrap();
+        let expect = ((m.voltage_exponent(k(380.0)) - m.voltage_exponent(k(340.0)))
             * 1.3f64.ln()
-            + m.arrhenius_exponent(340.0)
-            - m.arrhenius_exponent(380.0))
+            + m.arrhenius_exponent(k(340.0))
+            - m.arrhenius_exponent(k(380.0)))
         .exp();
         assert!(((r2 / r1) / expect - 1.0).abs() < 1e-9);
         assert!(r2 / r1 > 3.0, "strongly temperature-accelerated");
@@ -161,7 +166,7 @@ mod tests {
         let m = DielectricBreakdown::default();
         let low = rate(356.0, 1.0, NodeId::N180);
         let high = rate(356.0, 1.3, NodeId::N180);
-        let expect = (1.3f64 / 1.0).powf(m.voltage_exponent(356.0));
+        let expect = (1.3f64 / 1.0).powf(m.voltage_exponent(Kelvin::new(356.0).unwrap()));
         assert!(((high / low) / expect - 1.0).abs() < 1e-9);
         assert!(high / low > 10.0, "voltage leverage {}", high / low);
     }

@@ -27,14 +27,14 @@ use ramp_power::{
 };
 use ramp_thermal::{ThermalParams, ThermalSimulator, ThermalState};
 use ramp_trace::BenchmarkProfile;
-use ramp_units::{ActivityFactor, Kelvin, Seconds, Watts};
+use ramp_units::{ActivityFactor, Kelvin, KelvinDelta, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Convergence tolerance (kelvin) reported for the first-pass fixed point.
 /// The loop runs a fixed iteration count; the tracker only classifies
 /// whether the final sweep still moved temperatures by more than this.
-const FEEDBACK_TOLERANCE_K: f64 = 0.05;
+const FEEDBACK_TOLERANCE: KelvinDelta = KelvinDelta::new_const(0.05);
 
 /// Configuration of the evaluation pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -259,9 +259,9 @@ fn first_pass(
     iterations: u32,
 ) -> Result<(ThermalSimulator, ThermalState), RampError> {
     let mut temps = PerStructure::from_fn(|_| Kelvin::new_const(345.0));
-    let mut sim = sim_builder(Watts::new(1.0).expect("literal"))?;
+    let mut sim = sim_builder(Watts::new(1.0).expect("literal"))?; // ramp-lint:allow(panic-hygiene) -- literal is in range
     let mut state = ThermalState::uniform(Kelvin::new_const(345.0));
-    let mut tracker = FeedbackTracker::new(FEEDBACK_TOLERANCE_K);
+    let mut tracker = FeedbackTracker::new(FEEDBACK_TOLERANCE);
     for _ in 0..iterations {
         let sample = power.sample(avg_activity, &temps);
         sim = sim_builder(sample.total())?;
@@ -270,8 +270,8 @@ fn first_pass(
             .map_err(RampError::ThermalSolve)?;
         let max_delta = Structure::ALL
             .iter()
-            .map(|&s| (state.structures[s].value() - temps[s].value()).abs())
-            .fold(0.0_f64, f64::max);
+            .map(|&s| state.structures[s].abs_diff(temps[s]))
+            .fold(KelvinDelta::ZERO, KelvinDelta::max);
         tracker.observe(max_delta);
         temps = state.structures;
     }
@@ -390,7 +390,7 @@ pub fn run_app_on_node(
     let stable = sim.network().max_stable_step().value();
     let substeps = (total_dt / stable).ceil().max(1.0) as u32;
     let dt = Seconds::new(total_dt / f64::from(substeps))
-        .expect("positive sub-step duration");
+        .expect("positive sub-step duration"); // ramp-lint:allow(panic-hygiene) -- substeps >= 1 keeps dt positive
     for _ in 0..cfg.trace_repeats {
         for interval in activity.intervals() {
             let sample = power.sample(&interval.factors, &state.structures);
@@ -399,7 +399,7 @@ pub fn run_app_on_node(
                 OperatingPoint::new(state.structures[s], node.vdd, interval.factors[s])
             });
             acc.observe(&ops, 1.0);
-            if samples % stride == 0 {
+            if samples.is_multiple_of(stride) {
                 if let Some(trace) = thermal_trace.as_mut() {
                     trace.push(state.structures);
                 }
@@ -440,9 +440,9 @@ pub fn run_app_on_node(
         node: *node,
         ipc: out.stats.ipc(),
         avg_dynamic: Watts::new(dyn_sum / samples as f64)
-            .expect("mean of valid powers is valid"),
+            .expect("mean of valid powers is valid"), // ramp-lint:allow(panic-hygiene) -- mean of valid powers is valid
         avg_leakage: Watts::new(leak_sum / samples as f64)
-            .expect("mean of valid powers is valid"),
+            .expect("mean of valid powers is valid"), // ramp-lint:allow(panic-hygiene) -- mean of valid powers is valid
         sink_temperature: state.sink,
         rates,
         avg_activity,

@@ -112,6 +112,7 @@ impl Qualification {
 
     /// The constant for one mechanism.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- dimensionless calibration constant
     pub fn constant(&self, m: MechanismKind) -> f64 {
         self.constants[m]
     }
@@ -123,7 +124,7 @@ impl Qualification {
             fits: PerMechanism::from_fn(|m| {
                 PerStructure::from_fn(|s| {
                     Fit::new(self.constants[m] * rates.rate(m, s))
-                        .expect("calibrated rate is non-negative and finite")
+                        .expect("calibrated rate is non-negative and finite") // ramp-lint:allow(panic-hygiene) -- calibration keeps rates finite and non-negative
                 })
             }),
         }

@@ -24,6 +24,7 @@ pub struct AveragedRates {
 impl AveragedRates {
     /// Mean relative rate of one (mechanism, structure) pair.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- relative failure rate, dimensionless
     pub fn rate(&self, m: MechanismKind, s: Structure) -> f64 {
         self.per_mechanism[m][s]
     }
@@ -31,6 +32,7 @@ impl AveragedRates {
     /// Sum of a mechanism's mean rates over all structures (the quantity
     /// qualification normalises).
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- relative failure rate, dimensionless
     pub fn mechanism_total(&self, m: MechanismKind) -> f64 {
         Structure::ALL.iter().map(|&s| self.rate(m, s)).sum()
     }
@@ -55,7 +57,7 @@ impl AveragedRates {
             .iter()
             .map(|&s| &self.peak_temperature[s])
             .max_by(|a, b| a.value().total_cmp(&b.value()))
-            .expect("non-empty structure set")
+            .expect("non-empty structure set") // ramp-lint:allow(panic-hygiene) -- structures are a non-empty static enum
     }
 }
 
@@ -104,6 +106,7 @@ impl<'m> RateAccumulator<'m> {
     ///
     /// Panics if `dt_weight` is not finite and positive, or a model
     /// produces a non-finite rate.
+    // ramp-lint:allow(unit-safety) -- dt_weight is a dimensionless quadrature weight
     pub fn observe(&mut self, ops: &PerStructure<OperatingPoint>, dt_weight: f64) {
         assert!(
             dt_weight.is_finite() && dt_weight > 0.0,
@@ -143,7 +146,7 @@ impl<'m> RateAccumulator<'m> {
         assert!(self.weight > 0.0, "no intervals observed");
         let avg_temp = PerStructure::from_fn(|s| {
             Kelvin::new(self.temp_sums[s] / self.weight)
-                .expect("average of valid temperatures is valid")
+                .expect("average of valid temperatures is valid") // ramp-lint:allow(panic-hygiene) -- mean of valid temperatures stays valid
         });
         let mut per_mechanism =
             PerMechanism::from_fn(|m| PerStructure::from_fn(|s| self.rate_sums[m][s] / self.weight));
@@ -165,7 +168,7 @@ impl<'m> RateAccumulator<'m> {
             average_temperature: avg_temp,
             peak_temperature: PerStructure::from_fn(|s| {
                 Kelvin::new(self.temp_peaks[s].max(1e-6))
-                    .expect("peak of valid temperatures is valid")
+                    .expect("peak of valid temperatures is valid") // ramp-lint:allow(panic-hygiene) -- max of valid temperatures stays valid
             }),
         }
     }

@@ -71,7 +71,7 @@ impl AppNodeResult {
             .iter()
             .map(|&s| &self.peak_temperature[s])
             .max_by(|a, b| a.value().total_cmp(&b.value()))
-            .expect("non-empty structure set")
+            .expect("non-empty structure set") // ramp-lint:allow(panic-hygiene) -- structures are a non-empty static enum
     }
 }
 
@@ -121,6 +121,7 @@ impl StudyMetrics {
     /// Summed per-run wall-clock across all stages — the serial-equivalent
     /// cost of the sweep.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- telemetry seconds, not a model quantity
     pub fn cpu_seconds(&self) -> f64 {
         self.timing_seconds + self.first_pass_seconds + self.second_pass_seconds
     }
@@ -128,6 +129,7 @@ impl StudyMetrics {
     /// Ratio of serial-equivalent cost to wall-clock: the measured
     /// speedup over running the same sweep on one thread.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- dimensionless speedup ratio
     pub fn parallel_speedup(&self) -> f64 {
         if self.wall_seconds > 0.0 {
             self.cpu_seconds() / self.wall_seconds
@@ -138,18 +140,21 @@ impl StudyMetrics {
 
     /// Completed (benchmark, node) runs per wall-clock second.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- telemetry rate, not a model quantity
     pub fn runs_per_second(&self) -> f64 {
         self.per_wall_second(self.runs)
     }
 
     /// Activity intervals simulated per wall-clock second.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- telemetry rate, not a model quantity
     pub fn intervals_per_second(&self) -> f64 {
         self.per_wall_second(self.intervals)
     }
 
     /// Structure operating points evaluated per wall-clock second.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- telemetry rate, not a model quantity
     pub fn structure_updates_per_second(&self) -> f64 {
         self.per_wall_second(self.structure_updates)
     }
@@ -294,7 +299,7 @@ impl StudyResults {
     pub fn average_total_fit(&self, suite: Suite, node: NodeId) -> Fit {
         let rs = self.suite_results(suite, node);
         let mean = rs.iter().map(|r| r.fit.total().value()).sum::<f64>() / rs.len() as f64;
-        Fit::new(mean).expect("mean of valid FITs is valid")
+        Fit::new(mean).expect("mean of valid FITs is valid") // ramp-lint:allow(panic-hygiene) -- mean of valid FITs stays valid
     }
 
     /// Mean per-mechanism FIT of a suite on a node (Figure 4 breakdown,
@@ -312,7 +317,7 @@ impl StudyResults {
             .map(|r| r.fit.mechanism_total(mechanism).value())
             .sum::<f64>()
             / rs.len() as f64;
-        Fit::new(mean).expect("mean of valid FITs is valid")
+        Fit::new(mean).expect("mean of valid FITs is valid") // ramp-lint:allow(panic-hygiene) -- mean of valid FITs stays valid
     }
 
     /// Mean total FIT over every benchmark on a node.
@@ -320,7 +325,7 @@ impl StudyResults {
     pub fn overall_average_fit(&self, node: NodeId) -> Fit {
         let rs: Vec<_> = self.apps.iter().filter(|r| r.node == node).collect();
         let mean = rs.iter().map(|r| r.fit.total().value()).sum::<f64>() / rs.len() as f64;
-        Fit::new(mean).expect("mean of valid FITs is valid")
+        Fit::new(mean).expect("mean of valid FITs is valid") // ramp-lint:allow(panic-hygiene) -- mean of valid FITs stays valid
     }
 
     /// Highest single-benchmark total FIT on a node.
@@ -336,6 +341,7 @@ impl StudyResults {
     /// Range (max − min) of total FIT across benchmarks on a node — the
     /// spread §5.2 reports growing from 2479 FIT to 17272 FIT.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- FIT spread can be zero, which the Fit newtype rejects
     pub fn fit_range(&self, node: NodeId) -> f64 {
         let values: Vec<f64> = self
             .apps
@@ -357,7 +363,7 @@ impl StudyResults {
             .map(|r| r.max_temperature().value())
             .sum::<f64>()
             / rs.len() as f64;
-        Kelvin::new(mean).expect("mean of valid temperatures is valid")
+        Kelvin::new(mean).expect("mean of valid temperatures is valid") // ramp-lint:allow(panic-hygiene) -- mean of valid temperatures stays valid
     }
 
     /// Mean heat-sink temperature across every benchmark on a node.
@@ -369,7 +375,7 @@ impl StudyResults {
             .map(|r| r.sink_temperature.value())
             .sum::<f64>()
             / rs.len() as f64;
-        Kelvin::new(mean).expect("mean of valid temperatures is valid")
+        Kelvin::new(mean).expect("mean of valid temperatures is valid") // ramp-lint:allow(panic-hygiene) -- mean of valid temperatures stays valid
     }
 
     /// Worst-case margin over the hottest benchmark, as a percentage of

@@ -38,6 +38,7 @@ impl SensitivityRow {
     /// Total swing of the headline ratio across the parameter's range,
     /// normalised by the nominal ratio — the tornado-chart bar length.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- dimensionless swing ratio
     pub fn relative_swing(&self) -> f64 {
         (self.ratio_high - self.ratio_low).abs() / self.ratio_nominal
     }
@@ -48,7 +49,7 @@ impl SensitivityRow {
 fn probe_points() -> (OperatingPoint, TechNode, OperatingPoint, TechNode) {
     let n180 = TechNode::reference();
     let n65 = TechNode::get(NodeId::N65HighV);
-    let p = ActivityFactor::new(0.4).expect("static probe activity");
+    let p = ActivityFactor::new(0.4).expect("static probe activity"); // ramp-lint:allow(panic-hygiene) -- 0.4 is a valid activity factor
     (
         OperatingPoint::new(Kelvin::new_const(356.0), n180.vdd, p),
         n180,
@@ -83,6 +84,7 @@ fn headline_ratio(model: &dyn FailureModel) -> f64 {
 /// assert_eq!(top.parameter, "TDDB nm per decade");
 /// ```
 #[must_use]
+// ramp-lint:allow(unit-safety) -- spread is a dimensionless perturbation fraction
 pub fn sensitivity_table(spread: f64) -> Vec<SensitivityRow> {
     assert!(
         spread > 0.0 && spread < 0.9,
@@ -237,6 +239,7 @@ fn parameter_specs() -> Vec<ParameterSpec> {
 /// of **every** fitted constant simultaneously in its least favourable
 /// direction.
 #[must_use]
+// ramp-lint:allow(unit-safety) -- spread is a dimensionless perturbation fraction
 pub fn ordering_is_robust(spread: f64) -> bool {
     // Weakest TDDB & EM vs strongest SM & TC.
     let tddb = DielectricBreakdown::default();

@@ -193,7 +193,7 @@ pub fn run_study(config: &StudyConfig) -> Result<StudyResults, RampError> {
             .iter()
             .find(|p| p.name == run.app)
             .map(|p| p.suite)
-            .expect("run came from a configured benchmark");
+            .expect("run came from a configured benchmark"); // ramp-lint:allow(panic-hygiene) -- runs are generated from the configured benchmark list
         app_results.push(AppNodeResult::from_run(
             run,
             suite,
@@ -267,7 +267,7 @@ fn worst_case_for_node(
             .iter()
             .map(|r| r.peak_temperature[s])
             .max_by(|a, b| a.value().total_cmp(&b.value()))
-            .expect("non-empty results")
+            .expect("non-empty results") // ramp-lint:allow(panic-hygiene) -- a study always produces at least one run
     });
     let per_structure_activity = PerStructure::from_fn(|s| {
         node_results
@@ -282,7 +282,7 @@ fn worst_case_for_node(
                 .iter()
                 .map(|&s| &per_structure_temp[s])
                 .max_by(|a, b| a.value().total_cmp(&b.value()))
-                .expect("non-empty structure set");
+                .expect("non-empty structure set"); // ramp-lint:allow(panic-hygiene) -- structures are a non-empty static enum
             let p_max = Structure::ALL
                 .iter()
                 .map(|&s| per_structure_activity[s])

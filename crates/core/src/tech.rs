@@ -116,14 +116,14 @@ impl TechNode {
         ) -> TechNode {
             TechNode {
                 id,
-                feature: Nanometers::new(feature).expect("static table entry"),
-                vdd: Volts::new(vdd).expect("static table entry"),
-                frequency: Gigahertz::new(freq).expect("static table entry"),
+                feature: Nanometers::new(feature).expect("static table entry"), // ramp-lint:allow(panic-hygiene) -- static table entry is valid by construction
+                vdd: Volts::new(vdd).expect("static table entry"), // ramp-lint:allow(panic-hygiene) -- static table entry is valid by construction
+                frequency: Gigahertz::new(freq).expect("static table entry"), // ramp-lint:allow(panic-hygiene) -- static table entry is valid by construction
                 capacitance_rel: cap,
                 area_rel: area,
-                tox: Angstroms::new(tox).expect("static table entry"),
-                j_max: CurrentDensity::new(jmax).expect("static table entry"),
-                leakage_density: PowerDensity::new(leak).expect("static table entry"),
+                tox: Angstroms::new(tox).expect("static table entry"), // ramp-lint:allow(panic-hygiene) -- static table entry is valid by construction
+                j_max: CurrentDensity::new(jmax).expect("static table entry"), // ramp-lint:allow(panic-hygiene) -- static table entry is valid by construction
+                leakage_density: PowerDensity::new(leak).expect("static table entry"), // ramp-lint:allow(panic-hygiene) -- static table entry is valid by construction
                 scale_factor: kappa,
             }
         }
@@ -164,11 +164,12 @@ impl TechNode {
     /// `area_rel`).
     #[must_use]
     pub fn core_area(&self) -> SquareMillimeters {
-        SquareMillimeters::new(81.0 * self.area_rel).expect("positive scaled area")
+        SquareMillimeters::new(81.0 * self.area_rel).expect("positive scaled area") // ramp-lint:allow(panic-hygiene) -- area_rel > 0 keeps the product positive
     }
 
     /// `C·V²·f` dynamic-power factor relative to the 180 nm reference.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- dimensionless power multiplier
     pub fn dynamic_power_factor(&self) -> f64 {
         let reference = TechNode::reference();
         self.capacitance_rel
@@ -179,6 +180,7 @@ impl TechNode {
     /// Gate-oxide thinning relative to 180 nm, in nanometres
     /// (`Δt_ox ≥ 0`).
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- difference in nm can be zero, which Nanometers rejects
     pub fn tox_reduction_nm(&self) -> f64 {
         TechNode::reference().tox.to_nanometers() - self.tox.to_nanometers()
     }

@@ -99,7 +99,7 @@ impl ActivityTrace {
                 .map(|r| r.factors[s].value())
                 .sum();
             ActivityFactor::new(sum / self.intervals.len() as f64)
-                .expect("mean of unit-interval values is in the unit interval")
+                .expect("mean of unit-interval values is in the unit interval") // ramp-lint:allow(panic-hygiene) -- mean of unit-interval samples stays in the unit interval
         })
     }
 

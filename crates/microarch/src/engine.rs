@@ -248,7 +248,7 @@ impl Engine {
     #[must_use]
     pub fn new(config: &MachineConfig, interval_cycles: u64) -> Self {
         if let Err(e) = config.validate() {
-            panic!("invalid machine configuration: {e}");
+            panic!("invalid machine configuration: {e}"); // ramp-lint:allow(panic-hygiene) -- documented constructor contract for invalid configs
         }
         Engine {
             icache: Cache::new(&config.l1i),
@@ -429,7 +429,7 @@ impl Engine {
             }
             OpClass::Load => {
                 let issue = self.ls_units.claim(ready, 1);
-                let addr = rec.mem().expect("load carries an address").addr;
+                let addr = rec.mem().expect("load carries an address").addr; // ramp-lint:allow(panic-hygiene) -- decoder guarantees loads carry addresses
                 let level = self.dcache.access(addr);
                 let mut latency = u64::from(self.dcache.latency(level));
                 match level {
@@ -451,7 +451,7 @@ impl Engine {
             }
             OpClass::Store => {
                 let issue = self.ls_units.claim(ready, 1);
-                let addr = rec.mem().expect("store carries an address").addr;
+                let addr = rec.mem().expect("store carries an address").addr; // ramp-lint:allow(panic-hygiene) -- decoder guarantees stores carry addresses
                 let level = self.dcache.access(addr);
                 match level {
                     HitLevel::L1 => {}
@@ -469,7 +469,7 @@ impl Engine {
             OpClass::Branch => {
                 let issue = self.br_units.claim(ready, 1);
                 let complete = issue + u64::from(self.config.branch_latency);
-                let info = rec.branch().expect("branch carries an outcome");
+                let info = rec.branch().expect("branch carries an outcome"); // ramp-lint:allow(panic-hygiene) -- decoder guarantees branches carry outcomes
                 let correct = self.bpred.update(rec.pc(), info.taken);
                 self.stats.branches += 1;
                 if !correct {

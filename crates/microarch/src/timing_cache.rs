@@ -20,7 +20,7 @@
 use crate::engine::{simulate, SimulationLength, SimulationOutput};
 use crate::MachineConfig;
 use ramp_trace::{BenchmarkProfile, TraceGenerator};
-use std::collections::HashMap;
+use std::collections::HashMap; // ramp-lint:allow(determinism) -- keyed lookup only; iteration order never reaches output
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -40,7 +40,7 @@ struct Key {
 /// FNV-1a over the canonical JSON encoding; collisions are astronomically
 /// unlikely across the handful of configs a process ever touches.
 fn fingerprint<T: serde::Serialize + ?Sized>(value: &T) -> u64 {
-    let json = serde_json::to_string(value).expect("config types serialize infallibly");
+    let json = serde_json::to_string(value).expect("config types serialize infallibly"); // ramp-lint:allow(panic-hygiene) -- config types contain no non-serializable values
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for b in json.as_bytes() {
         hash ^= u64::from(*b);
@@ -55,7 +55,7 @@ struct Entry {
 }
 
 struct CacheState {
-    map: HashMap<Key, Entry>,
+    map: HashMap<Key, Entry>, // ramp-lint:allow(determinism) -- keyed lookup only; iteration order never reaches output
     tick: u64,
 }
 
@@ -76,7 +76,7 @@ pub struct TimingCacheStats {
 
 /// Current process-wide cache counters.
 pub fn timing_cache_stats() -> TimingCacheStats {
-    let guard = CACHE.lock().expect("timing cache lock");
+    let guard = CACHE.lock().expect("timing cache lock"); // ramp-lint:allow(panic-hygiene) -- lock poisoning implies a worker already panicked
     TimingCacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
@@ -86,7 +86,7 @@ pub fn timing_cache_stats() -> TimingCacheStats {
 
 /// Empties the cache and zeroes the counters (tests, benchmarks).
 pub fn clear_timing_cache() {
-    let mut guard = CACHE.lock().expect("timing cache lock");
+    let mut guard = CACHE.lock().expect("timing cache lock"); // ramp-lint:allow(panic-hygiene) -- lock poisoning implies a worker already panicked
     *guard = None;
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
@@ -116,9 +116,9 @@ pub fn simulate_profile_cached(
     };
 
     let cell = {
-        let mut guard = CACHE.lock().expect("timing cache lock");
+        let mut guard = CACHE.lock().expect("timing cache lock"); // ramp-lint:allow(panic-hygiene) -- lock poisoning implies a worker already panicked
         let state = guard.get_or_insert_with(|| CacheState {
-            map: HashMap::new(),
+            map: HashMap::new(), // ramp-lint:allow(determinism) -- keyed lookup only; iteration order never reaches output
             tick: 0,
         });
         state.tick += 1;

@@ -256,7 +256,7 @@ pub fn counter(name: &str) -> Arc<Counter> {
         .or_insert_with(|| Instrument::Counter(Arc::new(Counter::default())))
     {
         Instrument::Counter(c) => Arc::clone(c),
-        _ => panic!("metric {name:?} already registered with a different kind"),
+        _ => panic!("metric {name:?} already registered with a different kind"), // ramp-lint:allow(panic-hygiene) -- registry misuse is a programming error worth aborting
     }
 }
 
@@ -273,7 +273,7 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
         .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::default())))
     {
         Instrument::Gauge(g) => Arc::clone(g),
-        _ => panic!("metric {name:?} already registered with a different kind"),
+        _ => panic!("metric {name:?} already registered with a different kind"), // ramp-lint:allow(panic-hygiene) -- registry misuse is a programming error worth aborting
     }
 }
 
@@ -293,7 +293,7 @@ pub fn histogram(name: &str, bounds: &[f64]) -> Arc<Histogram> {
         .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new(bounds))))
     {
         Instrument::Histogram(h) => Arc::clone(h),
-        _ => panic!("metric {name:?} already registered with a different kind"),
+        _ => panic!("metric {name:?} already registered with a different kind"), // ramp-lint:allow(panic-hygiene) -- registry misuse is a programming error worth aborting
     }
 }
 

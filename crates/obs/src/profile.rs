@@ -101,7 +101,7 @@ fn insert(nodes: &mut Vec<SpanNode>, parent_path: &str, rest: &str, stat: &SpanP
                 total_ns: 0,
                 children: Vec::new(),
             });
-            nodes.last_mut().expect("just pushed")
+            nodes.last_mut().expect("just pushed") // ramp-lint:allow(panic-hygiene) -- push on the line above guarantees a last element
         }
     };
     match tail {

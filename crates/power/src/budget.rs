@@ -38,7 +38,7 @@ impl StructureBudgets {
     /// 180 nm matches Table 3's 29.1 W.
     #[must_use]
     pub fn power4_reference() -> Self {
-        let watts = |v: f64| Watts::new(v).expect("static budget is valid");
+        let watts = |v: f64| Watts::new(v).expect("static budget is valid"); // ramp-lint:allow(panic-hygiene) -- static budget table is valid by construction
         let mut budgets = PerStructure::from_fn(|_| Watts::ZERO);
         budgets[Structure::Ifu] = watts(9.0);
         budgets[Structure::Idu] = watts(4.8);
@@ -58,6 +58,7 @@ impl StructureBudgets {
     /// # Errors
     ///
     /// Returns an error description if the floor is outside `[0, 1]`.
+    // ramp-lint:allow(unit-safety) -- clock_gate_floor is a dimensionless fraction
     pub fn new(
         budgets: PerStructure<Watts>,
         clock_gate_floor: f64,
@@ -87,6 +88,7 @@ impl StructureBudgets {
 
     /// Fraction of a structure's budget burned while fully idle.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- dimensionless fraction in [0, 1]
     pub fn clock_gate_floor(&self) -> f64 {
         self.clock_gate_floor
     }
@@ -94,6 +96,7 @@ impl StructureBudgets {
     /// Effective utilisation factor for an activity level: the gating
     /// floor plus the gateable remainder scaled by activity.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- dimensionless utilisation fraction
     pub fn utilisation(&self, activity: ramp_units::ActivityFactor) -> f64 {
         self.clock_gate_floor + (1.0 - self.clock_gate_floor) * activity.value()
     }

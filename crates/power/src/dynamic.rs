@@ -37,6 +37,7 @@ impl DynamicScaling {
     ///
     /// Returns an error description unless all ratios are finite and
     /// positive.
+    // ramp-lint:allow(unit-safety) -- dimensionless scaling ratios
     pub fn new(
         capacitance_rel: f64,
         voltage_ratio: f64,
@@ -60,6 +61,7 @@ impl DynamicScaling {
 
     /// The combined `C·V²·f` power multiplier.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- dimensionless power multiplier
     pub fn factor(&self) -> f64 {
         self.capacitance_rel * self.voltage_ratio * self.voltage_ratio * self.frequency_ratio
     }

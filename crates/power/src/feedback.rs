@@ -7,6 +7,7 @@
 //! publishes convergence counters and a final-delta histogram through
 //! `ramp-obs` so run manifests capture how hard the fixed point worked.
 
+use ramp_units::KelvinDelta;
 use std::sync::Arc;
 
 /// Bucket bounds (kelvin) for the final temperature delta at loop exit.
@@ -20,9 +21,9 @@ const DELTA_BOUNDS: [f64; 7] = [0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 25.0];
 /// [`finish`](FeedbackTracker::finish) when the loop exits.
 #[derive(Debug)]
 pub struct FeedbackTracker {
-    tolerance_k: f64,
+    tolerance: KelvinDelta,
     iterations: u64,
-    last_delta_k: f64,
+    last_delta: Option<KelvinDelta>,
     iterations_total: Arc<ramp_obs::Counter>,
     runs: Arc<ramp_obs::Counter>,
     converged_runs: Arc<ramp_obs::Counter>,
@@ -31,13 +32,13 @@ pub struct FeedbackTracker {
 
 impl FeedbackTracker {
     /// Starts tracking a feedback loop that aims for a max-delta below
-    /// `tolerance_k` kelvin.
+    /// `tolerance`.
     #[must_use]
-    pub fn new(tolerance_k: f64) -> Self {
+    pub fn new(tolerance: KelvinDelta) -> Self {
         FeedbackTracker {
-            tolerance_k,
+            tolerance,
             iterations: 0,
-            last_delta_k: f64::INFINITY,
+            last_delta: None,
             iterations_total: ramp_obs::counter("power.feedback.iterations"),
             runs: ramp_obs::counter("power.feedback.runs"),
             converged_runs: ramp_obs::counter("power.feedback.converged_runs"),
@@ -46,9 +47,9 @@ impl FeedbackTracker {
     }
 
     /// Records one iteration's largest absolute temperature change.
-    pub fn observe(&mut self, max_abs_delta_k: f64) {
+    pub fn observe(&mut self, max_abs_delta: KelvinDelta) {
         self.iterations += 1;
-        self.last_delta_k = max_abs_delta_k;
+        self.last_delta = Some(max_abs_delta);
     }
 
     /// Iterations observed so far.
@@ -57,16 +58,16 @@ impl FeedbackTracker {
         self.iterations
     }
 
-    /// The most recent delta, kelvin (infinite before any iteration).
+    /// The most recent delta (`None` before any iteration).
     #[must_use]
-    pub fn last_delta(&self) -> f64 {
-        self.last_delta_k
+    pub fn last_delta(&self) -> Option<KelvinDelta> {
+        self.last_delta
     }
 
     /// Whether the most recent delta is within tolerance.
     #[must_use]
     pub fn converged(&self) -> bool {
-        self.last_delta_k < self.tolerance_k
+        self.last_delta.is_some_and(|d| d < self.tolerance)
     }
 
     /// Ends the run, publishing metrics. Returns whether it converged.
@@ -77,17 +78,17 @@ impl FeedbackTracker {
         if converged {
             self.converged_runs.incr();
         }
-        if self.last_delta_k.is_finite() {
-            self.final_delta.observe(self.last_delta_k);
-        }
-        if !converged {
-            ramp_obs::debug!(
-                "leakage-temperature feedback stopped above tolerance: \
-                 {} iterations, last delta {:.4} K (tolerance {:.4} K)",
-                self.iterations,
-                self.last_delta_k,
-                self.tolerance_k
-            );
+        if let Some(delta) = self.last_delta {
+            self.final_delta.observe(delta.value());
+            if !converged {
+                ramp_obs::debug!(
+                    "leakage-temperature feedback stopped above tolerance: \
+                     {} iterations, last delta {:.4} (tolerance {:.4})",
+                    self.iterations,
+                    delta,
+                    self.tolerance
+                );
+            }
         }
         converged
     }
@@ -97,12 +98,16 @@ impl FeedbackTracker {
 mod tests {
     use super::*;
 
+    fn delta(v: f64) -> KelvinDelta {
+        KelvinDelta::new(v).unwrap()
+    }
+
     #[test]
     fn converges_when_delta_falls_below_tolerance() {
-        let mut t = FeedbackTracker::new(0.1);
-        t.observe(5.0);
+        let mut t = FeedbackTracker::new(delta(0.1));
+        t.observe(delta(5.0));
         assert!(!t.converged());
-        t.observe(0.05);
+        t.observe(delta(0.05));
         assert!(t.converged());
         assert_eq!(t.iterations(), 2);
         assert!(t.finish());
@@ -110,16 +115,17 @@ mod tests {
 
     #[test]
     fn empty_run_does_not_converge() {
-        let t = FeedbackTracker::new(0.1);
+        let t = FeedbackTracker::new(delta(0.1));
         assert!(!t.converged());
+        assert_eq!(t.last_delta(), None);
         assert!(!t.finish());
     }
 
     #[test]
     fn metrics_accumulate_across_runs() {
         let before = ramp_obs::counter("power.feedback.runs").get();
-        let mut t = FeedbackTracker::new(1.0);
-        t.observe(0.5);
+        let mut t = FeedbackTracker::new(delta(1.0));
+        t.observe(delta(0.5));
         t.finish();
         assert_eq!(ramp_obs::counter("power.feedback.runs").get(), before + 1);
     }

@@ -49,6 +49,7 @@ impl LeakageModel {
     /// # Errors
     ///
     /// Returns an error description if β is not finite and non-negative.
+    // ramp-lint:allow(unit-safety) -- beta is an empirical exponent coefficient; no newtype applies
     pub fn new(
         density_at_ref: PowerDensity,
         core_area: SquareMillimeters,
@@ -66,6 +67,7 @@ impl LeakageModel {
 
     /// Temperature multiplier `e^{β (T − 383)}`.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- dimensionless leakage multiplier
     pub fn temperature_factor(&self, t: Kelvin) -> f64 {
         (self.beta * (t - LEAKAGE_REFERENCE_TEMP)).exp()
     }

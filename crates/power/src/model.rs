@@ -83,6 +83,7 @@ impl PowerModel {
     ///
     /// Returns an error description if `residual` is not finite and
     /// positive.
+    // ramp-lint:allow(unit-safety) -- residual is a dimensionless multiplier
     pub fn new(
         dynamic: DynamicPowerModel,
         leakage: LeakageModel,
@@ -133,6 +134,7 @@ impl PowerModel {
 
     /// The benchmark residual multiplier.
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- dimensionless multiplier
     pub fn residual(&self) -> f64 {
         self.residual
     }

@@ -23,7 +23,7 @@ impl Block {
     /// Block area.
     #[must_use]
     pub fn area(&self) -> SquareMillimeters {
-        SquareMillimeters::new(self.w * self.h).expect("blocks have positive extent")
+        SquareMillimeters::new(self.w * self.h).expect("blocks have positive extent") // ramp-lint:allow(panic-hygiene) -- block constructor enforces positive extent
     }
 
     /// Centre coordinates (mm).
@@ -37,6 +37,7 @@ impl Block {
     /// Two blocks are adjacent when they abut along a full or partial edge
     /// (within a small tolerance used to absorb floating-point tiling).
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- edge length in mm; no length newtype exists
     pub fn shared_edge(&self, other: &Block) -> f64 {
         const EPS: f64 = 1e-9;
         let overlap = |a0: f64, a1: f64, b0: f64, b1: f64| (a1.min(b1) - a0.max(b0)).max(0.0);
@@ -126,7 +127,7 @@ impl Floorplan {
         self.blocks
             .iter()
             .find(|b| b.structure == s)
-            .expect("floorplan covers all structures")
+            .expect("floorplan covers all structures") // ramp-lint:allow(panic-hygiene) -- floorplan validation covers every structure
     }
 
     /// Per-structure areas.

@@ -3,7 +3,7 @@
 use crate::floorplan::Floorplan;
 use crate::solve::{solve, SingularMatrix};
 use ramp_microarch::{PerStructure, Structure};
-use ramp_units::{Kelvin, Seconds, Watts};
+use ramp_units::{Kelvin, KelvinPerWatt, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
 /// Physical parameters of the thermal stack.
@@ -112,7 +112,7 @@ impl ThermalState {
             .iter()
             .map(|&s| (s, self.structures[s]))
             .max_by(|a, b| a.1.value().total_cmp(&b.1.value()))
-            .expect("non-empty structure list")
+            .expect("non-empty structure list") // ramp-lint:allow(panic-hygiene) -- structure list is a non-empty static enum
     }
 }
 
@@ -193,9 +193,8 @@ impl RcNetwork {
     /// Replaces the sink-to-ambient resistance (the paper's per-node
     /// rescaling knob) and returns the modified network.
     #[must_use]
-    pub fn with_sink_resistance(mut self, r: f64) -> Self {
-        assert!(r.is_finite() && r > 0.0, "sink resistance must be positive");
-        self.params.sink_resistance = r;
+    pub fn with_sink_resistance(mut self, r: KelvinPerWatt) -> Self {
+        self.params.sink_resistance = r.value();
         self
     }
 
@@ -246,10 +245,10 @@ impl RcNetwork {
         let x = solve(&mut a, &mut b)?;
         Ok(ThermalState {
             structures: PerStructure::from_fn(|s| {
-                Kelvin::new(x[s.index()]).expect("steady-state temperature in range")
+                Kelvin::new(x[s.index()]).expect("steady-state temperature in range") // ramp-lint:allow(panic-hygiene) -- converged solve stays in the valid temperature range
             }),
-            spreader: Kelvin::new(x[spreader]).expect("in range"),
-            sink: Kelvin::new(x[sink]).expect("in range"),
+            spreader: Kelvin::new(x[spreader]).expect("in range"), // ramp-lint:allow(panic-hygiene) -- converged solve stays in the valid temperature range
+            sink: Kelvin::new(x[sink]).expect("in range"), // ramp-lint:allow(panic-hygiene) -- converged solve stays in the valid temperature range
         })
     }
 
@@ -313,7 +312,7 @@ impl RcNetwork {
                     .sum::<f64>();
             min_tau = min_tau.min(self.capacitance[s] / g_total);
         }
-        Seconds::new(min_tau * 0.5).expect("positive time constant")
+        Seconds::new(min_tau * 0.5).expect("positive time constant") // ramp-lint:allow(panic-hygiene) -- min_tau is positive for a valid network
     }
 }
 
@@ -435,7 +434,7 @@ mod tests {
 
     #[test]
     fn sink_resistance_override() {
-        let net = network(81.0).with_sink_resistance(1.6);
+        let net = network(81.0).with_sink_resistance(KelvinPerWatt::new(1.6).unwrap());
         let st = net.steady_state(&uniform_power(4.0)).unwrap();
         let expect = 318.15 + 28.0 * 1.6;
         assert!((st.sink.value() - expect).abs() < 1e-6);

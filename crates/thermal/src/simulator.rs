@@ -18,7 +18,7 @@
 use crate::network::{RcNetwork, ThermalParams, ThermalState};
 use crate::Floorplan;
 use ramp_microarch::{PerStructure, Structure};
-use ramp_units::{Kelvin, Seconds, SquareMillimeters, Watts};
+use ramp_units::{Kelvin, KelvinPerWatt, Seconds, SquareMillimeters, Watts};
 use std::sync::Arc;
 
 /// Bucket bounds for the per-interval substep-count histogram: substeps
@@ -96,7 +96,10 @@ impl ThermalSimulator {
         }
         let sim = Self::new(die_area, params)?;
         // ΔT_sink = P · R must match: R' = R · P_ref / P_here.
-        let r = params.sink_resistance * avg_power_reference.value() / avg_power_here.value();
+        let r = KelvinPerWatt::new(
+            params.sink_resistance * avg_power_reference.value() / avg_power_here.value(),
+        )
+        .map_err(|e| format!("rescaled sink resistance invalid: {e}"))?;
         Ok(Self::from_network(sim.network.with_sink_resistance(r)))
     }
 

@@ -36,7 +36,7 @@ pub fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>, SingularMatr
         // Partial pivot.
         let pivot_row = (col..n)
             .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
-            .expect("non-empty range");
+            .expect("non-empty range"); // ramp-lint:allow(panic-hygiene) -- range is non-empty by construction
         if a[pivot_row][col].abs() < 1e-30 {
             return Err(SingularMatrix);
         }

@@ -176,7 +176,7 @@ impl TraceGenerator {
     #[must_use]
     pub fn new(profile: &BenchmarkProfile) -> Self {
         if let Err(e) = profile.validate() {
-            panic!("invalid benchmark profile {:?}: {e}", profile.name);
+            panic!("invalid benchmark profile {:?}: {e}", profile.name); // ramp-lint:allow(panic-hygiene) -- documented constructor contract for invalid profiles
         }
         let _setup = ramp_obs::span!("trace_setup", "app={}", profile.name);
         let mut rng = Rng::seed_from(profile.seed);

@@ -158,6 +158,8 @@ where
             write_varint(w, zigzag(b.target as i64 - rec.pc() as i64))?;
         }
     }
+    ramp_obs::counter("trace.io.records_written").add(records.len() as u64);
+    ramp_obs::debug!("wrote trace: {} record(s)", records.len());
     Ok(records.len() as u64)
 }
 
@@ -243,6 +245,8 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Vec<TraceRecord>, TraceIoError> 
         }
         out.push(rec);
     }
+    ramp_obs::counter("trace.io.records_read").add(out.len() as u64);
+    ramp_obs::debug!("read trace: {} record(s), format v{version}", out.len());
     Ok(out)
 }
 

@@ -110,10 +110,16 @@ pub fn validate_sample(
 ) -> SampleValidation {
     let mix_distance = full.mix_distance(sampled);
     let taken_rate_delta = (full.taken_rate() - sampled.taken_rate()).abs();
+    let representative = mix_distance <= tolerance && taken_rate_delta <= tolerance;
+    ramp_obs::debug!(
+        "sample validation: mix_distance={mix_distance:.4} \
+         taken_rate_delta={taken_rate_delta:.4} tolerance={tolerance:.4} \
+         representative={representative}"
+    );
     SampleValidation {
         mix_distance,
         taken_rate_delta,
-        representative: mix_distance <= tolerance && taken_rate_delta <= tolerance,
+        representative,
     }
 }
 

@@ -37,6 +37,7 @@ impl TraceStats {
 
     /// Builds statistics from an iterator of records.
     pub fn from_records<I: IntoIterator<Item = TraceRecord>>(records: I) -> Self {
+        let span = ramp_obs::span!("trace_stats");
         let mut s = Self::new();
         // Small fixed-size Bloom-style sketches keep this O(1) in memory
         // even for very long traces.
@@ -48,6 +49,13 @@ impl TraceStats {
         s.unique_pcs_estimate = pc_sketch.iter().filter(|&&b| b).count() as u64;
         s.mem_bytes_touched_estimate =
             addr_sketch.iter().filter(|&&b| b).count() as u64 * 64;
+        drop(span);
+        ramp_obs::debug!(
+            "trace stats: {} instruction(s), ~{} unique pc(s), ~{} byte(s) touched",
+            s.total,
+            s.unique_pcs_estimate,
+            s.mem_bytes_touched_estimate
+        );
         s
     }
 

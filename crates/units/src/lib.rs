@@ -35,6 +35,7 @@ mod frequency;
 mod power;
 mod ratio;
 mod reliability;
+mod resistance;
 mod temperature;
 mod time;
 
@@ -45,7 +46,8 @@ pub use frequency::Gigahertz;
 pub use power::{PowerDensity, Watts};
 pub use ratio::ActivityFactor;
 pub use reliability::{Fit, Mttf, SECONDS_PER_YEAR};
-pub use temperature::{Celsius, Kelvin};
+pub use resistance::KelvinPerWatt;
+pub use temperature::{Celsius, Kelvin, KelvinDelta};
 pub use time::{Seconds, SimTime};
 
 /// Boltzmann's constant in electron-volts per Kelvin.

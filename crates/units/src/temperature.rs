@@ -28,6 +28,17 @@ impl Kelvin {
     /// Room temperature (25 °C), a common reference point.
     pub const ROOM: Kelvin = Kelvin(298.15);
 
+    /// The absolute difference between two temperatures, as a
+    /// [`KelvinDelta`].
+    ///
+    /// Unlike `a - b` (which yields a signed raw `f64`), this is the
+    /// infallible way to produce the unit-safe magnitude that convergence
+    /// trackers and tolerances consume.
+    #[must_use]
+    pub fn abs_diff(self, other: Kelvin) -> KelvinDelta {
+        KelvinDelta((self.0 - other.0).abs())
+    }
+
     /// Const constructor for compile-time-known temperatures.
     ///
     /// # Panics
@@ -71,7 +82,59 @@ impl Add<f64> for Kelvin {
     /// Panics if the result leaves the valid `(0, 2000)` K range; use
     /// [`Kelvin::saturating_add`] in solvers.
     fn add(self, rhs: f64) -> Kelvin {
-        Kelvin::new(self.0 + rhs).expect("temperature offset left valid range")
+        Kelvin::new(self.0 + rhs).expect("temperature offset left valid range") // ramp-lint:allow(panic-hygiene) -- documented to panic when the offset leaves the valid range
+    }
+}
+
+quantity! {
+    /// The magnitude of a temperature difference, in Kelvin.
+    ///
+    /// Two absolute [`Kelvin`] temperatures are always hundreds of kelvin
+    /// in this workspace, but the quantities that *compare* temperatures —
+    /// convergence tolerances, fixed-point deltas, guard bands — are small
+    /// differences that must never be confused with absolute temperatures
+    /// (`Kelvin::new(0.01)` would be rejected as sub-cryogenic nonsense by
+    /// most models). Non-negative: a delta is a magnitude; keep the sign in
+    /// the comparison, not the value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ramp_units::{Kelvin, KelvinDelta};
+    /// let tolerance = KelvinDelta::new(0.01)?;
+    /// let a = Kelvin::new(356.0)?;
+    /// let b = Kelvin::new(356.005)?;
+    /// assert!(a.abs_diff(b) < tolerance);
+    /// # Ok::<(), ramp_units::UnitError>(())
+    /// ```
+    KelvinDelta, unit = "K", allowed = ">= 0",
+    valid = |v| v >= 0.0
+}
+
+impl KelvinDelta {
+    /// A zero-width delta.
+    pub const ZERO: KelvinDelta = KelvinDelta(0.0);
+
+    /// Const constructor for compile-time-known tolerances.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time in `const` contexts) if the value is
+    /// negative or non-finite.
+    #[must_use]
+    pub const fn new_const(value: f64) -> KelvinDelta {
+        assert!(value >= 0.0 && value <= f64::MAX, "delta must be non-negative and finite");
+        KelvinDelta(value)
+    }
+
+    /// The larger of two deltas. Total because construction rejects NaN.
+    #[must_use]
+    pub fn max(self, other: KelvinDelta) -> KelvinDelta {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
     }
 }
 
@@ -118,7 +181,7 @@ impl From<Kelvin> for Celsius {
 
 impl From<Celsius> for Kelvin {
     fn from(c: Celsius) -> Self {
-        Kelvin::new(c.0 + 273.15).expect("Celsius invariant guarantees valid Kelvin")
+        Kelvin::new(c.0 + 273.15).expect("Celsius invariant guarantees valid Kelvin") // ramp-lint:allow(panic-hygiene) -- Celsius invariant guarantees valid Kelvin
     }
 }
 
@@ -184,5 +247,28 @@ mod tests {
     #[test]
     fn room_constant_is_25c() {
         assert!((Celsius::from(Kelvin::ROOM).value() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric_and_non_negative() {
+        let a = Kelvin::new(383.0).unwrap();
+        let b = Kelvin::new(318.0).unwrap();
+        assert_eq!(a.abs_diff(b), b.abs_diff(a));
+        assert_eq!(a.abs_diff(b).value(), 65.0);
+        assert_eq!(a.abs_diff(a), KelvinDelta::ZERO);
+    }
+
+    #[test]
+    fn delta_rejects_negative_and_non_finite() {
+        assert!(KelvinDelta::new(-0.1).is_err());
+        assert!(KelvinDelta::new(f64::NAN).is_err());
+        assert!(KelvinDelta::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn delta_compares_against_tolerance() {
+        let tol = KelvinDelta::new_const(0.01);
+        assert!(KelvinDelta::new(0.005).unwrap() < tol);
+        assert!(KelvinDelta::new(0.02).unwrap() > tol);
     }
 }

@@ -14,6 +14,24 @@ cargo build --release --workspace --locked
 echo "== tier 1: tests (locked) =="
 cargo test --release --workspace --locked -q
 
+echo "== static analysis: ramp-lint (workspace invariants) =="
+# Unit safety, determinism, obs hygiene, panic hygiene. Fails on any
+# finding not covered by lint-baseline.toml or an inline allow; the JSON
+# report lands in target/ for inspection and CI artifact upload.
+mkdir -p target
+lint_status=0
+cargo run --release --locked -p ramp-analyze --bin ramp-lint -- \
+    --root . --format json > target/ramp-lint-report.json || lint_status=$?
+if [ "${lint_status}" -ne 0 ]; then
+    # Re-run in human format so the failure is readable in the log.
+    cargo run --release --locked -p ramp-analyze --bin ramp-lint -- --root . || true
+    exit "${lint_status}"
+fi
+echo "ramp-lint: clean (report at target/ramp-lint-report.json)"
+
+echo "== static analysis: clippy (workspace lint table, warnings are errors) =="
+cargo clippy --release --workspace --all-targets --locked -- -D warnings
+
 echo "== determinism: study JSON byte-identical across thread counts =="
 # The test itself sweeps StudyConfig.threads in {1, 2, 8}; running the
 # binary under two RAMP_THREADS values additionally covers the env-var

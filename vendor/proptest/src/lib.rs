@@ -573,8 +573,8 @@ mod tests {
 
         #[test]
         fn macro_end_to_end(x in 0.0f64..1.0, n in 1u32..10) {
-            prop_assert!(x >= 0.0 && x < 1.0);
-            prop_assert!(n >= 1 && n < 10);
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
         }
     }
 }
