@@ -30,12 +30,23 @@ fn main() -> ExitCode {
     }
 
     let files = find_snapshots(&dir);
+    // An empty or single-entry trajectory is a normal state for a fresh
+    // checkout or a just-seeded baseline, not a failure: report it
+    // clearly and exit cleanly.
     if files.is_empty() {
-        eprintln!(
-            "benchtrend: no BENCH_*.json in {}; create one with `benchgate --update`",
+        println!(
+            "benchtrend: no BENCH_*.json snapshots in {} — nothing to trend yet.",
             dir.display()
         );
-        return ExitCode::from(2);
+        println!("benchtrend: seed a baseline with `benchgate --update`.");
+        return ExitCode::SUCCESS;
+    }
+    if files.len() == 1 {
+        println!(
+            "benchtrend: only one snapshot (BENCH_{:04}.json) — a trend needs at least two; \
+             the table below is the baseline itself.",
+            files[0].0
+        );
     }
 
     println!(

@@ -1,0 +1,349 @@
+//! Load generator for the `ramp-serve` query service.
+//!
+//! Calibrates a quick engine, starts an in-process server, and hammers it
+//! from `--clients` concurrent connections with `--queries` requests drawn
+//! from `--unique` distinct `(benchmark, node)` combinations, then reports
+//! queries/sec and the coalescing/cache counters and writes the server's
+//! `/metrics` body as a JSON artifact.
+//!
+//! ```text
+//! serve_load [--queries N] [--unique U] [--clients C] [--threads T]
+//!            [--benchmarks a,b] [--out FILE] [--assert]
+//!            [--unix PATH [--linger-ms MS]]
+//! ```
+//!
+//! * `--assert` — CI shape: verify that exactly `U` pipeline executions
+//!   happened (everything else coalesced or cache-served), that nothing
+//!   was shed or errored, and that replayed queries are byte-identical.
+//! * `--unix PATH` — additionally serve on a unix socket, and keep it up
+//!   for `--linger-ms` after the load completes (interactive demos).
+//!
+//! Exit codes: 0 = load (and assertions, if requested) passed, 1 =
+//! assertion failed, 2 = usage or setup error.
+
+use ramp_core::{NodeId, QueryEngine, StudyConfig};
+use ramp_serve::{Request, Response, ServeOptions, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    queries: usize,
+    unique: usize,
+    clients: usize,
+    threads: Option<usize>,
+    benchmarks: Vec<String>,
+    out: PathBuf,
+    assert: bool,
+    unix: Option<PathBuf>,
+    linger_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        queries: 96,
+        unique: 6,
+        clients: 8,
+        threads: None,
+        benchmarks: vec!["gzip".to_string(), "ammp".to_string()],
+        out: PathBuf::from("target/serve-metrics.json"),
+        assert: false,
+        unix: None,
+        linger_ms: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--queries" => {
+                args.queries = value("--queries")?
+                    .parse()
+                    .map_err(|e| format!("--queries: {e}"))?;
+            }
+            "--unique" => {
+                args.unique = value("--unique")?
+                    .parse()
+                    .map_err(|e| format!("--unique: {e}"))?;
+            }
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                );
+            }
+            "--benchmarks" => {
+                args.benchmarks = value("--benchmarks")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--assert" => args.assert = true,
+            "--unix" => args.unix = Some(PathBuf::from(value("--unix")?)),
+            "--linger-ms" => {
+                args.linger_ms = value("--linger-ms")?
+                    .parse()
+                    .map_err(|e| format!("--linger-ms: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.queries == 0 || args.clients == 0 {
+        return Err("--queries and --clients must be positive".to_string());
+    }
+    if args.benchmarks.is_empty() {
+        return Err("--benchmarks must name at least one benchmark".to_string());
+    }
+    Ok(args)
+}
+
+/// The distinct `(benchmark, node label)` combinations the load cycles
+/// through: benchmarks × the study's five nodes, truncated to `unique`.
+fn build_combos(benchmarks: &[String], unique: usize) -> Vec<(String, String)> {
+    let mut combos = Vec::new();
+    for node in NodeId::ALL {
+        for benchmark in benchmarks {
+            combos.push((benchmark.clone(), node.label().to_string()));
+        }
+    }
+    combos.truncate(unique.max(1));
+    combos
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("serve_load: ASSERTION FAILED: {message}");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    ramp_obs::init_from_env();
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let refs: Vec<&str> = args.benchmarks.iter().map(String::as_str).collect();
+    let mut config = match StudyConfig::quick().with_benchmarks(&refs) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(threads) = args.threads {
+        config.threads = threads;
+    }
+    println!(
+        "serve_load: calibrating on {} benchmark(s), {} thread(s)...",
+        config.benchmarks.len(),
+        config.threads
+    );
+    let engine = match QueryEngine::calibrate(&config) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("serve_load: calibration failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "serve_load: calibration digest {}",
+        engine.calibration_digest()
+    );
+
+    let options = ServeOptions {
+        threads: config.threads,
+        ..ServeOptions::default()
+    };
+    let server = Server::start(engine, options);
+    let unix = match &args.unix {
+        Some(path) => match server.serve_unix(path) {
+            Ok(unix) => {
+                println!("serve_load: unix socket at {}", unix.path().display());
+                Some(unix)
+            }
+            Err(e) => {
+                eprintln!("serve_load: cannot bind {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
+    let mut combos = build_combos(&args.benchmarks, args.unique);
+    combos.truncate(args.queries); // every combo must be queried at least once
+    let unique = combos.len();
+    let total = args.queries;
+    let clients = args.clients;
+    println!(
+        "serve_load: {total} queries over {unique} unique combos from {clients} client(s)"
+    );
+
+    // Query i (1-based id i+1) asks combo i % unique; client k sends the
+    // queries with i % clients == k, each over its own connection.
+    let started = Instant::now();
+    let per_client: Vec<Vec<(u64, String)>> = std::thread::scope(|scope| {
+        (0..clients)
+            .map(|k| {
+                let client = server.connect();
+                let combos = &combos;
+                scope.spawn(move || {
+                    let mut responses = Vec::new();
+                    for i in (k..total).step_by(clients) {
+                        let (benchmark, node) = &combos[i % unique];
+                        let id = (i + 1) as u64;
+                        let line = Request::query(id, benchmark, node).to_line();
+                        match client.request_line(&line) {
+                            Some(response) => responses.push((id, response)),
+                            None => break,
+                        }
+                    }
+                    responses
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|handle| handle.join().expect("client thread completes"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    let mut by_id: Vec<Option<String>> = vec![None; total + 1];
+    let mut ok = 0usize;
+    let mut not_ok = 0usize;
+    for (id, line) in per_client.into_iter().flatten() {
+        match Response::parse(&line) {
+            Ok(response) if response.is_ok() => ok += 1,
+            Ok(response) => {
+                not_ok += 1;
+                eprintln!(
+                    "serve_load: request {id} -> status {} ({})",
+                    response.status,
+                    response.error.unwrap_or_default()
+                );
+            }
+            Err(e) => {
+                not_ok += 1;
+                eprintln!("serve_load: request {id} -> unparseable response: {e}");
+            }
+        }
+        by_id[id as usize] = Some(line);
+    }
+
+    // Replay each unique combo once and demand the byte-identical line the
+    // first request for that combo received (cache determinism).
+    let replay = server.connect();
+    let mut replay_mismatches = 0usize;
+    for (u, (benchmark, node)) in combos.iter().enumerate() {
+        let id = (u + 1) as u64;
+        let line = Request::query(id, benchmark, node).to_line();
+        let Some(response) = replay.request_line(&line) else {
+            eprintln!("serve_load: replay connection closed early");
+            replay_mismatches += 1;
+            break;
+        };
+        if by_id[id as usize].as_deref() != Some(response.as_str()) {
+            replay_mismatches += 1;
+            eprintln!(
+                "serve_load: replay of {benchmark}@{node} differs from the original response"
+            );
+        }
+    }
+
+    let stats = server.stats();
+    let qps = if wall > 0.0 { ok as f64 / wall } else { 0.0 };
+    println!(
+        "serve_load: {ok} ok / {not_ok} failed in {wall:.3}s -> {qps:.0} queries/sec"
+    );
+    println!(
+        "serve_load: executions={} coalesced={} cache_served={} overloaded={} errors={}",
+        stats.executions, stats.coalesced, stats.cache_served, stats.overloaded, stats.errors
+    );
+    println!(
+        "serve_load: replay byte-identity: {}",
+        if replay_mismatches == 0 { "ok" } else { "MISMATCH" }
+    );
+
+    // Fetch the metrics body (after the replays so the artifact reflects
+    // the whole run) and write it as the CI artifact.
+    let artifact = match replay.request(&Request::metrics(0)) {
+        Ok(response) => match response.metrics {
+            Some(body) => serde_json::to_string(&body).expect("metrics body serializes"),
+            None => {
+                eprintln!("serve_load: metrics response had no body");
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("serve_load: metrics request failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(parent) = args.out.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("serve_load: cannot create {}: {e}", parent.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out, artifact + "\n") {
+        eprintln!("serve_load: cannot write {}: {e}", args.out.display());
+        return ExitCode::from(2);
+    }
+    println!("serve_load: metrics artifact written to {}", args.out.display());
+
+    if args.linger_ms > 0 && unix.is_some() {
+        println!("serve_load: lingering {} ms for external clients...", args.linger_ms);
+        std::thread::sleep(std::time::Duration::from_millis(args.linger_ms));
+    }
+    drop(unix);
+
+    if args.assert {
+        // Every unique combo executes exactly once; all other queries are
+        // either coalesced onto an in-flight execution or cache-served.
+        if ok != total || not_ok != 0 {
+            return fail(&format!("expected {total} ok responses, got {ok} ok / {not_ok} failed"));
+        }
+        if stats.executions != unique as u64 {
+            return fail(&format!(
+                "expected exactly {unique} executions, got {}",
+                stats.executions
+            ));
+        }
+        let absorbed = stats.coalesced + stats.cache_served;
+        // The load absorbs total - unique queries; the replay pass adds
+        // `unique` cache hits on top, so absorbed == total.
+        let expected_absorbed = total as u64;
+        if absorbed != expected_absorbed {
+            return fail(&format!(
+                "expected {expected_absorbed} coalesced+cached queries, got {absorbed} \
+                 (coalesced={} cache_served={})",
+                stats.coalesced, stats.cache_served
+            ));
+        }
+        if stats.overloaded != 0 || stats.errors != 0 {
+            return fail(&format!(
+                "expected a clean run, got overloaded={} errors={}",
+                stats.overloaded, stats.errors
+            ));
+        }
+        if replay_mismatches != 0 {
+            return fail(&format!("{replay_mismatches} replay(s) were not byte-identical"));
+        }
+        println!("serve_load: assertions passed");
+    }
+    ExitCode::SUCCESS
+}

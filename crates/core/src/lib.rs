@@ -54,6 +54,7 @@ pub mod mechanisms;
 mod operating;
 mod pipeline;
 mod qualification;
+mod query;
 mod rates;
 mod results;
 pub mod sensitivity;
@@ -63,12 +64,13 @@ mod tech;
 pub use error::RampError;
 pub use executor::{Executor, THREADS_ENV};
 pub use manifest::{
-    config_digest, fnv1a_hex, results_digest, BenchSection, ManifestCacheStats, MetricEntry,
-    Provenance, RunManifest, StageNode, MANIFEST_SCHEMA_VERSION,
+    config_digest, fnv1a_hex, metric_entries_from_snapshot, results_digest, BenchSection,
+    ManifestCacheStats, MetricEntry, Provenance, RunManifest, StageNode, MANIFEST_SCHEMA_VERSION,
 };
 pub use operating::OperatingPoint;
 pub use pipeline::{run_app_on_node, AppNodeRun, PipelineConfig, StageTimings};
 pub use qualification::{FitReport, Qualification, FIT_PER_MECHANISM};
+pub use query::{QueryEngine, QueryOutcome, ReliabilityQuery};
 pub use rates::{AveragedRates, RateAccumulator};
 pub use results::{AppNodeResult, StudyMetrics, StudyResults, WorstCaseResult};
 pub use study::{run_study, StudyConfig, WorstCaseMode};

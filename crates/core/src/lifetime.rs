@@ -12,12 +12,8 @@ use crate::mechanisms::MechanismKind;
 use crate::FitReport;
 use ramp_microarch::Structure;
 use ramp_trace::Rng;
-use ramp_units::{Fit, Mttf, SECONDS_PER_YEAR};
+use ramp_units::{Fit, Mttf, Years, HOURS_PER_YEAR};
 use serde::{Deserialize, Serialize};
-
-/// Hours per year, the unit bridge between FIT (per 10⁹ device-hours) and
-/// year-denominated lifetimes.
-const HOURS_PER_YEAR: f64 = SECONDS_PER_YEAR / 3600.0;
 
 /// The exponential lifetime distribution of a SOFR-combined system.
 ///
@@ -25,12 +21,12 @@ const HOURS_PER_YEAR: f64 = SECONDS_PER_YEAR / 3600.0;
 ///
 /// ```
 /// use ramp_core::lifetime::LifetimeDistribution;
-/// use ramp_units::Fit;
+/// use ramp_units::{Fit, Years};
 ///
 /// let d = LifetimeDistribution::from_total_fit(Fit::new(4000.0)?);
-/// assert!((d.mttf_years() - 28.5).abs() < 0.1);
+/// assert!((d.mttf_years().value() - 28.5).abs() < 0.1);
 /// // ~3.4% of parts fail in the first year at 4000 FIT.
-/// assert!((d.failure_probability_by_years(1.0) - 0.0344).abs() < 0.001);
+/// assert!((d.failure_probability_by_years(Years::new(1.0)?) - 0.0344).abs() < 0.001);
 /// # Ok::<(), ramp_units::UnitError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,26 +49,29 @@ impl LifetimeDistribution {
 
     /// Failure rate per hour (λ).
     #[must_use]
+    // ramp-lint:allow(unit-safety) -- reciprocal hours (a rate, not a duration); no newtype exists for 1/h
     pub fn lambda_per_hour(&self) -> f64 {
         self.total_fit.value() / 1e9
     }
 
-    /// Mean time to failure in years.
+    /// Mean time to failure.
     #[must_use]
-    pub fn mttf_years(&self) -> f64 {
-        Mttf::from(self.total_fit).years()
+    pub fn mttf_years(&self) -> Years {
+        Years::from(Mttf::from(self.total_fit))
     }
 
-    /// Probability the part survives past `years`.
+    /// Probability the part survives past `age`.
     #[must_use]
-    pub fn survival_at_years(&self, years: f64) -> f64 {
-        (-self.lambda_per_hour() * years * HOURS_PER_YEAR).exp()
+    // ramp-lint:allow(unit-safety) -- dimensionless probability in [0, 1]
+    pub fn survival_at_years(&self, age: Years) -> f64 {
+        (-self.lambda_per_hour() * age.hours()).exp()
     }
 
-    /// Probability the part has failed by `years`.
+    /// Probability the part has failed by `age`.
     #[must_use]
-    pub fn failure_probability_by_years(&self, years: f64) -> f64 {
-        1.0 - self.survival_at_years(years)
+    // ramp-lint:allow(unit-safety) -- dimensionless probability in [0, 1]
+    pub fn failure_probability_by_years(&self, age: Years) -> f64 {
+        1.0 - self.survival_at_years(age)
     }
 
     /// The lifetime percentile: the age by which a fraction `q` of parts
@@ -83,28 +82,30 @@ impl LifetimeDistribution {
     ///
     /// Panics unless `0 < q < 1`.
     #[must_use]
-    pub fn percentile_years(&self, q: f64) -> f64 {
+    // ramp-lint:allow(unit-safety) -- q is a dimensionless probability in (0, 1)
+    pub fn percentile_years(&self, q: f64) -> Years {
         assert!(q > 0.0 && q < 1.0, "percentile must be in (0, 1), got {q}");
-        -(1.0 - q).ln() / (self.lambda_per_hour() * HOURS_PER_YEAR)
+        Years::saturating(-(1.0 - q).ln() / (self.lambda_per_hour() * HOURS_PER_YEAR))
     }
 
-    /// Expected fraction of a fleet failed after `years` of continuous
+    /// Expected fraction of a fleet failed after `age` of continuous
     /// operation — identical to [`failure_probability_by_years`] for
     /// exponential lifetimes, provided for API clarity.
     ///
     /// [`failure_probability_by_years`]:
     ///     LifetimeDistribution::failure_probability_by_years
     #[must_use]
-    pub fn fleet_fallout(&self, years: f64) -> f64 {
-        self.failure_probability_by_years(years)
+    // ramp-lint:allow(unit-safety) -- dimensionless fleet fraction in [0, 1]
+    pub fn fleet_fallout(&self, age: Years) -> f64 {
+        self.failure_probability_by_years(age)
     }
 }
 
 /// One Monte Carlo outcome: which pair failed first, and when.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SampledFailure {
-    /// Years until the first failure.
-    pub years: f64,
+    /// Age at the first failure.
+    pub years: Years,
     /// The failing mechanism.
     pub mechanism: MechanismKind,
     /// The failing structure.
@@ -138,7 +139,7 @@ pub struct SampledFailure {
 /// # let report = qual.fit_report(&rates);
 /// let mut mc = MonteCarloLifetime::new(&report, 42);
 /// let sample = mc.sample().unwrap();
-/// assert!(sample.years > 0.0);
+/// assert!(sample.years.value() > 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct MonteCarloLifetime {
@@ -173,7 +174,7 @@ impl MonteCarloLifetime {
         for &(m, s, lambda) in &self.lambdas {
             let u = self.rng.next_f64().max(1e-300);
             let hours = -u.ln() / lambda;
-            let years = hours / HOURS_PER_YEAR;
+            let years = Years::saturating(hours / HOURS_PER_YEAR);
             if best.map(|b| years < b.years).unwrap_or(true) {
                 best = Some(SampledFailure {
                     years,
@@ -185,14 +186,18 @@ impl MonteCarloLifetime {
         best
     }
 
-    /// Draws `n` lifetimes and returns their mean in years.
-    pub fn mean_lifetime_years(&mut self, n: u32) -> f64 {
+    /// Draws `n` lifetimes and returns their mean. A report with every
+    /// rate zero ("never fails") yields [`Years::MAX`].
+    pub fn mean_lifetime_years(&mut self, n: u32) -> Years {
         assert!(n > 0, "need at least one sample");
         let mut sum = 0.0;
         for _ in 0..n {
-            sum += self.sample().map(|s| s.years).unwrap_or(f64::INFINITY);
+            sum += self
+                .sample()
+                .map(|s| s.years.value())
+                .unwrap_or(f64::INFINITY);
         }
-        sum / f64::from(n)
+        Years::saturating(sum / f64::from(n))
     }
 
     /// Draws `n` lifetimes and returns, per mechanism, the fraction of
@@ -239,7 +244,7 @@ mod tests {
     #[test]
     fn thirty_year_budget_arithmetic() {
         let d = LifetimeDistribution::from_total_fit(Fit::new(4000.0).unwrap());
-        assert!((d.mttf_years() - 28.54).abs() < 0.05);
+        assert!((d.mttf_years().value() - 28.54).abs() < 0.05);
         // Survival at the MTTF of an exponential is 1/e.
         let s = d.survival_at_years(d.mttf_years());
         assert!((s - (-1.0f64).exp()).abs() < 1e-9);
@@ -248,10 +253,10 @@ mod tests {
     #[test]
     fn survival_is_monotone_decreasing_from_one() {
         let d = LifetimeDistribution::from_total_fit(Fit::new(8000.0).unwrap());
-        assert!((d.survival_at_years(0.0) - 1.0).abs() < 1e-12);
+        assert!((d.survival_at_years(Years::ZERO) - 1.0).abs() < 1e-12);
         let mut prev = 1.0;
         for y in [1.0, 3.0, 10.0, 30.0, 100.0] {
-            let s = d.survival_at_years(y);
+            let s = d.survival_at_years(Years::new(y).unwrap());
             assert!(s < prev);
             prev = s;
         }
@@ -271,16 +276,16 @@ mod tests {
         let base = LifetimeDistribution::from_total_fit(Fit::new(4000.0).unwrap());
         let worse = LifetimeDistribution::from_total_fit(Fit::new(16_640.0).unwrap());
         // +316% FIT (the paper's headline) cuts the 1%-fallout age ~4.2x.
-        let ratio = base.percentile_years(0.01) / worse.percentile_years(0.01);
+        let ratio = base.percentile_years(0.01).ratio_to(worse.percentile_years(0.01));
         assert!((ratio - 4.16).abs() < 0.01, "ratio {ratio}");
     }
 
     #[test]
     fn monte_carlo_agrees_with_analytic_mttf() {
         let rep = report();
-        let analytic = LifetimeDistribution::from_report(&rep).mttf_years();
+        let analytic = LifetimeDistribution::from_report(&rep).mttf_years().value();
         let mut mc = MonteCarloLifetime::new(&rep, 7);
-        let sampled = mc.mean_lifetime_years(20_000);
+        let sampled = mc.mean_lifetime_years(20_000).value();
         assert!(
             (sampled - analytic).abs() / analytic < 0.03,
             "MC {sampled} vs analytic {analytic}"

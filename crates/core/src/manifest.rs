@@ -237,6 +237,37 @@ pub fn results_digest(results: &StudyResults) -> String {
     fnv1a_hex(&json)
 }
 
+/// Flattens live [`ramp_obs::MetricSnapshot`]s into the BENCH-compatible
+/// [`MetricEntry`] shape used by manifests, snapshots, and the serve
+/// `metrics` endpoint: counters/gauges carry their value, histograms
+/// their observation count and sum.
+#[must_use]
+pub fn metric_entries_from_snapshot(snapshot: &[ramp_obs::MetricSnapshot]) -> Vec<MetricEntry> {
+    snapshot
+        .iter()
+        .map(|snap| match &snap.value {
+            MetricValue::Counter(v) => MetricEntry {
+                name: snap.name.clone(),
+                kind: "counter".to_string(),
+                value: *v as f64,
+                sum: 0.0,
+            },
+            MetricValue::Gauge(v) => MetricEntry {
+                name: snap.name.clone(),
+                kind: "gauge".to_string(),
+                value: *v,
+                sum: 0.0,
+            },
+            MetricValue::Histogram { count, sum, .. } => MetricEntry {
+                name: snap.name.clone(),
+                kind: "histogram".to_string(),
+                value: *count as f64,
+                sum: *sum,
+            },
+        })
+        .collect()
+}
+
 impl RunManifest {
     /// Captures a manifest for a study that just ran: snapshots the span
     /// tree, the metric registry, and the timing cache, and records the
@@ -260,29 +291,7 @@ impl RunManifest {
             runs: metrics.runs,
             wall_seconds: metrics.wall_seconds,
             stages: ramp_obs::span_tree().iter().map(StageNode::from_span).collect(),
-            metrics: ramp_obs::metrics_snapshot()
-                .iter()
-                .map(|snap| match &snap.value {
-                    MetricValue::Counter(v) => MetricEntry {
-                        name: snap.name.clone(),
-                        kind: "counter".to_string(),
-                        value: *v as f64,
-                        sum: 0.0,
-                    },
-                    MetricValue::Gauge(v) => MetricEntry {
-                        name: snap.name.clone(),
-                        kind: "gauge".to_string(),
-                        value: *v,
-                        sum: 0.0,
-                    },
-                    MetricValue::Histogram { count, sum, .. } => MetricEntry {
-                        name: snap.name.clone(),
-                        kind: "histogram".to_string(),
-                        value: *count as f64,
-                        sum: *sum,
-                    },
-                })
-                .collect(),
+            metrics: metric_entries_from_snapshot(&ramp_obs::metrics_snapshot()),
             cache: ManifestCacheStats {
                 hits: cache.hits,
                 misses: cache.misses,

@@ -11,7 +11,7 @@
 use crate::mechanisms::{MechanismKind, PerMechanism};
 use crate::rates::AveragedRates;
 use ramp_microarch::{PerStructure, Structure};
-use ramp_units::{Fit, Mttf};
+use ramp_units::{Fit, Mttf, Years};
 use serde::{Deserialize, Serialize};
 
 /// The paper's per-mechanism FIT budget at qualification.
@@ -41,7 +41,9 @@ impl Qualification {
     /// Returns an error description if `runs` is empty or any mechanism
     /// has a zero average rate (nothing to normalise).
     pub fn from_reference_runs(runs: &[AveragedRates]) -> Result<Self, String> {
-        Self::with_budget(runs, FIT_PER_MECHANISM)
+        let budget = Fit::new(FIT_PER_MECHANISM)
+            .expect("paper budget constant is finite and positive"); // ramp-lint:allow(panic-hygiene) -- compile-time constant
+        Self::with_budget(runs, budget)
     }
 
     /// Like [`Qualification::from_reference_runs`] but with an explicit
@@ -50,16 +52,16 @@ impl Qualification {
     ///
     /// # Errors
     ///
-    /// Returns an error description if `runs` is empty, the budget is not
-    /// positive, or any mechanism has a zero average rate.
+    /// Returns an error description if `runs` is empty, the budget is zero,
+    /// or any mechanism has a zero average rate.
     pub fn with_budget(
         runs: &[AveragedRates],
-        fit_per_mechanism: f64,
+        fit_per_mechanism: Fit,
     ) -> Result<Self, String> {
         if runs.is_empty() {
             return Err("qualification needs at least one reference run".to_string());
         }
-        if !(fit_per_mechanism.is_finite() && fit_per_mechanism > 0.0) {
+        if fit_per_mechanism.value() <= 0.0 {
             return Err(format!(
                 "per-mechanism budget must be positive, got {fit_per_mechanism}"
             ));
@@ -71,27 +73,29 @@ impl Qualification {
             if !(mean.is_finite() && mean > 0.0) {
                 return Err(format!("mechanism {m} has degenerate mean rate {mean}"));
             }
-            constants[m] = fit_per_mechanism / mean;
+            constants[m] = fit_per_mechanism.value() / mean;
         }
         Ok(Qualification { constants })
     }
 
-    /// Qualification for an explicit MTTF target in years, with the
-    /// paper's equal-split-per-mechanism assumption.
+    /// Qualification for an explicit MTTF target, with the paper's
+    /// equal-split-per-mechanism assumption.
     ///
     /// # Errors
     ///
-    /// Returns an error description if `runs` is empty or `years` is not
-    /// positive.
-    pub fn for_mttf_years(runs: &[AveragedRates], years: f64) -> Result<Self, String> {
-        if !(years.is_finite() && years > 0.0) {
-            return Err(format!("MTTF target must be positive, got {years}"));
+    /// Returns an error description if `runs` is empty or `target` is
+    /// zero.
+    pub fn for_mttf_years(runs: &[AveragedRates], target: Years) -> Result<Self, String> {
+        if target.value() <= 0.0 {
+            return Err(format!("MTTF target must be positive, got {target}"));
         }
-        let total_fit = ramp_units::Fit::from(
-            ramp_units::Mttf::from_years(years)
+        let total_fit = Fit::from(
+            Mttf::from_hours(target.hours())
                 .map_err(|e| format!("invalid MTTF target: {e}"))?,
         );
-        Self::with_budget(runs, total_fit.value() / MechanismKind::COUNT as f64)
+        let per_mechanism = Fit::new(total_fit.value() / MechanismKind::COUNT as f64)
+            .map_err(|e| format!("invalid MTTF target: {e}"))?;
+        Self::with_budget(runs, per_mechanism)
     }
 
     /// Builds a qualification from explicit constants (for tests and
@@ -267,12 +271,14 @@ mod tests {
     fn mttf_target_qualification() {
         let runs = vec![reference_run(356.0, 0.4)];
         // 15-year target doubles the FIT budget of the ~30-year default.
-        let q15 = Qualification::for_mttf_years(&runs, 15.0).unwrap();
+        let q15 = Qualification::for_mttf_years(&runs, Years::new(15.0).unwrap()).unwrap();
         let total = q15.fit_report(&runs[0]).total();
         let implied = ramp_units::Mttf::from(total).years();
         assert!((implied - 15.0).abs() < 0.01, "implied MTTF {implied}");
-        assert!(Qualification::for_mttf_years(&runs, 0.0).is_err());
-        assert!(Qualification::with_budget(&runs, -5.0).is_err());
+        assert!(Qualification::for_mttf_years(&runs, Years::ZERO).is_err());
+        assert!(Qualification::with_budget(&runs, Fit::ZERO).is_err());
+        // Negative budgets are unrepresentable: `Fit::new` rejects them.
+        assert!(Fit::new(-5.0).is_err());
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! Reentrant reliability queries: the serving-path view of the pipeline.
+//!
+//! The batch study ([`crate::run_study`]) answers the paper's question for
+//! a whole benchmark × node grid at once. A long-running service instead
+//! answers it one `(workload, node)` pair at a time, against a fixed
+//! qualification. This module packages that shape:
+//!
+//! * [`ReliabilityQuery`] — one serialisable question with a stable
+//!   content digest (the cache/coalescing key used by `ramp-serve`);
+//! * [`QueryOutcome`] — the answer: absolute FIT, expected lifetime, and
+//!   qualification margin;
+//! * [`QueryEngine`] — a calibrated, cheap-to-clone evaluator. It holds
+//!   only immutable shared state (`Arc`ed models, `Copy` qualification),
+//!   so clones are a few pointer copies, [`QueryEngine::evaluate`] takes
+//!   `&self` and may run concurrently from any number of threads, and
+//!   abandoning a caller mid-evaluation cannot corrupt anything
+//!   (cancellation safety: there is no partial mutable state to unwind).
+
+use crate::manifest::{config_digest, fnv1a_hex};
+use crate::mechanisms::{standard_models, FailureModel, MechanismKind, PerMechanism};
+use crate::pipeline::{run_app_on_node, AppNodeRun, PipelineConfig};
+use crate::study::StudyConfig;
+use crate::{Executor, NodeId, Qualification, RampError, TechNode, FIT_PER_MECHANISM};
+use ramp_trace::spec;
+use ramp_units::{Fit, Kelvin, Mttf, Watts, Years};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One reliability question: *what does this workload cost in lifetime at
+/// this node, under this pipeline configuration?*
+///
+/// Serialisable so that its canonical JSON can be digested; two queries
+/// with the same digest are interchangeable and a server may answer one
+/// with the other's result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityQuery {
+    /// Benchmark name (one of the paper's 16 SPEC2K programs).
+    pub benchmark: String,
+    /// Technology point to evaluate at.
+    pub node: NodeId,
+    /// Pipeline configuration for the run.
+    pub pipeline: PipelineConfig,
+}
+
+impl ReliabilityQuery {
+    /// Content digest of the query alone (FNV-1a over its canonical
+    /// JSON). Engine-independent; see [`QueryEngine::cache_key`] for the
+    /// digest that also pins the calibration.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        let json = serde_json::to_string(self)
+            .expect("query is plain data, always serializable"); // ramp-lint:allow(panic-hygiene) -- schema has no fallible serialize cases
+        fnv1a_hex(&json)
+    }
+}
+
+/// The answer to a [`ReliabilityQuery`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// Benchmark the query named.
+    pub benchmark: String,
+    /// Node the query named.
+    pub node: NodeId,
+    /// The engine's cache key for this query (calibration + query digest).
+    pub config_digest: String,
+    /// Instructions per cycle achieved by the timing pass.
+    pub ipc: f64,
+    /// Average total (dynamic + leakage) power.
+    pub avg_power: Watts,
+    /// Heat-sink temperature the run settled at.
+    pub sink_temperature: Kelvin,
+    /// Hottest structure temperature observed.
+    pub max_temperature: Kelvin,
+    /// Total processor failure rate under SOFR.
+    pub total_fit: Fit,
+    /// Per-mechanism failure rates in canonical order (EM, SM, TDDB, TC).
+    pub mechanism_fit: PerMechanism<Fit>,
+    /// Mean time to failure implied by the total FIT.
+    pub mttf: Mttf,
+    /// Expected lifetime in years (the MTTF, year-denominated).
+    pub expected_lifetime: Years,
+    /// Qualified budget ÷ achieved FIT: ≥ 1 means the part operates
+    /// within its qualification, < 1 means it exceeds the budget.
+    pub qualification_margin: f64,
+}
+
+/// A calibrated reliability evaluator for the serving path.
+///
+/// Built once from a [`StudyConfig`] (which fixes the qualification the
+/// same way the batch study does: 180 nm reference runs averaged over the
+/// configured benchmarks), then shared/cloned freely across server
+/// threads.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ramp_core::{NodeId, QueryEngine, StudyConfig};
+/// let config = StudyConfig::quick().with_benchmarks(&["gzip"])?;
+/// let engine = QueryEngine::calibrate(&config)?;
+/// let outcome = engine.evaluate(&engine.query("gzip", NodeId::N65HighV)?)?;
+/// println!("65nm gzip: {} ({:.2}x margin)", outcome.total_fit, outcome.qualification_margin);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    models: Arc<Vec<Box<dyn FailureModel>>>,
+    qualification: Qualification,
+    base: PipelineConfig,
+    calibration_digest: String,
+    budget: Fit,
+}
+
+impl QueryEngine {
+    /// Calibrates an engine by running the 180 nm reference pass of
+    /// `config` (in parallel on `config.threads` workers) and deriving
+    /// the qualification constants from it, exactly as
+    /// [`crate::run_study`] phase 1–2 does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RampError::InvalidConfiguration`] for an empty benchmark
+    /// list, or any error the reference runs / qualification produce.
+    pub fn calibrate(config: &StudyConfig) -> Result<Self, RampError> {
+        if config.benchmarks.is_empty() {
+            return Err(RampError::InvalidConfiguration(
+                "query engine needs at least one calibration benchmark".into(),
+            ));
+        }
+        let models = standard_models();
+        let executor = Executor::new(config.threads);
+        let span = ramp_obs::span!(
+            "query_calibrate",
+            "benchmarks={} threads={}",
+            config.benchmarks.len(),
+            executor.threads()
+        );
+        let reference_node = TechNode::reference();
+        let runs: Vec<Result<AppNodeRun, RampError>> =
+            executor.map(&config.benchmarks, |profile| {
+                run_app_on_node(profile, &reference_node, &config.pipeline, &models, None)
+            });
+        let runs: Vec<AppNodeRun> = runs.into_iter().collect::<Result<_, _>>()?;
+        let rates: Vec<_> = runs.iter().map(|r| r.rates).collect();
+        let qualification =
+            Qualification::from_reference_runs(&rates).map_err(RampError::Qualification)?;
+        span.finish();
+        Ok(QueryEngine {
+            models: Arc::new(models),
+            qualification,
+            base: config.pipeline.clone(),
+            calibration_digest: config_digest(config),
+            budget: Fit::new(FIT_PER_MECHANISM * MechanismKind::COUNT as f64)
+                .expect("paper budget constant is finite and positive"), // ramp-lint:allow(panic-hygiene) -- compile-time constant
+        })
+    }
+
+    /// Builds an engine from an existing qualification and pipeline
+    /// configuration (for tests and what-if studies; skips the reference
+    /// runs). `calibration_tag` distinguishes this engine's cache keys.
+    pub fn with_qualification(
+        qualification: Qualification,
+        pipeline: PipelineConfig,
+        calibration_tag: &str,
+    ) -> Self {
+        QueryEngine {
+            models: Arc::new(standard_models()),
+            qualification,
+            base: pipeline,
+            calibration_digest: fnv1a_hex(calibration_tag),
+            budget: Fit::new(FIT_PER_MECHANISM * MechanismKind::COUNT as f64)
+                .expect("paper budget constant is finite and positive"), // ramp-lint:allow(panic-hygiene) -- compile-time constant
+        }
+    }
+
+    /// The pipeline configuration queries default to.
+    #[must_use]
+    pub fn base_pipeline(&self) -> &PipelineConfig {
+        &self.base
+    }
+
+    /// Digest of the calibration this engine answers under.
+    #[must_use]
+    pub fn calibration_digest(&self) -> &str {
+        &self.calibration_digest
+    }
+
+    /// The qualification constants in force.
+    #[must_use]
+    pub fn qualification(&self) -> Qualification {
+        self.qualification
+    }
+
+    /// Builds a query against this engine's base pipeline configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RampError::UnknownBenchmark`] for an unrecognised name
+    /// (checked eagerly so malformed queries fail before they are
+    /// enqueued anywhere).
+    pub fn query(&self, benchmark: &str, node: NodeId) -> Result<ReliabilityQuery, RampError> {
+        let profile = spec::profile(benchmark)?;
+        Ok(ReliabilityQuery {
+            benchmark: profile.name,
+            node,
+            pipeline: self.base.clone(),
+        })
+    }
+
+    /// The full cache/coalescing key for `query` under this engine:
+    /// FNV-1a over the calibration digest and the query digest. Two
+    /// engines calibrated from identical configs produce identical keys.
+    #[must_use]
+    pub fn cache_key(&self, query: &ReliabilityQuery) -> String {
+        fnv1a_hex(&format!("{}|{}", self.calibration_digest, query.digest()))
+    }
+
+    /// Answers one query. Pure with respect to the engine: takes `&self`,
+    /// touches no engine state, and is safe to call concurrently; the
+    /// result is byte-identical for byte-identical queries.
+    ///
+    /// Scaled (non-180 nm) nodes are evaluated under the paper's
+    /// constant-sink-temperature rule, anchored to the same workload's
+    /// 180 nm power — computed here as part of the query so the answer
+    /// never depends on what else the server happens to have run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RampError::UnknownBenchmark`] for an unrecognised
+    /// benchmark, or any error the pipeline run produces.
+    pub fn evaluate(&self, query: &ReliabilityQuery) -> Result<QueryOutcome, RampError> {
+        let profile = spec::profile(&query.benchmark)?;
+        let span = ramp_obs::span!(
+            "query_evaluate",
+            "benchmark={} node={}",
+            query.benchmark,
+            query.node
+        );
+        let node = TechNode::get(query.node);
+        let run = if query.node == NodeId::N180 {
+            run_app_on_node(&profile, &node, &query.pipeline, &self.models, None)?
+        } else {
+            let reference = run_app_on_node(
+                &profile,
+                &TechNode::reference(),
+                &query.pipeline,
+                &self.models,
+                None,
+            )?;
+            run_app_on_node(
+                &profile,
+                &node,
+                &query.pipeline,
+                &self.models,
+                Some(reference.avg_total()),
+            )?
+        };
+        let report = self.qualification.fit_report(&run.rates);
+        let total_fit = report.total();
+        let mttf = report.mttf();
+        let qualification_margin = if total_fit.value() > 0.0 {
+            self.budget.value() / total_fit.value()
+        } else {
+            f64::MAX
+        };
+        span.finish();
+        Ok(QueryOutcome {
+            benchmark: query.benchmark.clone(),
+            node: query.node,
+            config_digest: self.cache_key(query),
+            ipc: run.ipc,
+            avg_power: run.avg_total(),
+            sink_temperature: run.sink_temperature,
+            max_temperature: run.max_temperature(),
+            total_fit,
+            mechanism_fit: report.per_mechanism(),
+            mttf,
+            expected_lifetime: Years::from(mttf),
+            qualification_margin,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_engine() -> QueryEngine {
+        let config = StudyConfig::quick()
+            .with_benchmarks(&["gzip"])
+            .expect("known benchmark");
+        QueryEngine::calibrate(&config).expect("calibration succeeds")
+    }
+
+    #[test]
+    fn calibration_rejects_empty_benchmarks() {
+        let mut config = StudyConfig::quick();
+        config.benchmarks.clear();
+        assert!(matches!(
+            QueryEngine::calibrate(&config),
+            Err(RampError::InvalidConfiguration(_))
+        ));
+    }
+
+    #[test]
+    fn query_rejects_unknown_benchmark() {
+        let engine = quick_engine();
+        assert!(matches!(
+            engine.query("nonesuch", NodeId::N180),
+            Err(RampError::UnknownBenchmark(_))
+        ));
+    }
+
+    #[test]
+    fn reference_node_sits_at_qualification() {
+        let engine = quick_engine();
+        let outcome = engine
+            .evaluate(&engine.query("gzip", NodeId::N180).unwrap())
+            .unwrap();
+        // Calibrated on gzip alone, the gzip 180 nm run is at budget.
+        assert!((outcome.total_fit.value() - 4000.0).abs() < 1e-6);
+        assert!((outcome.qualification_margin - 1.0).abs() < 1e-9);
+        assert!((outcome.expected_lifetime.value() - outcome.mttf.years()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_node_loses_margin() {
+        let engine = quick_engine();
+        let base = engine
+            .evaluate(&engine.query("gzip", NodeId::N180).unwrap())
+            .unwrap();
+        let scaled = engine
+            .evaluate(&engine.query("gzip", NodeId::N65HighV).unwrap())
+            .unwrap();
+        // The paper's headline: scaling costs reliability.
+        assert!(scaled.total_fit.value() > base.total_fit.value());
+        assert!(scaled.qualification_margin < base.qualification_margin);
+        assert!(scaled.expected_lifetime < base.expected_lifetime);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_reentrant() {
+        let engine = quick_engine();
+        let query = engine.query("gzip", NodeId::N130).unwrap();
+        let direct = serde_json::to_string(&engine.evaluate(&query).unwrap()).unwrap();
+        let clones: Vec<QueryEngine> = (0..4).map(|_| engine.clone()).collect();
+        let results: Vec<String> = std::thread::scope(|scope| {
+            clones
+                .iter()
+                .map(|e| {
+                    let q = query.clone();
+                    scope.spawn(move || {
+                        serde_json::to_string(&e.evaluate(&q).unwrap()).unwrap()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for r in &results {
+            assert_eq!(r, &direct);
+        }
+    }
+
+    #[test]
+    fn cache_key_pins_calibration_and_query() {
+        let engine = quick_engine();
+        let a = engine.query("gzip", NodeId::N180).unwrap();
+        let b = engine.query("gzip", NodeId::N130).unwrap();
+        assert_ne!(engine.cache_key(&a), engine.cache_key(&b));
+        assert_eq!(engine.cache_key(&a), engine.cache_key(&a.clone()));
+        // A different calibration changes every key.
+        let other = QueryEngine::with_qualification(
+            engine.qualification(),
+            engine.base_pipeline().clone(),
+            "other-tag",
+        );
+        assert_ne!(engine.cache_key(&a), other.cache_key(&a));
+    }
+
+    #[test]
+    fn matches_study_recipe_for_scaled_runs() {
+        // evaluate() must reproduce run_study's constant-sink anchoring.
+        let engine = quick_engine();
+        let models = standard_models();
+        let profile = spec::profile("gzip").unwrap();
+        let cfg = engine.base_pipeline().clone();
+        let reference =
+            run_app_on_node(&profile, &TechNode::reference(), &cfg, &models, None).unwrap();
+        let direct = run_app_on_node(
+            &profile,
+            &TechNode::get(NodeId::N65HighV),
+            &cfg,
+            &models,
+            Some(reference.avg_total()),
+        )
+        .unwrap();
+        let report = engine.qualification().fit_report(&direct.rates);
+        let outcome = engine
+            .evaluate(&engine.query("gzip", NodeId::N65HighV).unwrap())
+            .unwrap();
+        assert_eq!(outcome.total_fit, report.total());
+        assert_eq!(outcome.max_temperature, direct.max_temperature());
+    }
+}

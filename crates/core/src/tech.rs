@@ -40,6 +40,22 @@ impl NodeId {
         NodeId::N65HighV,
     ];
 
+    /// Parses a node from its display label (the inverse of
+    /// [`NodeId::label`]), accepting the projected 45 nm point too.
+    /// Returns `None` for unknown labels.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<NodeId> {
+        let all = [
+            NodeId::N180,
+            NodeId::N130,
+            NodeId::N90,
+            NodeId::N65LowV,
+            NodeId::N65HighV,
+            NodeId::N45Projected,
+        ];
+        all.into_iter().find(|n| n.label() == label)
+    }
+
     /// Display label matching the paper's figures.
     #[must_use]
     pub fn label(self) -> &'static str {

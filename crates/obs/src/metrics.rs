@@ -347,6 +347,27 @@ pub fn metrics_snapshot() -> Vec<MetricSnapshot> {
         .collect()
 }
 
+/// Reads a counter's current value without registering it: `None` if no
+/// counter with that name exists yet. Unlike [`counter`], safe to call in
+/// assertions without perturbing the registry.
+#[must_use]
+pub fn counter_value(name: &str) -> Option<u64> {
+    match registry().get(name) {
+        Some(Instrument::Counter(c)) => Some(c.get()),
+        _ => None,
+    }
+}
+
+/// Reads a gauge's current value without registering it: `None` if no
+/// gauge with that name exists yet.
+#[must_use]
+pub fn gauge_value(name: &str) -> Option<f64> {
+    match registry().get(name) {
+        Some(Instrument::Gauge(g)) => Some(g.get()),
+        _ => None,
+    }
+}
+
 /// Unregisters every metric (tests). Handles already held keep working
 /// but are no longer visible to [`metrics_snapshot`].
 pub fn reset_metrics() {
@@ -440,6 +461,23 @@ mod tests {
         b.incr();
         assert_eq!(a.get(), 4);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn value_lookups_do_not_register() {
+        assert_eq!(counter_value("test.lookup.unregistered"), None);
+        assert_eq!(gauge_value("test.lookup.unregistered"), None);
+        assert!(!metrics_snapshot()
+            .iter()
+            .any(|m| m.name == "test.lookup.unregistered"));
+        let c = counter("test.lookup.counter");
+        c.add(7);
+        assert_eq!(counter_value("test.lookup.counter"), Some(7));
+        // Kind mismatch reads as absent rather than panicking.
+        assert_eq!(gauge_value("test.lookup.counter"), None);
+        let g = gauge("test.lookup.gauge");
+        g.set(1.25);
+        assert_eq!(gauge_value("test.lookup.gauge"), Some(1.25));
     }
 
     #[test]

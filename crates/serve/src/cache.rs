@@ -1,0 +1,358 @@
+//! Sharded, two-level LRU result cache keyed by config digest.
+//!
+//! Completed answers are stored as their serialized JSON bytes
+//! (`Arc<str>`), never re-serialized, so a cache replay is byte-identical
+//! to the original response. Structure:
+//!
+//! * **L1**: `shards` small LRU maps, the shard picked by the leading
+//!   bits of the digest — concurrent lookups on different shards never
+//!   contend on one lock.
+//! * **L2**: one larger shared LRU behind the shards. L1 evictions
+//!   demote into L2; an L2 hit promotes the entry back to its L1 shard.
+//!   Only an L2 eviction actually drops an answer.
+//!
+//! Every decision ticks both a local atomic (read back exactly via
+//! [`ShardedCache::stats`]) and a process-wide `ramp-obs` counter
+//! (`serve.cache.*`), so CI can assert hit/miss behaviour from either
+//! side. A capacity of zero at either level disables that level, which
+//! the determinism tests use to force re-execution.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sizing of a [`ShardedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of L1 shards (minimum 1).
+    pub shards: usize,
+    /// LRU capacity of each L1 shard (0 disables L1).
+    pub l1_per_shard: usize,
+    /// LRU capacity of the shared L2 (0 disables L2).
+    pub l2_capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            l1_per_shard: 8,
+            l2_capacity: 256,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A configuration that caches nothing (every lookup misses).
+    #[must_use]
+    pub fn disabled() -> Self {
+        CacheConfig {
+            shards: 1,
+            l1_per_shard: 0,
+            l2_capacity: 0,
+        }
+    }
+}
+
+/// Point-in-time cache counters, serialized into the `metrics` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered by an L1 shard.
+    pub l1_hits: u64,
+    /// Lookups answered by L2 (and promoted back to L1).
+    pub l2_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted (completed executions).
+    pub insertions: u64,
+    /// Entries dropped out of L2 (the only true evictions).
+    pub evictions: u64,
+    /// Entries currently resident across L1 shards.
+    pub l1_entries: u64,
+    /// Entries currently resident in L2.
+    pub l2_entries: u64,
+}
+
+/// One LRU level: a small vector ordered most-recently-used first.
+/// Linear scans are fine at the capacities used here (an entry is a
+/// pointer-sized key/value pair and shards stay single-digit sized).
+#[derive(Debug)]
+struct LruLevel {
+    capacity: usize,
+    entries: Vec<(String, Arc<str>)>,
+}
+
+impl LruLevel {
+    fn new(capacity: usize) -> Self {
+        LruLevel {
+            capacity,
+            entries: Vec::with_capacity(capacity.min(64)),
+        }
+    }
+
+    /// Looks up and refreshes `key`.
+    fn get(&mut self, key: &str) -> Option<Arc<str>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        let value = Arc::clone(&entry.1);
+        self.entries.insert(0, entry);
+        Some(value)
+    }
+
+    /// Removes `key` without refreshing (L2 promotion path).
+    fn take(&mut self, key: &str) -> Option<Arc<str>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Inserts at MRU position; returns the evicted LRU entry, if any.
+    /// With capacity 0 the inserted entry itself bounces straight out.
+    fn insert(&mut self, key: String, value: Arc<str>) -> Option<(String, Arc<str>)> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| k == &key) {
+            self.entries.remove(pos);
+        }
+        self.entries.insert(0, (key, value));
+        if self.entries.len() > self.capacity {
+            self.entries.pop()
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The sharded two-level result cache. See the module docs for layout.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<LruLevel>>,
+    l2: Mutex<LruLevel>,
+    l1_hits: AtomicU64,
+    l2_hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedCache {
+    /// Builds a cache with the given sizing (shard count is clamped to
+    /// at least 1).
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruLevel::new(config.l1_per_shard)))
+                .collect(),
+            l2: Mutex::new(LruLevel::new(config.l2_capacity)),
+            l1_hits: AtomicU64::new(0),
+            l2_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Shard index for a digest: its leading hex digits, modulo the
+    /// shard count. Digests are FNV-1a output, so the bits are well
+    /// mixed; the mapping is deterministic across runs and platforms.
+    fn shard_index(&self, key: &str) -> usize {
+        let prefix: String = key.chars().take(16).collect();
+        let h = u64::from_str_radix(&prefix, 16).unwrap_or(0);
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn lock_shard(&self, idx: usize) -> std::sync::MutexGuard<'_, LruLevel> {
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_l2(&self) -> std::sync::MutexGuard<'_, LruLevel> {
+        self.l2
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks up a digest, promoting L2 hits back into their L1 shard.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+        let idx = self.shard_index(key);
+        if let Some(hit) = self.lock_shard(idx).get(key) {
+            self.l1_hits.fetch_add(1, Ordering::Relaxed);
+            ramp_obs::counter("serve.cache.l1_hits").incr();
+            return Some(hit);
+        }
+        let promoted = self.lock_l2().take(key);
+        if let Some(value) = promoted {
+            self.l2_hits.fetch_add(1, Ordering::Relaxed);
+            ramp_obs::counter("serve.cache.l2_hits").incr();
+            // Promote; whatever L1 displaces goes back down to L2.
+            let displaced = self.lock_shard(idx).insert(key.to_string(), Arc::clone(&value));
+            if let Some((dk, dv)) = displaced {
+                self.demote(dk, dv);
+            }
+            return Some(value);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        ramp_obs::counter("serve.cache.misses").incr();
+        None
+    }
+
+    /// Inserts a completed answer. L1 displacement demotes to L2; L2
+    /// displacement is a true eviction.
+    pub fn insert(&self, key: &str, value: Arc<str>) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        ramp_obs::counter("serve.cache.insertions").incr();
+        let idx = self.shard_index(key);
+        let displaced = self.lock_shard(idx).insert(key.to_string(), value);
+        if let Some((dk, dv)) = displaced {
+            self.demote(dk, dv);
+        }
+    }
+
+    fn demote(&self, key: String, value: Arc<str>) {
+        if self.lock_l2().insert(key, value).is_some() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            ramp_obs::counter("serve.cache.evictions").incr();
+        }
+    }
+
+    /// Point-in-time counters and occupancy.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let l1_entries: usize = (0..self.shards.len())
+            .map(|i| self.lock_shard(i).len())
+            .sum();
+        CacheStats {
+            l1_hits: self.l1_hits.load(Ordering::Relaxed),
+            l2_hits: self.l2_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            l1_entries: l1_entries as u64,
+            l2_entries: self.lock_l2().len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    fn key(i: usize) -> String {
+        // Distinct 16-hex-digit keys, like real digests.
+        format!("{i:016x}")
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = ShardedCache::new(CacheConfig::default());
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(&key(1), v("one"));
+        assert_eq!(cache.get(&key(1)).as_deref(), Some("one"));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.l1_hits, 1);
+        assert_eq!(stats.insertions, 1);
+    }
+
+    #[test]
+    fn l1_displacement_demotes_to_l2_and_promotes_back() {
+        let config = CacheConfig {
+            shards: 1,
+            l1_per_shard: 2,
+            l2_capacity: 8,
+        };
+        let cache = ShardedCache::new(config);
+        cache.insert(&key(1), v("1"));
+        cache.insert(&key(2), v("2"));
+        cache.insert(&key(3), v("3")); // displaces key(1) into L2
+        let stats = cache.stats();
+        assert_eq!(stats.l1_entries, 2);
+        assert_eq!(stats.l2_entries, 1);
+        // key(1) still answerable — via L2, then promoted.
+        assert_eq!(cache.get(&key(1)).as_deref(), Some("1"));
+        let stats = cache.stats();
+        assert_eq!(stats.l2_hits, 1);
+        assert_eq!(stats.evictions, 0);
+        // Promotion displaced the L1 LRU (key 2) down to L2.
+        assert_eq!(stats.l2_entries, 1);
+        assert_eq!(cache.get(&key(2)).as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn l2_overflow_is_a_true_eviction() {
+        let config = CacheConfig {
+            shards: 1,
+            l1_per_shard: 1,
+            l2_capacity: 1,
+        };
+        let cache = ShardedCache::new(config);
+        cache.insert(&key(1), v("1"));
+        cache.insert(&key(2), v("2")); // 1 → L2
+        cache.insert(&key(3), v("3")); // 2 → L2, 1 evicted
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.get(&key(3)).as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let cache = ShardedCache::new(CacheConfig::disabled());
+        cache.insert(&key(1), v("1"));
+        assert!(cache.get(&key(1)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.l1_entries + stats.l2_entries, 0);
+    }
+
+    #[test]
+    fn lru_order_is_refreshed_by_hits() {
+        let config = CacheConfig {
+            shards: 1,
+            l1_per_shard: 2,
+            l2_capacity: 0,
+        };
+        let cache = ShardedCache::new(config);
+        cache.insert(&key(1), v("1"));
+        cache.insert(&key(2), v("2"));
+        // Touch 1 so 2 becomes LRU; inserting 3 should drop 2.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(&key(3), v("3"));
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn shard_index_spreads_and_is_stable() {
+        let cache = ShardedCache::new(CacheConfig::default());
+        let indices: Vec<usize> = (0..64).map(|i| cache.shard_index(&key(i))).collect();
+        let distinct: std::collections::BTreeSet<usize> = indices.iter().copied().collect();
+        assert!(distinct.len() > 1, "keys should spread across shards");
+        assert_eq!(
+            indices,
+            (0..64).map(|i| cache.shard_index(&key(i))).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn updating_a_key_does_not_duplicate_it() {
+        let config = CacheConfig {
+            shards: 1,
+            l1_per_shard: 4,
+            l2_capacity: 4,
+        };
+        let cache = ShardedCache::new(config);
+        cache.insert(&key(1), v("old"));
+        cache.insert(&key(1), v("new"));
+        assert_eq!(cache.get(&key(1)).as_deref(), Some("new"));
+        assert_eq!(cache.stats().l1_entries, 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request. Three request
+//! kinds:
+//!
+//! * `query` — evaluate a `(benchmark, node)` pair; answers with the
+//!   serialized [`ramp_core::QueryOutcome`] under `"result"`.
+//! * `metrics` — introspection; answers with a [`MetricsBody`] (live
+//!   metric snapshot plus cache/server stats) under `"metrics"`.
+//! * `ping` — liveness; answers with a bare `ok` envelope.
+//!
+//! Responses carry the request's `id` back, `"status"` of `"ok"`,
+//! `"overloaded"`, or `"error"`, and exactly one payload key. The ok
+//! envelope for queries is assembled by splicing the cached result bytes
+//! verbatim (see [`encode_ok`]), which is what makes computed, coalesced,
+//! and cache-replayed responses byte-identical.
+
+use ramp_core::{MetricEntry, QueryOutcome};
+use serde::{Deserialize, Serialize};
+
+/// Wire protocol version, echoed in [`MetricsBody`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Request status: success.
+pub const STATUS_OK: &str = "ok";
+/// Request status: shed by admission control; safe to retry later.
+pub const STATUS_OVERLOADED: &str = "overloaded";
+/// Request status: failed (protocol or evaluation error).
+pub const STATUS_ERROR: &str = "error";
+
+/// One request line.
+///
+/// Flat on the wire (the vendored serde subset has no tagged enums):
+/// `kind` selects the operation, the optional fields apply to `query`.
+/// Missing optional fields default to `None`/`0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    #[serde(default)]
+    pub id: u64,
+    /// `"query"`, `"metrics"`, or `"ping"`.
+    pub kind: String,
+    /// Benchmark name (required for `query`).
+    #[serde(default)]
+    pub benchmark: Option<String>,
+    /// Node label as printed by `NodeId::label()`, e.g. `"65nm (1.0V)"`
+    /// (required for `query`).
+    #[serde(default)]
+    pub node: Option<String>,
+    /// Override of the engine's base instruction budget per run.
+    #[serde(default)]
+    pub instructions: Option<u64>,
+    /// Override of the engine's base trace-repeat count.
+    #[serde(default)]
+    pub trace_repeats: Option<u32>,
+}
+
+impl Request {
+    /// A `query` request against the engine's base pipeline config.
+    #[must_use]
+    pub fn query(id: u64, benchmark: &str, node_label: &str) -> Self {
+        Request {
+            id,
+            kind: "query".to_string(),
+            benchmark: Some(benchmark.to_string()),
+            node: Some(node_label.to_string()),
+            instructions: None,
+            trace_repeats: None,
+        }
+    }
+
+    /// A `metrics` introspection request.
+    #[must_use]
+    pub fn metrics(id: u64) -> Self {
+        Request {
+            id,
+            kind: "metrics".to_string(),
+            benchmark: None,
+            node: None,
+            instructions: None,
+            trace_repeats: None,
+        }
+    }
+
+    /// A `ping` liveness request.
+    #[must_use]
+    pub fn ping(id: u64) -> Self {
+        Request {
+            id,
+            kind: "ping".to_string(),
+            benchmark: None,
+            node: None,
+            instructions: None,
+            trace_repeats: None,
+        }
+    }
+
+    /// Serializes the request to one wire line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self)
+            .expect("request is plain data, always serializable") // ramp-lint:allow(panic-hygiene) -- schema has no fallible serialize cases
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the malformation.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        serde_json::from_str(line).map_err(|e| format!("malformed request: {e}"))
+    }
+}
+
+/// One response line, as decoded by clients.
+///
+/// Exactly one of `result` / `metrics` / `error` is populated, matching
+/// `status` and the request kind.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+pub struct Response {
+    /// Correlation id echoed from the request.
+    #[serde(default)]
+    pub id: u64,
+    /// `"ok"`, `"overloaded"`, or `"error"`.
+    pub status: String,
+    /// Query answer (for `kind = "query"`, `status = "ok"`).
+    #[serde(default)]
+    pub result: Option<QueryOutcome>,
+    /// Introspection answer (for `kind = "metrics"`).
+    #[serde(default)]
+    pub metrics: Option<MetricsBody>,
+    /// Failure description (for non-`ok` statuses).
+    #[serde(default)]
+    pub error: Option<String>,
+}
+
+impl Response {
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the malformation.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        serde_json::from_str(line).map_err(|e| format!("malformed response: {e}"))
+    }
+
+    /// True when the request succeeded.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.status == STATUS_OK
+    }
+}
+
+/// Server-side counters reported by the `metrics` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Total request lines handled (all kinds).
+    pub requests: u64,
+    /// Query requests among them.
+    pub queries: u64,
+    /// Queries answered from the result cache.
+    pub cache_served: u64,
+    /// Queries that joined another request's in-flight execution.
+    pub coalesced: u64,
+    /// Pipeline executions actually performed.
+    pub executions: u64,
+    /// Queries shed by admission control.
+    pub overloaded: u64,
+    /// Requests that failed (protocol or evaluation).
+    pub errors: u64,
+}
+
+/// Body of a `metrics` response: live metric snapshot plus cache and
+/// server stats, in the same [`MetricEntry`] shape BENCH snapshots use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsBody {
+    /// Wire protocol version ([`PROTOCOL_VERSION`]).
+    pub schema_version: u32,
+    /// Digest of the calibration the server answers under.
+    pub calibration_digest: String,
+    /// Server-side request counters.
+    pub server: ServerStats,
+    /// Result-cache hit/miss/eviction counters and occupancy.
+    pub cache: crate::cache::CacheStats,
+    /// Every registered metric, BENCH-compatible.
+    pub metrics: Vec<MetricEntry>,
+}
+
+/// JSON-quotes `text` (used for error messages inside spliced envelopes).
+fn json_string(text: &str) -> String {
+    serde_json::to_string(&text.to_string())
+        .expect("strings always serialize") // ramp-lint:allow(panic-hygiene) -- string serialization is infallible
+}
+
+/// Builds the ok envelope for a query by splicing the already-serialized
+/// result bytes verbatim. Every path to an answer (fresh execution,
+/// coalesced join, cache replay) goes through this function with the
+/// same stored bytes, so the full response line is byte-identical.
+#[must_use]
+pub fn encode_ok(id: u64, result_json: &str) -> String {
+    format!("{{\"id\":{id},\"status\":\"ok\",\"result\":{result_json}}}")
+}
+
+/// Builds the ok envelope for a `metrics` request.
+#[must_use]
+pub fn encode_metrics(id: u64, body: &MetricsBody) -> String {
+    let body_json = serde_json::to_string(body)
+        .expect("metrics body is plain data, always serializable"); // ramp-lint:allow(panic-hygiene) -- schema has no fallible serialize cases
+    format!("{{\"id\":{id},\"status\":\"ok\",\"metrics\":{body_json}}}")
+}
+
+/// Builds the ok envelope for a `ping`.
+#[must_use]
+pub fn encode_pong(id: u64) -> String {
+    format!("{{\"id\":{id},\"status\":\"ok\"}}")
+}
+
+/// Builds a non-ok envelope (`status` of `"error"` or `"overloaded"`).
+#[must_use]
+pub fn encode_failure(id: u64, status: &str, message: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"status\":{},\"error\":{}}}",
+        json_string(status),
+        json_string(message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        for req in [
+            Request::query(7, "gzip", "180nm"),
+            Request::metrics(8),
+            Request::ping(9),
+        ] {
+            let line = req.to_line();
+            assert_eq!(Request::parse(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn request_defaults_fill_missing_fields() {
+        let req = Request::parse(r#"{"kind":"ping"}"#).unwrap();
+        assert_eq!(req.id, 0);
+        assert_eq!(req.kind, "ping");
+        assert_eq!(req.benchmark, None);
+    }
+
+    #[test]
+    fn malformed_request_is_an_error() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"id":1}"#).is_err(), "kind is required");
+    }
+
+    #[test]
+    fn failure_envelope_escapes_messages() {
+        let line = encode_failure(3, STATUS_ERROR, "bad \"quote\"\nnewline");
+        let resp = Response::parse(&line).unwrap();
+        assert_eq!(resp.id, 3);
+        assert_eq!(resp.status, STATUS_ERROR);
+        assert_eq!(resp.error.as_deref(), Some("bad \"quote\"\nnewline"));
+        assert!(resp.result.is_none());
+    }
+
+    #[test]
+    fn pong_envelope_parses() {
+        let resp = Response::parse(&encode_pong(12)).unwrap();
+        assert!(resp.is_ok());
+        assert_eq!(resp.id, 12);
+        assert!(resp.result.is_none() && resp.metrics.is_none());
+    }
+
+    #[test]
+    fn spliced_ok_envelope_is_exact() {
+        // The envelope must not re-serialize or reformat the payload.
+        let payload = r#"{"x":1.5,"y":"z"}"#;
+        let line = encode_ok(4, payload);
+        assert_eq!(line, r#"{"id":4,"status":"ok","result":{"x":1.5,"y":"z"}}"#);
+    }
+}

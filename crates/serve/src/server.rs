@@ -1,0 +1,511 @@
+//! The server core: admission control, the batching dispatcher, and the
+//! transport-independent request handler.
+//!
+//! Life of a query:
+//!
+//! 1. [`Server::handle_line`] parses the request and resolves it to a
+//!    [`ReliabilityQuery`] + config digest (under a `ramp-obs` span);
+//! 2. the result cache is consulted — a hit is returned immediately,
+//!    byte-identical to the originally computed response;
+//! 3. otherwise the request joins the coalescing broker: followers block
+//!    on the in-flight leader's [`crate::Flight`]; the leader enqueues a
+//!    [`Job`] on the **bounded** admission queue. A full queue sheds the
+//!    whole coalesced group with a typed `overloaded` response;
+//! 4. the dispatcher thread drains the queue in batches and runs each
+//!    batch on one [`ramp_core::Executor`] (the same deterministic pool
+//!    the study uses), inserts results into the cache, **then** retires
+//!    the flight — so late arrivals either joined the flight or will hit
+//!    the cache, and each digest is executed exactly once.
+
+use crate::broker::{Broker, Role};
+use crate::cache::{CacheConfig, ShardedCache};
+use crate::protocol::{
+    encode_failure, encode_metrics, encode_ok, encode_pong, MetricsBody, Request, ServerStats,
+    PROTOCOL_VERSION, STATUS_ERROR, STATUS_OVERLOADED,
+};
+use crate::ServeError;
+use ramp_core::{
+    metric_entries_from_snapshot, Executor, NodeId, QueryEngine, ReliabilityQuery,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Admission-queue depth; beyond this, queries are shed with an
+    /// `overloaded` response.
+    pub queue_capacity: usize,
+    /// Maximum queries the dispatcher folds into one executor batch.
+    pub batch_max: usize,
+    /// Worker threads for batch execution (results are identical for
+    /// any value, per the [`Executor`] contract).
+    pub threads: usize,
+    /// Result-cache sizing.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            queue_capacity: 64,
+            batch_max: 8,
+            threads: Executor::from_env().threads(),
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// One unit of admitted work: a digest and the query that leads it.
+#[derive(Debug)]
+struct Job {
+    digest: String,
+    query: ReliabilityQuery,
+}
+
+/// Monotone server counters (mirrored to `serve.*` obs counters).
+#[derive(Debug, Default)]
+struct Stats {
+    requests: AtomicU64,
+    queries: AtomicU64,
+    cache_served: AtomicU64,
+    coalesced: AtomicU64,
+    executions: AtomicU64,
+    overloaded: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Stats {
+    fn bump(counter: &AtomicU64, name: &str) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        ramp_obs::counter(name).incr();
+    }
+
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_served: self.cache_served.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            executions: self.executions.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shared state behind every connection and the dispatcher.
+#[derive(Debug)]
+pub(crate) struct ServerState {
+    engine: QueryEngine,
+    cache: ShardedCache,
+    broker: Broker,
+    stats: Stats,
+    queue_capacity: usize,
+    jobs: Mutex<Option<SyncSender<Job>>>,
+}
+
+impl ServerState {
+    fn new(engine: QueryEngine, options: &ServeOptions, jobs: SyncSender<Job>) -> Self {
+        ServerState {
+            engine,
+            cache: ShardedCache::new(options.cache),
+            broker: Broker::new(),
+            stats: Stats::default(),
+            queue_capacity: options.queue_capacity,
+            jobs: Mutex::new(Some(jobs)),
+        }
+    }
+
+    fn try_admit(&self, job: Job) -> Result<(), ServeError> {
+        let guard = self
+            .jobs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(sender) = guard.as_ref() else {
+            return Err(ServeError::Shutdown);
+        };
+        match sender.try_send(job) {
+            Ok(()) => {
+                ramp_obs::gauge("serve.queue_depth").add(1.0);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded {
+                queue_capacity: self.queue_capacity,
+            }),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Handles one query request end to end, returning the serialized
+    /// result payload (not yet enveloped).
+    fn handle_query(&self, request: &Request) -> Result<Arc<str>, ServeError> {
+        Stats::bump(&self.stats.queries, "serve.queries");
+        let benchmark = request
+            .benchmark
+            .as_deref()
+            .ok_or_else(|| ServeError::Protocol("query needs a `benchmark`".into()))?;
+        let node_label = request
+            .node
+            .as_deref()
+            .ok_or_else(|| ServeError::Protocol("query needs a `node`".into()))?;
+        let node = NodeId::from_label(node_label).ok_or_else(|| {
+            ServeError::Protocol(format!("unknown node label `{node_label}`"))
+        })?;
+        let mut query = self.engine.query(benchmark, node)?;
+        if let Some(instructions) = request.instructions {
+            query.pipeline.instructions = instructions;
+        }
+        if let Some(repeats) = request.trace_repeats {
+            query.pipeline.trace_repeats = repeats;
+        }
+        query.pipeline.validate()?;
+        let digest = self.engine.cache_key(&query);
+
+        if let Some(hit) = self.cache.get(&digest) {
+            Stats::bump(&self.stats.cache_served, "serve.cache_served");
+            return Ok(hit);
+        }
+        let flight = match self.broker.join_or_lead(&digest) {
+            Role::Follower(flight) => {
+                Stats::bump(&self.stats.coalesced, "serve.coalesced");
+                flight
+            }
+            Role::Leader(flight) => {
+                // Late cache check under flight ownership: if the result
+                // landed between our miss and taking leadership, serve it
+                // and retire the flight we just created.
+                if let Some(hit) = self.cache.get(&digest) {
+                    self.broker.complete(&digest, Ok(Arc::clone(&hit)));
+                    Stats::bump(&self.stats.cache_served, "serve.cache_served");
+                    return Ok(hit);
+                }
+                if let Err(shed) = self.try_admit(Job {
+                    digest: digest.clone(),
+                    query,
+                }) {
+                    if matches!(shed, ServeError::Overloaded { .. }) {
+                        Stats::bump(&self.stats.overloaded, "serve.overloaded");
+                    }
+                    // Fail the whole coalesced group through the flight so
+                    // followers don't hang.
+                    self.broker.complete(&digest, Err(shed));
+                }
+                flight
+            }
+        };
+        ramp_obs::gauge("serve.in_flight").set(self.broker.in_flight() as f64);
+        flight.wait()
+    }
+
+    /// The transport-independent core: one request line in, one response
+    /// line out.
+    pub(crate) fn handle_line(&self, line: &str) -> String {
+        Stats::bump(&self.stats.requests, "serve.requests");
+        let request = match Request::parse(line) {
+            Ok(request) => request,
+            Err(message) => {
+                Stats::bump(&self.stats.errors, "serve.errors");
+                return encode_failure(0, STATUS_ERROR, &message);
+            }
+        };
+        let span = ramp_obs::span!("serve_request", "kind={} id={}", request.kind, request.id);
+        let response = match request.kind.as_str() {
+            "query" => match self.handle_query(&request) {
+                Ok(payload) => encode_ok(request.id, &payload),
+                Err(ServeError::Overloaded { queue_capacity }) => {
+                    let message = ServeError::Overloaded { queue_capacity }.to_string();
+                    encode_failure(request.id, STATUS_OVERLOADED, &message)
+                }
+                Err(error) => {
+                    Stats::bump(&self.stats.errors, "serve.errors");
+                    encode_failure(request.id, STATUS_ERROR, &error.to_string())
+                }
+            },
+            "metrics" => encode_metrics(request.id, &self.metrics_body()),
+            "ping" => encode_pong(request.id),
+            other => {
+                Stats::bump(&self.stats.errors, "serve.errors");
+                encode_failure(
+                    request.id,
+                    STATUS_ERROR,
+                    &format!("unknown request kind `{other}`"),
+                )
+            }
+        };
+        span.finish();
+        response
+    }
+
+    fn metrics_body(&self) -> MetricsBody {
+        MetricsBody {
+            schema_version: PROTOCOL_VERSION,
+            calibration_digest: self.engine.calibration_digest().to_string(),
+            server: self.stats.snapshot(),
+            cache: self.cache.stats(),
+            metrics: metric_entries_from_snapshot(&ramp_obs::metrics_snapshot()),
+        }
+    }
+
+    /// Dispatcher loop: drain → batch → execute on the shared executor →
+    /// cache → retire flights. Runs until the admission sender is gone.
+    fn dispatch(self: &Arc<Self>, jobs: Receiver<Job>, options: &ServeOptions) {
+        let executor = Executor::new(options.threads);
+        let batch_max = options.batch_max.max(1);
+        let batch_hist = ramp_obs::histogram("serve.batch_size", &[1.0, 2.0, 4.0, 8.0, 16.0]);
+        while let Ok(first) = jobs.recv() {
+            let mut batch = vec![first];
+            while batch.len() < batch_max {
+                match jobs.try_recv() {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            }
+            ramp_obs::gauge("serve.queue_depth").add(-(batch.len() as f64));
+            batch_hist.observe(batch.len() as f64);
+            let span = ramp_obs::span!("serve_batch", "jobs={}", batch.len());
+            let results: Vec<Result<Arc<str>, ServeError>> =
+                executor.map(&batch, |job| self.execute(job));
+            for (job, result) in batch.iter().zip(results) {
+                if let Ok(payload) = &result {
+                    // Cache first, then retire the flight: a request that
+                    // misses the flight must find the cache populated.
+                    self.cache.insert(&job.digest, Arc::clone(payload));
+                }
+                self.broker.complete(&job.digest, result);
+            }
+            ramp_obs::gauge("serve.in_flight").set(self.broker.in_flight() as f64);
+            span.finish();
+        }
+    }
+
+    fn execute(&self, job: &Job) -> Result<Arc<str>, ServeError> {
+        Stats::bump(&self.stats.executions, "serve.executions");
+        let outcome = self.engine.evaluate(&job.query)?;
+        let json = serde_json::to_string(&outcome)
+            .map_err(|e| ServeError::Protocol(format!("result serialization failed: {e}")))?;
+        Ok(Arc::from(json.as_str()))
+    }
+
+    fn close_admission(&self) {
+        self.jobs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+    }
+}
+
+/// A running reliability query server.
+///
+/// Owns the dispatcher thread; dropping the server (or calling
+/// [`Server::shutdown`]) closes admission, drains the queue, and joins
+/// the dispatcher. Connections are served by whatever threads the
+/// transports spawn — all of them funnel into
+/// [`Server::handle_line`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use ramp_core::{QueryEngine, StudyConfig};
+/// use ramp_serve::{Request, Response, ServeOptions, Server};
+///
+/// let config = StudyConfig::quick().with_benchmarks(&["gzip"])?;
+/// let engine = QueryEngine::calibrate(&config)?;
+/// let server = Server::start(engine, ServeOptions::default());
+/// let client = server.connect();
+/// let response = client.request(&Request::query(1, "gzip", "180nm")).unwrap();
+/// assert!(response.is_ok());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    state: Arc<ServerState>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server over a calibrated engine.
+    #[must_use]
+    pub fn start(engine: QueryEngine, options: ServeOptions) -> Self {
+        let (tx, rx) = sync_channel(options.queue_capacity.max(1));
+        let state = Arc::new(ServerState::new(engine, &options, tx));
+        let dispatcher_state = Arc::clone(&state);
+        let dispatcher = std::thread::Builder::new()
+            .name("ramp-serve-dispatch".to_string())
+            .spawn(move || dispatcher_state.dispatch(rx, &options))
+            .expect("spawning the dispatcher thread succeeds"); // ramp-lint:allow(panic-hygiene) -- thread spawn fails only on resource exhaustion at startup
+        Server {
+            state,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Handles one raw request line (the transport-independent core).
+    #[must_use]
+    pub fn handle_line(&self, line: &str) -> String {
+        self.state.handle_line(line)
+    }
+
+    /// Shared state handle for transports.
+    pub(crate) fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Current server counters (same numbers the `metrics` endpoint
+    /// reports).
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.state.stats.snapshot()
+    }
+
+    /// Current cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.state.cache.stats()
+    }
+
+    /// Stops accepting work, drains in-flight batches, and joins the
+    /// dispatcher. Equivalent to dropping the server, but explicit.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.state.close_admission();
+        if let Some(handle) = self.dispatcher.take() {
+            if handle.join().is_err() {
+                ramp_obs::warn!("serve: dispatcher thread panicked during shutdown");
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Response;
+    use ramp_core::mechanisms::PerMechanism;
+    use ramp_core::{PipelineConfig, Qualification};
+
+    fn test_engine() -> QueryEngine {
+        let qualification =
+            Qualification::from_constants(PerMechanism::from_fn(|_| 1.0)).unwrap();
+        QueryEngine::with_qualification(qualification, PipelineConfig::quick(), "server-tests")
+    }
+
+    fn tiny_options() -> ServeOptions {
+        ServeOptions {
+            queue_capacity: 2,
+            batch_max: 2,
+            threads: 1,
+            cache: CacheConfig::default(),
+        }
+    }
+
+    #[test]
+    fn ping_and_unknown_kind() {
+        let server = Server::start(test_engine(), tiny_options());
+        let pong = Response::parse(&server.handle_line(&Request::ping(5).to_line())).unwrap();
+        assert!(pong.is_ok());
+        assert_eq!(pong.id, 5);
+        let bad =
+            Response::parse(&server.handle_line(r#"{"id":6,"kind":"frobnicate"}"#)).unwrap();
+        assert_eq!(bad.status, STATUS_ERROR);
+        assert!(bad.error.unwrap().contains("frobnicate"));
+        assert_eq!(server.stats().requests, 2);
+        assert_eq!(server.stats().errors, 1);
+    }
+
+    #[test]
+    fn malformed_and_incomplete_queries_error_without_executing() {
+        let server = Server::start(test_engine(), tiny_options());
+        for line in [
+            "not json at all",
+            r#"{"id":1,"kind":"query"}"#,
+            r#"{"id":2,"kind":"query","benchmark":"gzip"}"#,
+            r#"{"id":3,"kind":"query","benchmark":"gzip","node":"7nm"}"#,
+            r#"{"id":4,"kind":"query","benchmark":"nonesuch","node":"180nm"}"#,
+        ] {
+            let response = Response::parse(&server.handle_line(line)).unwrap();
+            assert_eq!(response.status, STATUS_ERROR, "line: {line}");
+        }
+        assert_eq!(server.stats().executions, 0);
+        assert_eq!(server.stats().errors, 5);
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_response() {
+        // A state with no dispatcher: admitted jobs stay queued, so the
+        // queue fills deterministically.
+        let options = ServeOptions {
+            queue_capacity: 1,
+            ..tiny_options()
+        };
+        let (tx, _rx) = sync_channel(options.queue_capacity);
+        let state = ServerState::new(test_engine(), &options, tx);
+        let first = Request::query(1, "gzip", "180nm").to_line();
+        let second = Request::query(2, "vpr", "180nm").to_line();
+        // First query leads and occupies the queue's only slot, then would
+        // block on its flight — run it from a helper thread and let it
+        // block there while we overload from this one.
+        let state = Arc::new(state);
+        let background = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || state.handle_line(&first))
+        };
+        // Wait until the first job is actually admitted.
+        while ramp_obs::gauge("serve.queue_depth").get() < 1.0
+            && state.stats.overloaded.load(Ordering::Relaxed) == 0
+        {
+            std::thread::yield_now();
+        }
+        let response = Response::parse(&state.handle_line(&second)).unwrap();
+        assert_eq!(response.status, STATUS_OVERLOADED);
+        assert!(response.error.unwrap().contains("admission queue"));
+        assert_eq!(state.stats.overloaded.load(Ordering::Relaxed), 1);
+        // Unblock the first request so the helper thread exits.
+        state
+            .broker
+            .complete(&state.engine.cache_key(&state.engine.query("gzip", NodeId::N180).unwrap()),
+                Err(ServeError::Shutdown));
+        let first_response = Response::parse(&background.join().unwrap()).unwrap();
+        assert_eq!(first_response.status, STATUS_ERROR);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_queries() {
+        let options = tiny_options();
+        let (tx, rx) = sync_channel::<Job>(1);
+        let state = ServerState::new(test_engine(), &options, tx);
+        drop(rx);
+        state.close_admission();
+        let response = Response::parse(
+            &state.handle_line(&Request::query(9, "gzip", "180nm").to_line()),
+        )
+        .unwrap();
+        assert_eq!(response.status, STATUS_ERROR);
+        assert!(response.error.unwrap().contains("shutting down"));
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_counters() {
+        let server = Server::start(test_engine(), tiny_options());
+        let _ = server.handle_line(&Request::ping(1).to_line());
+        let line = server.handle_line(&Request::metrics(2).to_line());
+        let response = Response::parse(&line).unwrap();
+        assert!(response.is_ok());
+        let body = response.metrics.expect("metrics body present");
+        assert_eq!(body.schema_version, PROTOCOL_VERSION);
+        assert!(body.server.requests >= 2);
+        assert_eq!(body.calibration_digest, server.state.engine.calibration_digest());
+        assert!(body.metrics.iter().any(|m| m.name == "serve.requests"));
+    }
+}

@@ -48,7 +48,7 @@ pub use ratio::ActivityFactor;
 pub use reliability::{Fit, Mttf, SECONDS_PER_YEAR};
 pub use resistance::KelvinPerWatt;
 pub use temperature::{Celsius, Kelvin, KelvinDelta};
-pub use time::{Seconds, SimTime};
+pub use time::{Seconds, SimTime, Years, HOURS_PER_YEAR};
 
 /// Boltzmann's constant in electron-volts per Kelvin.
 ///

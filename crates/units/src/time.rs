@@ -1,7 +1,96 @@
 //! Simulation-time types.
 
 use crate::macros::quantity;
+use crate::SECONDS_PER_YEAR;
 use std::ops::{Add, AddAssign};
+
+/// Hours per (Julian) year — the bridge between FIT (per 10⁹ device-hours)
+/// and year-denominated lifetimes.
+pub const HOURS_PER_YEAR: f64 = SECONDS_PER_YEAR / 3600.0;
+
+quantity! {
+    /// A duration in years — the unit in which the paper quotes lifetimes
+    /// and qualification targets ("30-year MTTF").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ramp_units::Years;
+    /// let qual = Years::new(30.0)?;
+    /// assert!((qual.hours() - 262_980.0).abs() < 1.0);
+    /// # Ok::<(), ramp_units::UnitError>(())
+    /// ```
+    Years, unit = "years", allowed = ">= 0",
+    valid = |v| v >= 0.0
+}
+
+impl Years {
+    /// Zero duration.
+    pub const ZERO: Years = Years(0.0);
+
+    /// Effectively-infinite lifetime (`f64::MAX` years). Mirrors the
+    /// zero-FIT convention of [`crate::Mttf`]: "never fails" stays finite
+    /// so downstream arithmetic and serialisation behave.
+    pub const MAX: Years = Years(f64::MAX);
+
+    /// Creates a duration from device hours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::UnitError`] unless `hours` is finite and
+    /// non-negative.
+    pub fn from_hours(hours: f64) -> Result<Self, crate::UnitError> {
+        Years::new(hours / HOURS_PER_YEAR)
+    }
+
+    /// The duration in device hours.
+    #[must_use]
+    pub fn hours(self) -> f64 {
+        self.0 * HOURS_PER_YEAR
+    }
+
+    /// Clamping constructor for computed lifetimes: negative or NaN input
+    /// maps to [`Years::ZERO`], positive overflow (+∞) to [`Years::MAX`].
+    /// Use where an exponential draw or a mean over draws may overflow but
+    /// a `Result` would only ever be unwrapped.
+    #[must_use]
+    pub fn saturating(value: f64) -> Years {
+        if value.is_nan() || value < 0.0 {
+            Years::ZERO
+        } else if value > f64::MAX {
+            Years::MAX
+        } else {
+            Years(value)
+        }
+    }
+
+    /// Dimensionless ratio `self / other` (e.g. lifetime shrink factors).
+    #[must_use]
+    pub fn ratio_to(self, other: Years) -> f64 {
+        self.0 / other.0
+    }
+}
+
+impl Add for Years {
+    type Output = Years;
+    fn add(self, rhs: Years) -> Years {
+        Years(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Years {
+    fn add_assign(&mut self, rhs: Years) {
+        self.0 += rhs.0;
+    }
+}
+
+impl From<crate::Mttf> for Years {
+    /// An MTTF is a mean lifetime; the conversion is exact (both types
+    /// store finite `f64`s).
+    fn from(mttf: crate::Mttf) -> Years {
+        Years::saturating(mttf.hours() / HOURS_PER_YEAR)
+    }
+}
 
 quantity! {
     /// A duration in seconds.
@@ -101,6 +190,40 @@ mod tests {
         t += Seconds::MICROSECOND;
         t += Seconds::MICROSECOND;
         assert!((t.value() - 2e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn years_hours_roundtrip() {
+        let y = Years::from_hours(262_980.0).unwrap();
+        assert!((y.value() - 30.0).abs() < 1e-3);
+        assert!((y.hours() - 262_980.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn years_saturating_clamps() {
+        assert_eq!(Years::saturating(-3.0), Years::ZERO);
+        assert_eq!(Years::saturating(f64::NAN), Years::ZERO);
+        assert_eq!(Years::saturating(f64::INFINITY), Years::MAX);
+        assert!((Years::saturating(12.5).value() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn years_from_mttf_matches_years_accessor() {
+        let mttf = crate::Mttf::from_years(28.5).unwrap();
+        let y = Years::from(mttf);
+        assert!((y.value() - mttf.years()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn years_add_and_ratio() {
+        let a = Years::new(10.0).unwrap() + Years::new(20.0).unwrap();
+        assert!((a.value() - 30.0).abs() < 1e-12);
+        assert!((a.ratio_to(Years::new(15.0).unwrap()) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn years_rejects_negative() {
+        assert!(Years::new(-1.0).is_err());
     }
 
     #[test]

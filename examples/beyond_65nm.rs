@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.mechanism_total(MechanismKind::Sm).value(),
             report.mechanism_total(MechanismKind::Tddb).value(),
             report.total().value(),
-            LifetimeDistribution::from_report(&report).mttf_years(),
+            LifetimeDistribution::from_report(&report).mttf_years().value(),
         );
     }
     println!();

@@ -10,6 +10,7 @@ use ramp_core::lifetime::{LifetimeDistribution, MonteCarloLifetime};
 use ramp_core::mechanisms::{standard_models, MechanismKind};
 use ramp_core::{run_app_on_node, NodeId, PipelineConfig, Qualification, TechNode};
 use ramp_trace::spec;
+use ramp_units::Years;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let models = standard_models();
@@ -44,9 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<12} {:>9.0} {:>11.1} {:>14.2} {:>13.1}%",
             id.label(),
             report.total().value(),
-            dist.mttf_years(),
-            dist.percentile_years(0.01),
-            dist.failure_probability_by_years(7.0) * 100.0,
+            dist.mttf_years().value(),
+            dist.percentile_years(0.01).value(),
+            dist.failure_probability_by_years(Years::new(7.0)?) * 100.0,
         );
         reports.push((id, report));
     }

@@ -57,4 +57,13 @@ echo "== benchmark gate: smoke run against the checked-in baseline =="
 cargo run --release --locked -p ramp-bench --bin benchgate -- \
     --smoke --emit target/bench-candidate.json
 
+echo "== serve smoke: coalescing, cache, and admission contract =="
+# Mixed query batch from concurrent in-process clients: exactly one
+# pipeline execution per unique (benchmark, node) combo, everything else
+# coalesced or cache-served, nothing shed, replays byte-identical. The
+# metrics body lands in target/ for inspection and CI artifact upload.
+cargo run --release --locked -p ramp-bench --bin serve_load -- \
+    --assert --queries 48 --unique 4 --clients 8 \
+    --out target/serve-metrics.json
+
 echo "verify: OK"

@@ -1,0 +1,180 @@
+//! End-to-end determinism and coalescing guarantees of the serving path.
+//!
+//! The contract under test: a `ramp-serve` server answers byte-identical
+//! queries with byte-identical response lines no matter which path the
+//! answer took (fresh execution, coalesced join, cache replay), no matter
+//! how many worker threads the dispatcher uses, and — the acceptance
+//! criterion — N identical concurrent queries cost exactly **one**
+//! pipeline execution, proven both by the server's own counters and by
+//! the process-wide `ramp-obs` `serve.executions` counter.
+//!
+//! The obs counters are global to the test binary, so every test here
+//! serializes on one mutex; the per-test counter deltas are then exact.
+
+use ramp_core::{NodeId, QueryEngine, StudyConfig};
+use ramp_serve::protocol::encode_ok;
+use ramp_serve::{CacheConfig, Request, Response, ServeOptions, Server};
+use std::sync::{Mutex, OnceLock};
+
+/// Serializes the tests in this binary so the global obs counter deltas
+/// are attributable to exactly one server.
+fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One shared engine, calibrated once per test binary (quick config, one
+/// benchmark) — clones are a few pointer copies.
+fn engine() -> QueryEngine {
+    static ENGINE: OnceLock<QueryEngine> = OnceLock::new();
+    ENGINE
+        .get_or_init(|| {
+            let config = StudyConfig::quick().with_benchmarks(&["gzip"]).unwrap();
+            QueryEngine::calibrate(&config).unwrap()
+        })
+        .clone()
+}
+
+fn executions_counter() -> u64 {
+    ramp_obs::counter_value("serve.executions").unwrap_or(0)
+}
+
+fn options(threads: usize) -> ServeOptions {
+    ServeOptions {
+        threads,
+        ..ServeOptions::default()
+    }
+}
+
+#[test]
+fn identical_concurrent_queries_cost_exactly_one_execution() {
+    let _guard = test_lock();
+    let obs_before = executions_counter();
+    let server = Server::start(engine(), options(2));
+
+    // Eight clients, each its own connection, all issuing the same line
+    // (same id, so the full response envelope must match byte for byte).
+    let line = Request::query(7, "gzip", "65nm (1.0V)").to_line();
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|_| {
+                let client = server.connect();
+                let line = line.clone();
+                scope.spawn(move || client.request_line(&line).expect("server answers"))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|handle| handle.join().expect("client thread completes"))
+            .collect()
+    });
+
+    for response in &responses {
+        let parsed = Response::parse(response).unwrap();
+        assert!(parsed.is_ok(), "query failed: {response}");
+        assert_eq!(parsed.id, 7);
+        assert_eq!(
+            response, &responses[0],
+            "responses to identical queries must be byte-identical"
+        );
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.queries, 8);
+    assert_eq!(
+        stats.executions, 1,
+        "8 identical concurrent queries must coalesce to one execution"
+    );
+    assert_eq!(
+        stats.coalesced + stats.cache_served,
+        7,
+        "the other 7 join the flight or hit the cache"
+    );
+    assert_eq!(stats.overloaded, 0);
+    assert_eq!(stats.errors, 0);
+    // The acceptance criterion, proven through the obs counter as well.
+    assert_eq!(
+        executions_counter() - obs_before,
+        1,
+        "serve.executions must record exactly one pipeline execution"
+    );
+}
+
+#[test]
+fn cached_replays_skip_the_executor() {
+    let _guard = test_lock();
+    let server = Server::start(engine(), options(2));
+    let client = server.connect();
+
+    let line = Request::query(3, "gzip", "130nm").to_line();
+    let first = client.request_line(&line).unwrap();
+    assert!(Response::parse(&first).unwrap().is_ok());
+    assert_eq!(server.stats().executions, 1);
+
+    let obs_before = executions_counter();
+    for _ in 0..5 {
+        let replay = client.request_line(&line).unwrap();
+        assert_eq!(replay, first, "cache replays must be byte-identical");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.executions, 1, "replays must not reach the executor");
+    assert_eq!(stats.cache_served, 5);
+    assert_eq!(
+        executions_counter(),
+        obs_before,
+        "serve.executions must not move during cached replays"
+    );
+}
+
+#[test]
+fn responses_match_a_direct_engine_run_at_any_thread_count() {
+    let _guard = test_lock();
+    let engine = engine();
+    let query = engine.query("gzip", NodeId::N90).unwrap();
+    // The ground truth: a direct ramp_core evaluation, enveloped exactly
+    // as the server envelopes it.
+    let outcome = engine.evaluate(&query).unwrap();
+    let expected = encode_ok(11, &serde_json::to_string(&outcome).unwrap());
+
+    let line = Request::query(11, "gzip", "90nm").to_line();
+    for threads in [1, 2, 8] {
+        let server = Server::start(engine.clone(), options(threads));
+        let client = server.connect();
+        let response = client.request_line(&line).unwrap();
+        assert!(
+            response == expected,
+            "served response diverged from the direct run at {threads} threads \
+             (lengths {} vs {})",
+            response.len(),
+            expected.len()
+        );
+    }
+}
+
+#[test]
+fn uncoalesced_reexecutions_stay_byte_identical() {
+    let _guard = test_lock();
+    // Cache disabled and strictly sequential queries: nothing coalesces,
+    // every query re-executes — and the bytes still cannot change.
+    let server = Server::start(
+        engine(),
+        ServeOptions {
+            threads: 2,
+            cache: CacheConfig::disabled(),
+            ..ServeOptions::default()
+        },
+    );
+    let client = server.connect();
+    let line = Request::query(5, "gzip", "180nm").to_line();
+    let first = client.request_line(&line).unwrap();
+    assert!(Response::parse(&first).unwrap().is_ok());
+    for _ in 0..2 {
+        let again = client.request_line(&line).unwrap();
+        assert_eq!(again, first, "re-executions must be byte-identical");
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.executions, 3,
+        "with the cache disabled every sequential query re-executes"
+    );
+    assert_eq!(stats.cache_served, 0);
+}
