@@ -1,0 +1,266 @@
+//! Population Monte Carlo fleet driver.
+//!
+//! Calibrates a quick engine on `--benchmark`, simulates `--chips` chips
+//! per node through `ramp_fleet::run_fleet`, and reports the population
+//! statistics the paper's single-average-chip tables cannot show: lifetime
+//! quantiles (p1/p10/p50/p90/p99), cumulative warranty-return DPPM per
+//! year, the dominant killer mechanism, and the simulation throughput in
+//! chips/second.
+//!
+//! ```text
+//! fleet [--chips N] [--seed S] [--benchmark B] [--nodes a,b,...]
+//!       [--threads T] [--chunk C] [--out FILE] [--csv FILE]
+//!       [--assert-deterministic]
+//! ```
+//!
+//! * `--nodes` — comma-separated display labels (`180nm`, `65nm (1.0V)`,
+//!   ...); defaults to all five study nodes.
+//! * `--out` — write the full results (plus `population_digest`) as JSON.
+//! * `--csv` — write per-(node, year) cumulative DPPM warranty curves.
+//! * `--assert-deterministic` — CI shape: rerun the fleet at different
+//!   thread counts and chunk sizes and require byte-identical canonical
+//!   output.
+//!
+//! Exit codes: 0 = run (and determinism assertions, if requested) passed,
+//! 1 = assertion or run failure, 2 = usage error.
+
+use ramp_core::{NodeId, QueryEngine, StudyConfig};
+use ramp_fleet::{run_fleet, FleetConfig, FleetResults};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    chips: u64,
+    seed: u64,
+    benchmark: String,
+    nodes: Vec<NodeId>,
+    threads: Option<usize>,
+    chunk: u64,
+    out: Option<PathBuf>,
+    csv: Option<PathBuf>,
+    assert_deterministic: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        chips: 1_000_000,
+        seed: 42,
+        benchmark: "gzip".to_string(),
+        nodes: NodeId::ALL.to_vec(),
+        threads: None,
+        chunk: 8192,
+        out: None,
+        csv: None,
+        assert_deterministic: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--chips" => {
+                args.chips = value("--chips")?
+                    .parse()
+                    .map_err(|e| format!("--chips: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--benchmark" => args.benchmark = value("--benchmark")?,
+            "--nodes" => {
+                args.nodes = value("--nodes")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|label| {
+                        NodeId::from_label(label)
+                            .ok_or_else(|| format!("--nodes: unknown node label {label:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                );
+            }
+            "--chunk" => {
+                args.chunk = value("--chunk")?
+                    .parse()
+                    .map_err(|e| format!("--chunk: {e}"))?;
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--csv" => args.csv = Some(PathBuf::from(value("--csv")?)),
+            "--assert-deterministic" => args.assert_deterministic = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.chips == 0 {
+        return Err("--chips must be positive".to_string());
+    }
+    if args.nodes.is_empty() {
+        return Err("--nodes must name at least one node".to_string());
+    }
+    Ok(args)
+}
+
+fn fleet_config(args: &Args) -> FleetConfig {
+    FleetConfig {
+        benchmark: args.benchmark.clone(),
+        nodes: args.nodes.clone(),
+        chips: args.chips,
+        seed: args.seed,
+        chunk: args.chunk,
+        threads: args.threads,
+        ..FleetConfig::default()
+    }
+}
+
+fn print_report(results: &FleetResults) {
+    println!(
+        "fleet: {} chips/node on {:?}, seed {}",
+        results.chips_per_node, results.benchmark, results.seed
+    );
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}  {:>11} {:>11}  top killer",
+        "node", "p1 (y)", "p10 (y)", "p50 (y)", "p90 (y)", "p99 (y)", "dppm@5y", "dppm@10y"
+    );
+    for pop in &results.populations {
+        let s = &pop.summary;
+        let (killer, count) = ["EM", "SM", "TDDB", "TC"]
+            .iter()
+            .zip(s.killer_counts.iter())
+            .max_by_key(|(_, &n)| n)
+            .map_or(("-", 0), |(k, &n)| (*k, n));
+        println!(
+            "{:<12} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}  {:>11.1} {:>11.1}  {} ({:.0}%)",
+            pop.label,
+            s.p1_years,
+            s.p10_years,
+            s.p50_years,
+            s.p90_years,
+            s.p99_years,
+            s.dppm_by_year[4],
+            s.dppm_by_year[9],
+            killer,
+            count as f64 / s.chips.max(1) as f64 * 100.0,
+        );
+    }
+    println!(
+        "throughput: {:.0} chips/sec over {:.2}s  population_digest: {}",
+        results.chips_per_sec,
+        results.elapsed_seconds,
+        results.population_digest()
+    );
+}
+
+/// Reruns the fleet with scheduling deliberately perturbed and demands
+/// byte-identical canonical output. The baseline already ran; each rerun
+/// varies (threads, chunk) only — parameters the determinism contract says
+/// cannot matter.
+fn assert_deterministic(
+    engine: &QueryEngine,
+    base: &FleetResults,
+    args: &Args,
+) -> Result<(), String> {
+    let reference = base.population_json();
+    for (threads, chunk) in [(1, args.chunk.max(2) / 2 + 1), (2, 977), (8, args.chunk)] {
+        let rerun = run_fleet(
+            engine,
+            &FleetConfig {
+                threads: Some(threads),
+                chunk,
+                ..fleet_config(args)
+            },
+        )
+        .map_err(|e| format!("rerun threads={threads} chunk={chunk}: {e}"))?;
+        if rerun.population_json() != reference {
+            return Err(format!(
+                "population diverged at threads={threads} chunk={chunk} (digest {} vs {})",
+                rerun.population_digest(),
+                base.population_digest()
+            ));
+        }
+        println!("deterministic: threads={threads} chunk={chunk} byte-identical");
+    }
+    Ok(())
+}
+
+fn write_artifacts(results: &FleetResults, args: &Args) -> Result<(), String> {
+    if let Some(path) = &args.out {
+        // Owned because the vendored serde derive cannot handle borrowed
+        // fields; one clone per artifact write is immaterial.
+        #[derive(serde::Serialize)]
+        struct FleetArtifact {
+            population_digest: String,
+            results: FleetResults,
+        }
+        let body = serde_json::to_string_pretty(&FleetArtifact {
+            population_digest: results.population_digest(),
+            results: results.clone(),
+        })
+        .map_err(|e| format!("serialize results: {e}"))?;
+        std::fs::write(path, body).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &args.csv {
+        std::fs::write(path, results.warranty_csv())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    ramp_obs::init_from_env();
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = match StudyConfig::quick().with_benchmarks(&[args.benchmark.as_str()]) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let engine = match QueryEngine::calibrate(&config) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("fleet: calibration failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let results = match run_fleet(&engine, &fleet_config(&args)) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("fleet: run failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    print_report(&results);
+
+    if let Err(e) = write_artifacts(&results, &args) {
+        eprintln!("fleet: {e}");
+        return ExitCode::from(1);
+    }
+
+    if args.assert_deterministic {
+        if let Err(e) = assert_deterministic(&engine, &results, &args) {
+            eprintln!("fleet: ASSERTION FAILED: {e}");
+            return ExitCode::from(1);
+        }
+        println!("determinism assertions passed");
+    }
+    ExitCode::SUCCESS
+}

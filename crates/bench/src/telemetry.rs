@@ -192,6 +192,27 @@ pub struct NumericsSection {
     pub mechanisms: Vec<MechanismFit>,
 }
 
+/// Population fleet telemetry: throughput (noisy, informational) plus the
+/// canonical population digest (exact-match gated when both sides have
+/// it). Optional because snapshots captured before the fleet simulator
+/// existed lack the section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSection {
+    /// Benchmark the fleet was anchored on.
+    pub benchmark: String,
+    /// Chips simulated per node.
+    pub chips_per_node: u64,
+    /// Master seed of the population run.
+    pub seed: u64,
+    /// Measured simulation throughput, chips per second (wall-clock
+    /// derived — never gated).
+    pub chips_per_sec: f64,
+    /// FNV-1a digest of the canonical population JSON
+    /// ([`ramp_fleet::FleetResults::population_digest`]) — exact-match
+    /// gated against baselines that carry a fleet section.
+    pub population_digest: String,
+}
+
 /// One versioned benchmark snapshot (`BENCH_<seq>.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchSnapshot {
@@ -217,6 +238,9 @@ pub struct BenchSnapshot {
     pub histograms: Vec<HistogramStat>,
     /// Exact-match numerical outputs.
     pub numerics: NumericsSection,
+    /// Fleet population telemetry (absent in pre-fleet snapshots).
+    #[serde(default)]
+    pub fleet: Option<FleetSection>,
 }
 
 // ---------------------------------------------------------------------------
@@ -231,6 +255,10 @@ pub struct HarnessOptions {
     /// Run one unmeasured warmup sample first (pays one-time costs —
     /// allocator growth, page faults — outside the measurement).
     pub warmup: bool,
+    /// Chips per node for the fleet telemetry pass (0 skips the pass and
+    /// leaves the snapshot's fleet section empty). Runs after the study
+    /// samples, so it never contaminates stage timings.
+    pub fleet_chips: u64,
 }
 
 impl Default for HarnessOptions {
@@ -238,18 +266,20 @@ impl Default for HarnessOptions {
         HarnessOptions {
             samples: 3,
             warmup: true,
+            fleet_chips: 100_000,
         }
     }
 }
 
 impl HarnessOptions {
-    /// CI smoke shape: one sample, no warmup — fast, paired with the
-    /// loose [`GateConfig::smoke`] tolerances.
+    /// CI smoke shape: one sample, no warmup, a smaller fleet — fast,
+    /// paired with the loose [`GateConfig::smoke`] tolerances.
     #[must_use]
     pub fn smoke() -> Self {
         HarnessOptions {
             samples: 1,
             warmup: false,
+            fleet_chips: 20_000,
         }
     }
 }
@@ -272,6 +302,8 @@ pub struct Measurement {
     pub histograms: Vec<HistogramStat>,
     /// Exact numerical outputs.
     pub numerics: NumericsSection,
+    /// Fleet population telemetry.
+    pub fleet: Option<FleetSection>,
     /// Serialized [`StudyResults`] bytes — identical for every sample
     /// (the harness verifies this) and identical to a run without
     /// telemetry (the byte-determinism contract).
@@ -362,6 +394,14 @@ pub fn run_harness(config: &StudyConfig, opts: &HarnessOptions) -> Result<Measur
     }
     let metrics_after = ramp_obs::metrics_snapshot();
 
+    // Fleet telemetry pass — deliberately after `metrics_after`, so its
+    // spans and counters cannot leak into the measured window above.
+    let fleet = if opts.fleet_chips > 0 {
+        Some(fleet_section(config, opts.fleet_chips)?)
+    } else {
+        None
+    };
+
     let results = last_results.expect("samples >= 1");
     let results_json = results_json.expect("samples >= 1");
     let threads = manifests[0].threads;
@@ -391,8 +431,38 @@ pub fn run_harness(config: &StudyConfig, opts: &HarnessOptions) -> Result<Measur
         },
         histograms: histogram_stats(&metrics_before, &metrics_after),
         numerics: numerics_section(config, &results),
+        fleet,
         results_json,
         manifests,
+    })
+}
+
+/// Runs the fleet telemetry pass: a fixed-seed population over the
+/// workload's first benchmark and all its nodes, reported as throughput
+/// plus the canonical population digest.
+fn fleet_section(config: &StudyConfig, chips: u64) -> Result<FleetSection, String> {
+    let benchmark = config
+        .benchmarks
+        .first()
+        .map(|p| p.name.clone())
+        .ok_or_else(|| "fleet telemetry needs at least one benchmark".to_string())?;
+    let engine = ramp_core::QueryEngine::calibrate(config)
+        .map_err(|e| format!("fleet calibration failed: {e}"))?;
+    let fleet_config = ramp_fleet::FleetConfig {
+        benchmark: benchmark.clone(),
+        nodes: config.nodes.clone(),
+        chips,
+        threads: Some(config.threads),
+        ..ramp_fleet::FleetConfig::default()
+    };
+    let results = ramp_fleet::run_fleet(&engine, &fleet_config)
+        .map_err(|e| format!("fleet telemetry run failed: {e}"))?;
+    Ok(FleetSection {
+        benchmark,
+        chips_per_node: results.chips_per_node,
+        seed: results.seed,
+        chips_per_sec: results.chips_per_sec,
+        population_digest: results.population_digest(),
     })
 }
 
@@ -422,6 +492,7 @@ pub fn capture_snapshot(measurement: &Measurement, seq: u32) -> BenchSnapshot {
         executor: measurement.executor,
         histograms: measurement.histograms.clone(),
         numerics: measurement.numerics.clone(),
+        fleet: measurement.fleet.clone(),
     }
 }
 
@@ -526,16 +597,19 @@ fn histogram_stats(before: &[MetricSnapshot], after: &[MetricSnapshot]) -> Vec<H
         let MetricValue::Histogram {
             bounds,
             counts,
+            bucket_sums,
             count,
             sum,
         } = &snap.value
         else {
             continue;
         };
-        let (mut d_counts, mut d_count, mut d_sum) = (counts.clone(), *count, *sum);
+        let (mut d_counts, mut d_sums, mut d_count, mut d_sum) =
+            (counts.clone(), bucket_sums.clone(), *count, *sum);
         if let Some(prev) = before.iter().find(|p| p.name == snap.name) {
             if let MetricValue::Histogram {
                 counts: p_counts,
+                bucket_sums: p_sums,
                 count: p_count,
                 sum: p_sum,
                 ..
@@ -543,6 +617,9 @@ fn histogram_stats(before: &[MetricSnapshot], after: &[MetricSnapshot]) -> Vec<H
             {
                 for (d, p) in d_counts.iter_mut().zip(p_counts) {
                     *d = d.saturating_sub(*p);
+                }
+                for (d, p) in d_sums.iter_mut().zip(p_sums) {
+                    *d -= p;
                 }
                 d_count = d_count.saturating_sub(*p_count);
                 d_sum -= p_sum;
@@ -555,9 +632,9 @@ fn histogram_stats(before: &[MetricSnapshot], after: &[MetricSnapshot]) -> Vec<H
             name: snap.name.clone(),
             count: d_count,
             mean: d_sum / d_count as f64,
-            p50: ramp_obs::bucket_percentile(bounds, &d_counts, 50.0),
-            p95: ramp_obs::bucket_percentile(bounds, &d_counts, 95.0),
-            p99: ramp_obs::bucket_percentile(bounds, &d_counts, 99.0),
+            p50: ramp_obs::bucket_percentile_with_sums(bounds, &d_counts, &d_sums, 50.0),
+            p95: ramp_obs::bucket_percentile_with_sums(bounds, &d_counts, &d_sums, 95.0),
+            p99: ramp_obs::bucket_percentile_with_sums(bounds, &d_counts, &d_sums, 99.0),
         });
     }
     out
@@ -705,6 +782,13 @@ pub struct GateReport {
     pub config_match: bool,
     /// Whether the numerical outputs matched exactly.
     pub digest_match: bool,
+    /// Whether the fleet population digests matched. `true` when the
+    /// comparison does not apply: either side lacks a fleet section, or
+    /// the fleet parameters (benchmark, chips, seed) differ.
+    pub fleet_digest_match: bool,
+    /// Human-readable fleet drift description (empty when
+    /// `fleet_digest_match`).
+    pub fleet_diff: Option<String>,
     /// Human-readable localization of numerical drift (empty when
     /// `digest_match`).
     pub numeric_diffs: Vec<String>,
@@ -720,6 +804,7 @@ impl GateReport {
     pub fn passed(&self) -> bool {
         self.config_match
             && self.digest_match
+            && self.fleet_digest_match
             && !self.total.status.is_failure()
             && self.stages.iter().all(|s| !s.status.is_failure())
     }
@@ -764,6 +849,31 @@ pub fn compare(baseline: &BenchSnapshot, current: &Measurement, gate: &GateConfi
             }
         }
     }
+
+    // The fleet digest is gated exactly, but only when both sides ran the
+    // same population (section present, same benchmark/chips/seed) —
+    // pre-fleet baselines and smoke-vs-full fleet sizes compare as "not
+    // applicable", never as failures.
+    let (fleet_digest_match, fleet_diff) = match (&baseline.fleet, &current.fleet) {
+        (Some(b), Some(c))
+            if b.benchmark == c.benchmark
+                && b.chips_per_node == c.chips_per_node
+                && b.seed == c.seed =>
+        {
+            if b.population_digest == c.population_digest {
+                (true, None)
+            } else {
+                (
+                    false,
+                    Some(format!(
+                        "fleet population digest {} -> {} ({} chips/node, seed {})",
+                        b.population_digest, c.population_digest, c.chips_per_node, c.seed
+                    )),
+                )
+            }
+        }
+        _ => (true, None),
+    };
 
     let total_budget = gate.budget(&baseline.total);
     let total = StageDelta {
@@ -836,6 +946,8 @@ pub fn compare(baseline: &BenchSnapshot, current: &Measurement, gate: &GateConfi
         baseline_seq: baseline.seq,
         config_match,
         digest_match,
+        fleet_digest_match,
+        fleet_diff,
         numeric_diffs,
         total,
         stages,
@@ -868,6 +980,14 @@ pub fn render_report(report: &GateReport) -> String {
         } else {
             let _ = writeln!(out, "  numerics: DRIFT DETECTED");
             for d in &report.numeric_diffs {
+                let _ = writeln!(out, "    {d}");
+            }
+        }
+        if report.fleet_digest_match {
+            let _ = writeln!(out, "  fleet: population digest ok");
+        } else {
+            let _ = writeln!(out, "  fleet: POPULATION DRIFT");
+            if let Some(d) = &report.fleet_diff {
                 let _ = writeln!(out, "    {d}");
             }
         }
@@ -1040,6 +1160,13 @@ mod tests {
                     avg_fit: 1000.0,
                 }],
             },
+            fleet: Some(FleetSection {
+                benchmark: "gzip".into(),
+                chips_per_node: 20_000,
+                seed: 42,
+                chips_per_sec: 1.0e5,
+                population_digest: "f".into(),
+            }),
         }
     }
 
@@ -1052,6 +1179,7 @@ mod tests {
             executor: snapshot.executor,
             histograms: snapshot.histograms.clone(),
             numerics: snapshot.numerics.clone(),
+            fleet: snapshot.fleet.clone(),
             results_json: String::new(),
             manifests: vec![],
         }

@@ -31,6 +31,7 @@ fn results_bytes_identical_with_telemetry_on_and_off() {
     let opts = HarnessOptions {
         samples: 2,
         warmup: false,
+        fleet_chips: 0,
     };
     let measurement = run_harness(&config, &opts).expect("harness runs");
 
@@ -51,6 +52,7 @@ fn harness_produces_complete_telemetry() {
     let opts = HarnessOptions {
         samples: 2,
         warmup: false,
+        fleet_chips: 2_000,
     };
     let m = run_harness(&small_config(), &opts).expect("harness runs");
 
@@ -96,6 +98,12 @@ fn harness_produces_complete_telemetry() {
         m.numerics.mechanisms.len(),
         small_config().nodes.len() * 4
     );
+
+    // The fleet telemetry pass ran and pinned a population digest.
+    let fleet = m.fleet.as_ref().expect("fleet section");
+    assert_eq!(fleet.chips_per_node, 2_000);
+    assert!(fleet.chips_per_sec > 0.0);
+    assert_eq!(fleet.population_digest.len(), 16);
 }
 
 #[test]

@@ -70,7 +70,7 @@ pub use manifest::{
 pub use operating::OperatingPoint;
 pub use pipeline::{run_app_on_node, AppNodeRun, PipelineConfig, StageTimings};
 pub use qualification::{FitReport, Qualification, FIT_PER_MECHANISM};
-pub use query::{QueryEngine, QueryOutcome, ReliabilityQuery};
+pub use query::{PopulationAnchor, QueryEngine, QueryOutcome, ReliabilityQuery};
 pub use rates::{AveragedRates, RateAccumulator};
 pub use results::{AppNodeResult, StudyMetrics, StudyResults, WorstCaseResult};
 pub use study::{run_study, StudyConfig, WorstCaseMode};

@@ -19,6 +19,8 @@
 use crate::manifest::{config_digest, fnv1a_hex};
 use crate::mechanisms::{standard_models, FailureModel, MechanismKind, PerMechanism};
 use crate::pipeline::{run_app_on_node, AppNodeRun, PipelineConfig};
+use crate::qualification::FitReport;
+use crate::rates::AveragedRates;
 use crate::study::StudyConfig;
 use crate::{Executor, NodeId, Qualification, RampError, TechNode, FIT_PER_MECHANISM};
 use ramp_trace::spec;
@@ -82,6 +84,37 @@ pub struct QueryOutcome {
     /// Qualified budget ÷ achieved FIT: ≥ 1 means the part operates
     /// within its qualification, < 1 means it exceeds the budget.
     pub qualification_margin: f64,
+}
+
+/// The per-node state a population (fleet) simulation fans out from: one
+/// fully evaluated average chip, with everything a per-chip Monte Carlo
+/// perturbation needs to re-price the qualified FIT budget without
+/// re-running the timing/power/thermal pipeline.
+///
+/// Produced by [`QueryEngine::population_anchor`]. Every field except the
+/// two strings is `Copy`, so cloning an anchor into a million worker
+/// closures costs a couple of pointer-sized copies per chip batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationAnchor {
+    /// Benchmark the anchor was evaluated on.
+    pub benchmark: String,
+    /// Node the anchor was evaluated at.
+    pub node_id: NodeId,
+    /// The node's full technology parameters (the baseline every per-chip
+    /// process-variation draw perturbs).
+    pub node: TechNode,
+    /// Qualification constants in force (fixes the FIT scale).
+    pub qualification: Qualification,
+    /// Time-averaged relative rates and per-structure temperatures from
+    /// the real pipeline run — per-chip evaluation re-anchors on the
+    /// per-structure average temperatures in here.
+    pub rates: AveragedRates,
+    /// Qualified per-(mechanism, structure) FIT of the average chip; the
+    /// quantity per-chip rate ratios transfer.
+    pub report: FitReport,
+    /// The engine's cache key for the underlying query (pins calibration +
+    /// query content, so two identically configured fleets share anchors).
+    pub cache_key: String,
 }
 
 /// A calibrated reliability evaluator for the serving path.
@@ -228,32 +261,13 @@ impl QueryEngine {
     /// Returns [`RampError::UnknownBenchmark`] for an unrecognised
     /// benchmark, or any error the pipeline run produces.
     pub fn evaluate(&self, query: &ReliabilityQuery) -> Result<QueryOutcome, RampError> {
-        let profile = spec::profile(&query.benchmark)?;
         let span = ramp_obs::span!(
             "query_evaluate",
             "benchmark={} node={}",
             query.benchmark,
             query.node
         );
-        let node = TechNode::get(query.node);
-        let run = if query.node == NodeId::N180 {
-            run_app_on_node(&profile, &node, &query.pipeline, &self.models, None)?
-        } else {
-            let reference = run_app_on_node(
-                &profile,
-                &TechNode::reference(),
-                &query.pipeline,
-                &self.models,
-                None,
-            )?;
-            run_app_on_node(
-                &profile,
-                &node,
-                &query.pipeline,
-                &self.models,
-                Some(reference.avg_total()),
-            )?
-        };
+        let run = self.run_query(query)?;
         let report = self.qualification.fit_report(&run.rates);
         let total_fit = report.total();
         let mttf = report.mttf();
@@ -276,6 +290,67 @@ impl QueryEngine {
             mttf,
             expected_lifetime: Years::from(mttf),
             qualification_margin,
+        })
+    }
+
+    /// Runs the pipeline for one query under the study recipe: 180 nm
+    /// directly, scaled nodes anchored to the same workload's 180 nm
+    /// power (constant-sink rule).
+    fn run_query(&self, query: &ReliabilityQuery) -> Result<AppNodeRun, RampError> {
+        let profile = spec::profile(&query.benchmark)?;
+        let node = TechNode::get(query.node);
+        if query.node == NodeId::N180 {
+            run_app_on_node(&profile, &node, &query.pipeline, &self.models, None)
+        } else {
+            let reference = run_app_on_node(
+                &profile,
+                &TechNode::reference(),
+                &query.pipeline,
+                &self.models,
+                None,
+            )?;
+            run_app_on_node(
+                &profile,
+                &node,
+                &query.pipeline,
+                &self.models,
+                Some(reference.avg_total()),
+            )
+        }
+    }
+
+    /// Evaluates the average chip for `query` and packages everything a
+    /// population Monte Carlo needs to perturb it: the node parameters,
+    /// the qualified per-(mechanism, structure) FIT report, and the
+    /// per-structure average temperatures the per-chip operating points
+    /// re-anchor on. One anchor per (benchmark, node) amortises the full
+    /// pipeline run across millions of sampled chips.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RampError::UnknownBenchmark`] for an unrecognised
+    /// benchmark, or any error the pipeline run produces.
+    pub fn population_anchor(
+        &self,
+        query: &ReliabilityQuery,
+    ) -> Result<PopulationAnchor, RampError> {
+        let span = ramp_obs::span!(
+            "population_anchor",
+            "benchmark={} node={}",
+            query.benchmark,
+            query.node
+        );
+        let run = self.run_query(query)?;
+        let report = self.qualification.fit_report(&run.rates);
+        span.finish();
+        Ok(PopulationAnchor {
+            benchmark: query.benchmark.clone(),
+            node_id: query.node,
+            node: TechNode::get(query.node),
+            qualification: self.qualification,
+            rates: run.rates,
+            report,
+            cache_key: self.cache_key(query),
         })
     }
 }
@@ -376,6 +451,26 @@ mod tests {
             "other-tag",
         );
         assert_ne!(engine.cache_key(&a), other.cache_key(&a));
+    }
+
+    #[test]
+    fn population_anchor_matches_evaluate() {
+        let engine = quick_engine();
+        let query = engine.query("gzip", NodeId::N65HighV).unwrap();
+        let outcome = engine.evaluate(&query).unwrap();
+        let anchor = engine.population_anchor(&query).unwrap();
+        assert_eq!(anchor.benchmark, "gzip");
+        assert_eq!(anchor.node_id, NodeId::N65HighV);
+        assert_eq!(anchor.cache_key, engine.cache_key(&query));
+        // Same pipeline run underneath: the anchor's report must price the
+        // average chip exactly as evaluate() does.
+        assert_eq!(anchor.report.total(), outcome.total_fit);
+        assert_eq!(anchor.report.per_mechanism(), outcome.mechanism_fit);
+        // Average temperatures are plausible operating temperatures.
+        for s in ramp_microarch::Structure::ALL {
+            let t = anchor.rates.average_temperature()[s].value();
+            assert!((300.0..450.0).contains(&t), "avg temp {t} out of range");
+        }
     }
 
     #[test]

@@ -41,9 +41,9 @@ mod span;
 
 pub use level::{Filter, Level};
 pub use metrics::{
-    bucket_percentile, counter, counter_value, diff_metric_snapshots, gauge, gauge_value,
-    histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram, MetricDelta,
-    MetricSnapshot, MetricValue,
+    bucket_percentile, bucket_percentile_with_sums, counter, counter_value,
+    diff_metric_snapshots, gauge, gauge_value, histogram, metrics_snapshot, reset_metrics,
+    Counter, Gauge, Histogram, MetricDelta, MetricSnapshot, MetricValue,
 };
 pub use profile::{profile_report, reset_spans, span_stats, span_tree, SpanNode, SpanPathStats};
 pub use sink::{

@@ -93,8 +93,20 @@ impl Gauge {
 pub struct Histogram {
     bounds: Vec<f64>,
     counts: Vec<AtomicU64>,
+    sums: Vec<AtomicU64>,
     count: AtomicU64,
     sum_bits: AtomicU64,
+}
+
+fn atomic_f64_add(bits: &AtomicU64, add: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + add).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
 }
 
 impl Histogram {
@@ -106,6 +118,9 @@ impl Histogram {
         Histogram {
             bounds: bounds.to_vec(),
             counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sums: (0..=bounds.len())
+                .map(|_| AtomicU64::new(0.0_f64.to_bits()))
+                .collect(),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0.0_f64.to_bits()),
         }
@@ -129,19 +144,8 @@ impl Histogram {
         self.counts[idx].fetch_add(n, Ordering::Relaxed);
         self.count.fetch_add(n, Ordering::Relaxed);
         let add = v * n as f64;
-        let mut cur = self.sum_bits.load(Ordering::Relaxed);
-        loop {
-            let next = (f64::from_bits(cur) + add).to_bits();
-            match self.sum_bits.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return,
-                Err(seen) => cur = seen,
-            }
-        }
+        atomic_f64_add(&self.sums[idx], add);
+        atomic_f64_add(&self.sum_bits, add);
     }
 
     /// The configured upper bounds.
@@ -156,6 +160,18 @@ impl Histogram {
         self.counts
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Per-bucket sums of observed values; the final element is the
+    /// overflow bucket. Together with [`Histogram::bucket_counts`] these
+    /// give the exact mean of each bucket, which is what the percentile
+    /// estimator anchors on.
+    #[must_use]
+    pub fn bucket_sums(&self) -> Vec<f64> {
+        self.sums
+            .iter()
+            .map(|s| f64::from_bits(s.load(Ordering::Relaxed)))
             .collect()
     }
 
@@ -183,10 +199,12 @@ impl Histogram {
     }
 
     /// Estimates the `q`-th percentile (`q` in `[0, 100]`) from the bucket
-    /// counts; see [`bucket_percentile`] for the estimation rules.
+    /// counts and per-bucket sums; see [`bucket_percentile_with_sums`] for
+    /// the estimation rules. A constant stream of observations reports that
+    /// constant at every percentile.
     #[must_use]
     pub fn percentile(&self, q: f64) -> f64 {
-        bucket_percentile(&self.bounds, &self.bucket_counts(), q)
+        bucket_percentile_with_sums(&self.bounds, &self.bucket_counts(), &self.bucket_sums(), q)
     }
 }
 
@@ -224,6 +242,57 @@ pub fn bucket_percentile(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
         let upper = bounds[i];
         let fraction = (rank - prev as f64) / n as f64;
         return lower + (upper - lower) * fraction;
+    }
+    bounds[bounds.len() - 1]
+}
+
+/// Estimates the `q`-th percentile (`q` in `[0, 100]`) of a fixed-bucket
+/// histogram given its upper `bounds`, per-bucket `counts`, and per-bucket
+/// `sums` (both with one extra trailing slot for the overflow bucket).
+///
+/// The target rank `q/100 × count` is located in the first bucket whose
+/// cumulative count reaches it, and the estimate is that bucket's exact
+/// mean (`sum/count`), clamped into the bucket's bound range to guard
+/// against floating-point accumulation drift. Anchoring on the mean rather
+/// than interpolating between the bucket edges means a constant
+/// distribution reports its value at every percentile — interpolation from
+/// the lower edge famously reports p50 = 0.5 for a stream of 1.0s — and
+/// the estimate stays monotone in `q` because bucket means are ordered by
+/// the bucket ranges themselves. Ranks landing in the overflow bucket
+/// report the overflow mean (at least the last finite bound), which is
+/// strictly more information than clamping. Falls back to
+/// [`bucket_percentile`] when the target bucket's sum is non-finite, and
+/// returns 0 for an empty histogram.
+#[must_use]
+pub fn bucket_percentile_with_sums(
+    bounds: &[f64],
+    counts: &[u64],
+    sums: &[f64],
+    q: f64,
+) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || bounds.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 100.0) / 100.0) * total as f64;
+    let rank = rank.max(1.0); // percentiles below the first observation clamp to it
+    let mut cumulative = 0u64;
+    for (i, &n) in counts.iter().enumerate() {
+        cumulative += n;
+        if (cumulative as f64) < rank || n == 0 {
+            continue;
+        }
+        let mean = sums.get(i).map_or(f64::NAN, |s| s / n as f64);
+        if !mean.is_finite() {
+            return bucket_percentile(bounds, counts, q);
+        }
+        if i >= bounds.len() {
+            // Overflow bucket: the mean is exact but can never undershoot
+            // the last finite bound.
+            return mean.max(bounds[bounds.len() - 1]);
+        }
+        let clamped = mean.min(bounds[i]);
+        return if i == 0 { clamped } else { clamped.max(bounds[i - 1]) };
     }
     bounds[bounds.len() - 1]
 }
@@ -319,6 +388,8 @@ pub enum MetricValue {
         bounds: Vec<f64>,
         /// Per-bucket counts (last = overflow).
         counts: Vec<u64>,
+        /// Per-bucket sums of observed values (last = overflow).
+        bucket_sums: Vec<f64>,
         /// Total observations.
         count: u64,
         /// Sum of observed values.
@@ -339,6 +410,7 @@ pub fn metrics_snapshot() -> Vec<MetricSnapshot> {
                 Instrument::Histogram(h) => MetricValue::Histogram {
                     bounds: h.bounds().to_vec(),
                     counts: h.bucket_counts(),
+                    bucket_sums: h.bucket_sums(),
                     count: h.count(),
                     sum: h.sum(),
                 },
@@ -545,14 +617,14 @@ mod tests {
     }
 
     #[test]
-    fn percentile_single_bucket_interpolates_from_zero() {
+    fn percentile_constant_distribution_reports_the_constant() {
         let h = histogram("test.pct.single", &[10.0]);
         h.observe_n(5.0, 4);
-        // All mass in [0, 10]: rank q/100·4 interpolates linearly.
-        assert!((h.percentile(50.0) - 5.0).abs() < 1e-9);
-        assert!((h.percentile(100.0) - 10.0).abs() < 1e-9);
-        // Sub-first-observation ranks clamp to rank 1.
-        assert!((h.percentile(0.0) - 2.5).abs() < 1e-9);
+        // A constant stream must report the constant at every percentile —
+        // the bucket mean is exactly the observed value.
+        for q in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert!((h.percentile(q) - 5.0).abs() < 1e-9, "p{q} drifted");
+        }
     }
 
     #[test]
@@ -565,11 +637,36 @@ mod tests {
         let p50 = h.percentile(50.0);
         let p95 = h.percentile(95.0);
         let p99 = h.percentile(99.0);
-        assert!(p50 <= 1.0, "p50 {p50} must sit in the first bucket");
-        assert!((2.0..=4.0).contains(&p95), "p95 {p95} must sit in the 2..4 bucket");
+        assert!((p50 - 0.5).abs() < 1e-9, "p50 {p50} must be the first-bucket mean");
+        assert!((p95 - 3.0).abs() < 1e-9, "p95 {p95} must be the 2..4 bucket mean");
         assert!(p50 <= p95 && p95 <= p99, "percentiles must be monotone");
-        // Overflow mass clamps to the last finite bound.
-        assert_eq!(h.percentile(100.0), 8.0);
+        // Overflow mass reports the exact overflow mean, never below the
+        // last finite bound.
+        assert_eq!(h.percentile(100.0), 100.0);
+    }
+
+    #[test]
+    fn percentile_counts_only_estimator_still_interpolates() {
+        // The legacy counts-only estimator keeps its edge-interpolation
+        // semantics for callers without sums.
+        assert!((bucket_percentile(&[10.0], &[4, 0], 50.0) - 5.0).abs() < 1e-9);
+        assert!((bucket_percentile(&[10.0], &[4, 0], 100.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_with_sums_falls_back_on_non_finite_sum() {
+        let v = bucket_percentile_with_sums(&[10.0], &[4, 0], &[f64::NAN, 0.0], 50.0);
+        assert!((v - 5.0).abs() < 1e-9, "NaN sum must fall back to interpolation");
+    }
+
+    #[test]
+    fn percentile_with_sums_clamps_mean_into_bucket_range() {
+        // A sum drifted past the bucket's range (accumulation noise) is
+        // clamped back inside it.
+        let v = bucket_percentile_with_sums(&[1.0, 2.0], &[0, 3, 0], &[0.0, 6.3, 0.0], 50.0);
+        assert!((v - 2.0).abs() < 1e-9, "mean beyond upper bound must clamp: {v}");
+        let v = bucket_percentile_with_sums(&[1.0, 2.0], &[0, 3, 0], &[0.0, 2.4, 0.0], 50.0);
+        assert!((v - 1.0).abs() < 1e-9, "mean below lower bound must clamp: {v}");
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod transport;
 
 pub use broker::{Broker, Flight, Role};
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
-pub use protocol::{MetricsBody, Request, Response, ServerStats, PROTOCOL_VERSION};
+pub use protocol::{FleetBody, MetricsBody, Request, Response, ServerStats, PROTOCOL_VERSION};
 pub use server::{Server, ServeOptions};
 pub use transport::{ChannelConnection, Connection, InProcClient, UnixServer};
 

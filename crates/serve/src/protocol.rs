@@ -1,10 +1,14 @@
 //! The newline-delimited JSON wire protocol.
 //!
-//! One request per line, one response line per request. Three request
+//! One request per line, one response line per request. Four request
 //! kinds:
 //!
 //! * `query` — evaluate a `(benchmark, node)` pair; answers with the
 //!   serialized [`ramp_core::QueryOutcome`] under `"result"`.
+//! * `fleet` — population question "what fraction of a fleet of chips at
+//!   `(benchmark, node)` survives at least `years` years?"; answers with
+//!   a [`FleetBody`] under `"fleet"`, computed from a cached Monte Carlo
+//!   population run.
 //! * `metrics` — introspection; answers with a [`MetricsBody`] (live
 //!   metric snapshot plus cache/server stats) under `"metrics"`.
 //! * `ping` — liveness; answers with a bare `ok` envelope.
@@ -53,6 +57,14 @@ pub struct Request {
     /// Override of the engine's base trace-repeat count.
     #[serde(default)]
     pub trace_repeats: Option<u32>,
+    /// Survival horizon in whole years (for `fleet`; defaults to 7,
+    /// clamped to 1–30).
+    #[serde(default)]
+    pub years: Option<u32>,
+    /// Population size for `fleet` (defaults to 100 000, clamped
+    /// server-side).
+    #[serde(default)]
+    pub chips: Option<u64>,
 }
 
 impl Request {
@@ -66,6 +78,25 @@ impl Request {
             node: Some(node_label.to_string()),
             instructions: None,
             trace_repeats: None,
+            years: None,
+            chips: None,
+        }
+    }
+
+    /// A `fleet` survival request: "what fraction of `chips` chips at
+    /// `(benchmark, node)` survives at least `years` years?". `None`
+    /// fields take the server defaults.
+    #[must_use]
+    pub fn fleet(id: u64, benchmark: &str, node_label: &str, years: Option<u32>) -> Self {
+        Request {
+            id,
+            kind: "fleet".to_string(),
+            benchmark: Some(benchmark.to_string()),
+            node: Some(node_label.to_string()),
+            instructions: None,
+            trace_repeats: None,
+            years,
+            chips: None,
         }
     }
 
@@ -79,6 +110,8 @@ impl Request {
             node: None,
             instructions: None,
             trace_repeats: None,
+            years: None,
+            chips: None,
         }
     }
 
@@ -92,6 +125,8 @@ impl Request {
             node: None,
             instructions: None,
             trace_repeats: None,
+            years: None,
+            chips: None,
         }
     }
 
@@ -129,6 +164,9 @@ pub struct Response {
     /// Introspection answer (for `kind = "metrics"`).
     #[serde(default)]
     pub metrics: Option<MetricsBody>,
+    /// Population answer (for `kind = "fleet"`, `status = "ok"`).
+    #[serde(default)]
+    pub fleet: Option<FleetBody>,
     /// Failure description (for non-`ok` statuses).
     #[serde(default)]
     pub error: Option<String>,
@@ -168,6 +206,42 @@ pub struct ServerStats {
     pub overloaded: u64,
     /// Requests that failed (protocol or evaluation).
     pub errors: u64,
+    /// Fleet population requests handled.
+    #[serde(default)]
+    pub fleet_queries: u64,
+    /// Fleet requests answered from an already-simulated population.
+    #[serde(default)]
+    pub fleet_cached: u64,
+}
+
+/// Body of a `fleet` response: the survival answer plus enough population
+/// context to interpret it. Derived from a cached deterministic
+/// population run, so repeated questions about the same `(benchmark,
+/// node, chips)` population are answered without re-simulating.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetBody {
+    /// Benchmark the population was anchored on.
+    pub benchmark: String,
+    /// Node label.
+    pub node: String,
+    /// Chips simulated.
+    pub chips: u64,
+    /// Master seed of the population run (fixed server-side, so answers
+    /// are reproducible).
+    pub seed: u64,
+    /// The survival horizon the answer is for, whole years.
+    pub years: u32,
+    /// P(chip survives ≥ `years` years) over the population.
+    pub survival_probability: f64,
+    /// Cumulative failures at `years`, in defective parts per million.
+    pub dppm: f64,
+    /// 1st-percentile chip lifetime, years.
+    pub p1_years: f64,
+    /// Median chip lifetime, years.
+    pub p50_years: f64,
+    /// FNV-1a digest of the canonical population content this answer was
+    /// read from.
+    pub population_digest: String,
 }
 
 /// Body of a `metrics` response: live metric snapshot plus cache and
@@ -207,6 +281,14 @@ pub fn encode_metrics(id: u64, body: &MetricsBody) -> String {
     let body_json = serde_json::to_string(body)
         .expect("metrics body is plain data, always serializable"); // ramp-lint:allow(panic-hygiene) -- schema has no fallible serialize cases
     format!("{{\"id\":{id},\"status\":\"ok\",\"metrics\":{body_json}}}")
+}
+
+/// Builds the ok envelope for a `fleet` request.
+#[must_use]
+pub fn encode_fleet(id: u64, body: &FleetBody) -> String {
+    let body_json = serde_json::to_string(body)
+        .expect("fleet body is plain data, always serializable"); // ramp-lint:allow(panic-hygiene) -- schema has no fallible serialize cases
+    format!("{{\"id\":{id},\"status\":\"ok\",\"fleet\":{body_json}}}")
 }
 
 /// Builds the ok envelope for a `ping`.

@@ -20,17 +20,35 @@
 use crate::broker::{Broker, Role};
 use crate::cache::{CacheConfig, ShardedCache};
 use crate::protocol::{
-    encode_failure, encode_metrics, encode_ok, encode_pong, MetricsBody, Request, ServerStats,
-    PROTOCOL_VERSION, STATUS_ERROR, STATUS_OVERLOADED,
+    encode_failure, encode_fleet, encode_metrics, encode_ok, encode_pong, FleetBody, MetricsBody,
+    Request, ServerStats, PROTOCOL_VERSION, STATUS_ERROR, STATUS_OVERLOADED,
 };
 use crate::ServeError;
 use ramp_core::{
     metric_entries_from_snapshot, Executor, NodeId, QueryEngine, ReliabilityQuery,
 };
+use ramp_fleet::{run_fleet, FleetConfig, FleetResults};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Fixed seed of every server-side population run: fleet answers are a
+/// deterministic function of `(benchmark, node, chips)`.
+const FLEET_SEED: u64 = 42;
+
+/// Default population size for `fleet` requests.
+const FLEET_DEFAULT_CHIPS: u64 = 100_000;
+
+/// Server-side bounds on requested population size: enough chips for a
+/// stable DPPM estimate, few enough that one run stays interactive.
+const FLEET_MIN_CHIPS: u64 = 1_000;
+/// See [`FLEET_MIN_CHIPS`].
+const FLEET_MAX_CHIPS: u64 = 2_000_000;
+
+/// Default survival horizon for `fleet` requests, years.
+const FLEET_DEFAULT_YEARS: u32 = 7;
 
 /// Tuning of a [`Server`].
 #[derive(Debug, Clone)]
@@ -75,6 +93,8 @@ struct Stats {
     executions: AtomicU64,
     overloaded: AtomicU64,
     errors: AtomicU64,
+    fleet_queries: AtomicU64,
+    fleet_cached: AtomicU64,
 }
 
 impl Stats {
@@ -92,6 +112,8 @@ impl Stats {
             executions: self.executions.load(Ordering::Relaxed),
             overloaded: self.overloaded.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            fleet_queries: self.fleet_queries.load(Ordering::Relaxed),
+            fleet_cached: self.fleet_cached.load(Ordering::Relaxed),
         }
     }
 }
@@ -105,6 +127,14 @@ pub(crate) struct ServerState {
     stats: Stats,
     queue_capacity: usize,
     jobs: Mutex<Option<SyncSender<Job>>>,
+    /// Completed population runs, keyed by `(anchor cache key, chips)`.
+    /// Populations are expensive (seconds) but deterministic, so each is
+    /// simulated once and every later `fleet` request — any horizon —
+    /// reads the cached run. The Mutex is held across a miss's
+    /// simulation, deliberately serializing population builds as a crude
+    /// admission control for these heavyweight requests; regular queries
+    /// never touch it.
+    fleet_runs: Mutex<BTreeMap<(String, u64), Arc<FleetResults>>>,
 }
 
 impl ServerState {
@@ -116,6 +146,7 @@ impl ServerState {
             stats: Stats::default(),
             queue_capacity: options.queue_capacity,
             jobs: Mutex::new(Some(jobs)),
+            fleet_runs: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -200,6 +231,78 @@ impl ServerState {
         flight.wait()
     }
 
+    /// Handles one `fleet` request: simulates (or replays) the population
+    /// for `(benchmark, node, chips)` and answers the survival question
+    /// at the requested horizon.
+    fn handle_fleet(&self, request: &Request) -> Result<FleetBody, ServeError> {
+        Stats::bump(&self.stats.fleet_queries, "serve.fleet_queries");
+        let benchmark = request
+            .benchmark
+            .as_deref()
+            .ok_or_else(|| ServeError::Protocol("fleet needs a `benchmark`".into()))?;
+        let node_label = request
+            .node
+            .as_deref()
+            .ok_or_else(|| ServeError::Protocol("fleet needs a `node`".into()))?;
+        let node = NodeId::from_label(node_label).ok_or_else(|| {
+            ServeError::Protocol(format!("unknown node label `{node_label}`"))
+        })?;
+        let years = request.years.unwrap_or(FLEET_DEFAULT_YEARS);
+        if !(1..=ramp_fleet::YEAR_MARKS as u32).contains(&years) {
+            return Err(ServeError::Protocol(format!(
+                "`years` must be in 1..={} (got {years})",
+                ramp_fleet::YEAR_MARKS
+            )));
+        }
+        let chips = request
+            .chips
+            .unwrap_or(FLEET_DEFAULT_CHIPS)
+            .clamp(FLEET_MIN_CHIPS, FLEET_MAX_CHIPS);
+        // The anchor cache key pins everything the population depends on
+        // (calibration, benchmark content, node, pipeline config).
+        let query = self.engine.query(benchmark, node)?;
+        let key = (self.engine.cache_key(&query), chips);
+
+        let mut runs = self
+            .fleet_runs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let results = if let Some(hit) = runs.get(&key) {
+            Stats::bump(&self.stats.fleet_cached, "serve.fleet_cached");
+            Arc::clone(hit)
+        } else {
+            let config = FleetConfig {
+                benchmark: benchmark.to_string(),
+                nodes: vec![node],
+                chips,
+                seed: FLEET_SEED,
+                ..FleetConfig::default()
+            };
+            let results = Arc::new(run_fleet(&self.engine, &config)?);
+            runs.insert(key, Arc::clone(&results));
+            results
+        };
+        drop(runs);
+
+        let population = results
+            .populations
+            .first()
+            .ok_or_else(|| ServeError::Protocol("fleet run produced no population".into()))?;
+        let dppm = population.summary.dppm_by_year[years as usize - 1];
+        Ok(FleetBody {
+            benchmark: benchmark.to_string(),
+            node: node_label.to_string(),
+            chips,
+            seed: FLEET_SEED,
+            years,
+            survival_probability: 1.0 - dppm / 1.0e6,
+            dppm,
+            p1_years: population.summary.p1_years,
+            p50_years: population.summary.p50_years,
+            population_digest: results.population_digest(),
+        })
+    }
+
     /// The transport-independent core: one request line in, one response
     /// line out.
     pub(crate) fn handle_line(&self, line: &str) -> String {
@@ -219,6 +322,13 @@ impl ServerState {
                     let message = ServeError::Overloaded { queue_capacity }.to_string();
                     encode_failure(request.id, STATUS_OVERLOADED, &message)
                 }
+                Err(error) => {
+                    Stats::bump(&self.stats.errors, "serve.errors");
+                    encode_failure(request.id, STATUS_ERROR, &error.to_string())
+                }
+            },
+            "fleet" => match self.handle_fleet(&request) {
+                Ok(body) => encode_fleet(request.id, &body),
                 Err(error) => {
                     Stats::bump(&self.stats.errors, "serve.errors");
                     encode_failure(request.id, STATUS_ERROR, &error.to_string())
@@ -493,6 +603,55 @@ mod tests {
         .unwrap();
         assert_eq!(response.status, STATUS_ERROR);
         assert!(response.error.unwrap().contains("shutting down"));
+    }
+
+    #[test]
+    fn fleet_requests_are_answered_and_cached() {
+        let server = Server::start(test_engine(), tiny_options());
+        let mut request = Request::fleet(1, "gzip", "180nm", Some(5));
+        request.chips = Some(2_000);
+        let line = server.handle_line(&request.to_line());
+        let response = Response::parse(&line).unwrap();
+        assert!(response.is_ok(), "{line}");
+        let body = response.fleet.expect("fleet body present");
+        assert_eq!(body.node, "180nm");
+        assert_eq!(body.chips, 2_000);
+        assert_eq!(body.years, 5);
+        assert!((0.0..=1.0).contains(&body.survival_probability));
+        assert!(
+            (body.survival_probability - (1.0 - body.dppm / 1.0e6)).abs() < 1e-12,
+            "survival and dppm must agree"
+        );
+        assert!(body.p1_years <= body.p50_years);
+
+        // Same population, different horizon: answered from the cached
+        // run, with the same digest and monotonically lower survival.
+        let mut later = Request::fleet(2, "gzip", "180nm", Some(20));
+        later.chips = Some(2_000);
+        let second = Response::parse(&server.handle_line(&later.to_line()))
+            .unwrap()
+            .fleet
+            .expect("fleet body present");
+        assert_eq!(second.population_digest, body.population_digest);
+        assert!(second.survival_probability <= body.survival_probability);
+        let stats = server.stats();
+        assert_eq!(stats.fleet_queries, 2);
+        assert_eq!(stats.fleet_cached, 1);
+    }
+
+    #[test]
+    fn fleet_requests_validate_their_inputs() {
+        let server = Server::start(test_engine(), tiny_options());
+        for line in [
+            r#"{"id":1,"kind":"fleet"}"#.to_string(),
+            r#"{"id":2,"kind":"fleet","benchmark":"gzip"}"#.to_string(),
+            r#"{"id":3,"kind":"fleet","benchmark":"gzip","node":"7nm"}"#.to_string(),
+            Request::fleet(4, "gzip", "180nm", Some(0)).to_line(),
+            Request::fleet(5, "gzip", "180nm", Some(31)).to_line(),
+        ] {
+            let response = Response::parse(&server.handle_line(&line)).unwrap();
+            assert_eq!(response.status, STATUS_ERROR, "{line}");
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 mod area;
+mod distribution;
 mod electrical;
 mod error;
 mod macros;
@@ -40,6 +41,7 @@ mod temperature;
 mod time;
 
 pub use area::{Angstroms, Nanometers, SquareMillimeters};
+pub use distribution::{Probability, Sigma, WeibullShape};
 pub use electrical::{CurrentDensity, Volts};
 pub use error::UnitError;
 pub use frequency::Gigahertz;

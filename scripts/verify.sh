@@ -57,6 +57,15 @@ echo "== benchmark gate: smoke run against the checked-in baseline =="
 cargo run --release --locked -p ramp-bench --bin benchgate -- \
     --smoke --emit target/bench-candidate.json
 
+echo "== fleet smoke: population determinism + quantile artifact =="
+# A 50k-chip population Monte Carlo per node, then byte-determinism
+# re-proved in-process across thread counts and chunkings
+# (--assert-deterministic). The canonical population JSON lands in
+# target/ for inspection and CI artifact upload.
+cargo run --release --locked -p ramp-bench --bin fleet -- \
+    --chips 50000 --assert-deterministic \
+    --out target/fleet-population.json
+
 echo "== serve smoke: coalescing, cache, and admission contract =="
 # Mixed query batch from concurrent in-process clients: exactly one
 # pipeline execution per unique (benchmark, node) combo, everything else
