@@ -7,11 +7,12 @@ use crate::findings::{Finding, Severity};
 use crate::lexer::TokenKind;
 
 /// Names of every rule, in reporting order.
-pub const RULE_NAMES: [&str; 4] = [
+pub const RULE_NAMES: [&str; 5] = [
     "unit-safety",
     "determinism",
     "obs-hygiene",
     "panic-hygiene",
+    "span-hygiene",
 ];
 
 /// Crates whose public APIs must use `ramp-units` newtypes instead of
@@ -30,6 +31,10 @@ const OBS_EXEMPT: [&str; 1] = ["obs"];
 /// Crates exempt from panic hygiene: `bench` is the experiment harness,
 /// where aborting on a broken study is the correct behaviour.
 const PANIC_EXEMPT: [&str; 1] = ["bench"];
+
+/// Crates exempt from span hygiene: `obs` implements the span/metric
+/// registry itself, so its internals handle names generically.
+const SPAN_EXEMPT: [&str; 1] = ["obs"];
 
 /// Every applicable rule's findings for one file, before inline allows
 /// are applied.
@@ -50,6 +55,9 @@ fn raw_findings(ctx: &FileContext) -> Vec<Finding> {
     }
     if !PANIC_EXEMPT.contains(&ctx.crate_name.as_str()) {
         panic_hygiene(ctx, &mut findings);
+    }
+    if !SPAN_EXEMPT.contains(&ctx.crate_name.as_str()) {
+        span_hygiene(ctx, &mut findings);
     }
     findings
 }
@@ -310,6 +318,96 @@ fn panic_hygiene(ctx: &FileContext, findings: &mut Vec<Finding>) {
         };
         findings.push(Finding {
             rule: "panic-hygiene",
+            severity: Severity::Warning,
+            file: ctx.rel_path.clone(),
+            line: tok.line,
+            symbol: ctx.enclosing_fn(pos),
+            message,
+        });
+    }
+}
+
+/// One lowercase identifier segment: `[a-z][a-z0-9_]*`.
+fn lower_ident_segment(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some('a'..='z'))
+        && chars.all(|c| matches!(c, 'a'..='z' | '0'..='9' | '_'))
+}
+
+/// span-hygiene: span and metric names must be static string literals
+/// with a fixed shape, so exported traces stay greppable and the metric
+/// registry stays low-cardinality. `ramp_obs::span!` names are single
+/// lowercase segments (`[a-z][a-z0-9_]*`); `ramp_obs::counter` /
+/// `gauge` / `histogram` names are dot-separated sequences of such
+/// segments (`stage.metric`). A name built at runtime (`format!`, a
+/// variable) defeats static aggregation and can grow the registry
+/// without bound — allow only with a proof the name set is bounded.
+fn span_hygiene(ctx: &FileContext, findings: &mut Vec<Finding>) {
+    for (pos, &raw) in ctx.code.iter().enumerate() {
+        if ctx.in_test_span(raw) {
+            continue;
+        }
+        let tok = &ctx.tokens[raw];
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // Only path-qualified call sites (`ramp_obs::span!(…)`,
+        // `ramp_obs::counter(…)`): a `::` must precede the name, which
+        // also skips method calls and unrelated local functions.
+        let qualified =
+            pos >= 2 && ctx.code_text(pos - 1) == ":" && ctx.code_text(pos - 2) == ":";
+        if !qualified {
+            continue;
+        }
+        let (dotted, arg_pos) = match tok.text.as_str() {
+            "span" if ctx.code_text(pos + 1) == "!" && ctx.code_text(pos + 2) == "(" => {
+                (false, pos + 3)
+            }
+            "counter" | "gauge" | "histogram" if ctx.code_text(pos + 1) == "(" => {
+                (true, pos + 2)
+            }
+            _ => continue,
+        };
+        // A reference to a literal (`&"x"` never occurs, but `&format!`
+        // does) still names the same argument: look through one `&`.
+        let arg_pos = if ctx.code_text(arg_pos) == "&" {
+            arg_pos + 1
+        } else {
+            arg_pos
+        };
+        let what = if dotted { "metric" } else { "span" };
+        let message = match ctx.code_token(arg_pos) {
+            Some(arg) if arg.kind == TokenKind::StrLit => {
+                let name = arg.text.trim_matches('"');
+                let ok = if dotted {
+                    name.contains('.') && name.split('.').all(lower_ident_segment)
+                } else {
+                    lower_ident_segment(name)
+                };
+                if ok {
+                    continue;
+                }
+                if dotted {
+                    format!(
+                        "{what} name `{name}` must be dot-separated lowercase \
+                         segments (`stage.metric`, chars [a-z0-9_])"
+                    )
+                } else {
+                    format!(
+                        "{what} name `{name}` must be a single lowercase \
+                         segment matching [a-z][a-z0-9_]*"
+                    )
+                }
+            }
+            _ => format!(
+                "`{}` {what} name is built at runtime; use a static string \
+                 literal (dynamic names explode trace/metric cardinality) or \
+                 allow with proof the name set is bounded",
+                tok.text
+            ),
+        };
+        findings.push(Finding {
+            rule: "span-hygiene",
             severity: Severity::Warning,
             file: ctx.rel_path.clone(),
             line: tok.line,

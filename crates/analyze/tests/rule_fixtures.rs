@@ -198,6 +198,88 @@ fn allow_for_a_different_rule_does_not_suppress() {
     assert_eq!(rules(&lint("core", FileKind::Lib, src)), ["panic-hygiene"]);
 }
 
+// -------------------------------------------------------------- span-hygiene
+
+#[test]
+fn runtime_built_metric_name_fails() {
+    let src = "fn f() { let c = ramp_obs::counter(&format!(\"x.{i}\")); }\n";
+    let findings = lint("core", FileKind::Lib, src);
+    assert_eq!(rules(&findings), ["span-hygiene"]);
+    assert_eq!(findings[0].severity, Severity::Warning);
+    assert!(findings[0].message.contains("built at runtime"));
+}
+
+#[test]
+fn variable_metric_name_fails() {
+    let src = "fn f(name: &str) { ramp_obs::counter(name).incr(); }\n";
+    assert_eq!(rules(&lint("serve", FileKind::Lib, src)), ["span-hygiene"]);
+}
+
+#[test]
+fn undotted_metric_name_fails() {
+    let src = "fn f() { ramp_obs::counter(\"requests\").incr(); }\n";
+    let findings = lint("core", FileKind::Lib, src);
+    assert_eq!(rules(&findings), ["span-hygiene"]);
+    assert!(findings[0].message.contains("dot-separated"));
+}
+
+#[test]
+fn uppercase_span_name_fails() {
+    let src = "fn f() { let s = ramp_obs::span!(\"QueryEvaluate\"); s.finish(); }\n";
+    assert_eq!(rules(&lint("core", FileKind::Lib, src)), ["span-hygiene"]);
+}
+
+#[test]
+fn dotted_span_name_fails() {
+    // Span names are single segments; dots are for metrics.
+    let src = "fn f() { let s = ramp_obs::span!(\"query.evaluate\"); s.finish(); }\n";
+    assert_eq!(rules(&lint("core", FileKind::Lib, src)), ["span-hygiene"]);
+}
+
+#[test]
+fn static_dotted_metric_and_lower_span_names_pass() {
+    let src = "fn f() {\n\
+                   ramp_obs::counter(\"serve.requests\").incr();\n\
+                   ramp_obs::gauge(\"executor.queue_depth\").set(0);\n\
+                   let h = ramp_obs::histogram(\"serve.latency_us\", &[1.0]);\n\
+                   let s = ramp_obs::span!(\"serve_request\", \"kind={kind}\");\n\
+                   s.finish();\n\
+               }\n";
+    assert!(lint("serve", FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn unqualified_and_method_calls_are_not_metric_sites() {
+    // Only `::`-qualified call sites are registry lookups; a local fn or
+    // method named `counter` is unrelated.
+    let src = "fn f(x: &Tally) { x.counter(0); counter(\"y\"); span!(n); }\n";
+    assert!(lint("core", FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn obs_crate_is_exempt_from_span_hygiene() {
+    let src = "fn f(name: &str) { crate::counter(&format!(\"{name}\")); }\n";
+    assert!(lint("obs", FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn span_hygiene_in_cfg_test_module_passes() {
+    let src = "fn live() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   #[test]\n\
+                   fn t() { ramp_obs::counter(&format!(\"t.{i}\")); }\n\
+               }\n";
+    assert!(lint("core", FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn span_hygiene_allow_with_bound_proof_passes() {
+    let src = "// ramp-lint:allow(span-hygiene) -- one name per fixed benchmark profile\n\
+               fn f(p: &str) { ramp_obs::counter(&format!(\"trace.insn.{p}\")); }\n";
+    assert!(lint("trace", FileKind::Lib, src).is_empty());
+}
+
 // ----------------------------------------------------------------- compounds
 
 #[test]

@@ -1,0 +1,173 @@
+//! Causal-trace driver: runs a traced study, exports the Chrome Trace
+//! Event JSON (loadable in Perfetto / `chrome://tracing`), and prints the
+//! critical-path attribution report.
+//!
+//! Flags:
+//!
+//! * `--out <path>` — trace JSON destination (default: `RAMP_TRACE` when
+//!   set, else `target/ramp-trace.json`)
+//! * `--top <n>` — attribution rows to print (default 12)
+//! * `--capacity <n>` — span-ring capacity (default:
+//!   `RAMP_TRACE_CAPACITY` or 65 536)
+//! * `--full` — run the full 16 × 5 study instead of the quick subset
+//! * `--check` — validate the exported trace (well-formed complete
+//!   events, monotone timestamps, cache-outcome args, ≥ 90 % critical-path
+//!   coverage); non-zero exit on any failure
+//!
+//! The exit code is 0 on success and 1 when `--check` finds a violation,
+//! so CI can gate on it directly.
+
+use ramp_core::{run_study, StudyConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+fn main() -> ExitCode {
+    ramp_bench::init_obs();
+    let out = flag_value("--out")
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os(ramp_obs::TRACE_ENV).map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("target/ramp-trace.json"));
+    let capacity = flag_value("--capacity")
+        .and_then(|v| v.parse::<usize>().ok())
+        .or_else(|| {
+            std::env::var(ramp_obs::TRACE_CAPACITY_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .filter(|&n| n >= 1)
+        .unwrap_or(ramp_obs::DEFAULT_RING_CAPACITY);
+    let top = flag_value("--top").and_then(|v| v.parse().ok()).unwrap_or(12);
+    ramp_obs::install_trace(Some(&out), capacity);
+
+    let config = if has_flag("--full") {
+        StudyConfig::default()
+    } else {
+        // The quick config walks the same stages over every node with a
+        // reduced instruction budget: enough spans for a representative
+        // critical path in a few seconds.
+        StudyConfig::quick()
+    };
+    ramp_obs::info!(
+        "tracing study ({} benchmarks x {} nodes) into {} (ring capacity {capacity})",
+        config.benchmarks.len(),
+        config.nodes.len(),
+        out.display()
+    );
+    let results = run_study(&config).expect("traced study should run");
+    ramp_bench::print_study_metrics(&results);
+    ramp_obs::flush();
+
+    let spans = ramp_obs::ring_snapshot();
+    let stats = ramp_obs::ring_stats();
+    let report = ramp_obs::critical_path_report(&spans, top);
+
+    println!("--- trace ---");
+    println!(
+        "ring: {} spans recorded, {} dropped (capacity {})",
+        stats.recorded, stats.dropped, stats.capacity
+    );
+    println!("trace file: {}", out.display());
+    println!();
+    println!("--- critical path (self time) ---");
+    println!(
+        "root wall-clock {:.2} ms, coverage {:.1}%",
+        report.total_ns as f64 / 1e6,
+        report.coverage * 100.0
+    );
+    print!("{}", report.attribution_table());
+    println!();
+    println!("--- flamegraph (self time by span path) ---");
+    print!("{}", report.flame);
+
+    if has_flag("--check") {
+        return check(&out, &report, &spans);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Validates the exported trace end to end; prints one line per check.
+fn check(
+    out: &std::path::Path,
+    report: &ramp_obs::CriticalPathReport,
+    spans: &[ramp_obs::CompletedSpan],
+) -> ExitCode {
+    let mut failures = 0u32;
+    let mut assert_that = |ok: bool, what: &str| {
+        println!("check: {} {}", if ok { "PASS" } else { "FAIL" }, what);
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    let json = match std::fs::read_to_string(out) {
+        Ok(json) => json,
+        Err(e) => {
+            println!("check: FAIL trace file {} unreadable: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match serde_json::from_str::<serde::Value>(&json) {
+        Ok(doc) => {
+            let events = doc
+                .field("traceEvents")
+                .and_then(serde::Value::elements)
+                .map(<[serde::Value]>::to_vec)
+                .unwrap_or_default();
+            assert_that(!events.is_empty(), "trace file has events");
+            let mut complete = true;
+            let mut monotone = true;
+            let mut last_ts = 0u64;
+            for event in &events {
+                let ph = event.field("ph").and_then(serde::Value::str).unwrap_or("");
+                let ts = match event.field("ts") {
+                    Ok(&serde::Value::UInt(ts)) => ts,
+                    _ => {
+                        complete = false;
+                        continue;
+                    }
+                };
+                complete &= ph == "X"
+                    && event.field("dur").is_ok()
+                    && event.field("name").is_ok()
+                    && event.field("pid").is_ok()
+                    && event.field("tid").is_ok();
+                monotone &= ts >= last_ts;
+                last_ts = ts;
+            }
+            assert_that(complete, "every event is a complete (ph=X) event");
+            assert_that(monotone, "event timestamps are monotone");
+        }
+        Err(e) => assert_that(false, &format!("trace file parses as JSON ({e})")),
+    }
+    assert_that(
+        spans
+            .iter()
+            .any(|s| ramp_obs::arg_value(&s.args, "cache").is_some()),
+        "timing spans carry cache-outcome args",
+    );
+    assert_that(
+        report.coverage >= 0.90,
+        &format!(
+            "critical path attributes >=90% of study wall-clock (got {:.1}%)",
+            report.coverage * 100.0
+        ),
+    );
+    if failures == 0 {
+        println!("check: all trace checks passed");
+        ExitCode::SUCCESS
+    } else {
+        println!("check: {failures} trace check(s) FAILED");
+        ExitCode::FAILURE
+    }
+}

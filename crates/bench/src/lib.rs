@@ -111,6 +111,9 @@ pub fn load_or_run_study() -> StudyResults {
         }
         Err(e) => ramp_obs::warn!("could not serialise results: {e}"),
     }
+    // Make the study's spans durable: rewrites the RAMP_TRACE Chrome
+    // trace file (when configured) and flushes buffered sinks.
+    ramp_obs::flush();
     results
 }
 

@@ -116,16 +116,19 @@ impl Executor {
             return out;
         }
 
-        // Workers are re-rooted at the caller's span path so their spans
-        // aggregate under the same tree node regardless of which OS
-        // thread ran which job.
+        // Workers are re-rooted at the caller's span path (and, when
+        // causal tracing is on, the caller's trace context) so their
+        // spans aggregate under the same tree node — and link into the
+        // same trace — regardless of which OS thread ran which job.
         let parent_path = ramp_obs::current_path();
+        let parent_trace = ramp_obs::current_trace();
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let _trace = ramp_obs::adopt_trace(parent_trace.clone());
                         ramp_obs::with_root_path(&parent_path, || {
                             let mut span = ramp_obs::span!("worker");
                             in_flight.add(1.0);
@@ -210,5 +213,31 @@ mod tests {
     fn handles_more_threads_than_items() {
         let items = vec![1u32, 2];
         assert_eq!(Executor::new(16).map(&items, |&x| x + 1), vec![2, 3]);
+    }
+
+    #[test]
+    fn workers_adopt_the_callers_trace_context() {
+        ramp_obs::install_trace(None, 4096);
+        let root = ramp_obs::trace_root("executor-trace-test");
+        let want = root.trace_id().as_u64();
+        {
+            let _t = ramp_obs::adopt_trace(Some(root));
+            let outer = ramp_obs::span!("study");
+            let items: Vec<u64> = (0..32).collect();
+            let _ = Executor::new(4).map(&items, |&x| x + 1);
+            drop(outer);
+        }
+        let workers: Vec<_> = ramp_obs::ring_snapshot()
+            .into_iter()
+            .filter(|s| s.trace == want && s.name == "worker")
+            .collect();
+        assert!(
+            !workers.is_empty(),
+            "worker spans recorded into the caller's trace"
+        );
+        assert!(
+            workers.iter().all(|s| s.parent != 0),
+            "worker spans attach under the caller's open span, not the root"
+        );
     }
 }

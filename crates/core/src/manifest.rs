@@ -146,8 +146,20 @@ pub struct MetricEntry {
     pub sum: f64,
 }
 
+/// Hit/miss counters for one timing-cache key class (the normalized key
+/// with the machine/profile fingerprints dropped, e.g. `len=i5000/ic=1100`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct CacheClassEntry {
+    /// Key class label.
+    pub class: String,
+    /// Hits recorded against this class.
+    pub hits: u64,
+    /// Misses recorded against this class.
+    pub misses: u64,
+}
+
 /// Timing-cache effectiveness at manifest-capture time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct ManifestCacheStats {
     /// Process-lifetime cache hits.
     pub hits: u64,
@@ -155,6 +167,9 @@ pub struct ManifestCacheStats {
     pub misses: u64,
     /// Entries currently resident.
     pub entries: u64,
+    /// Per-key-class hit/miss breakdown (absent in pre-tracing manifests).
+    #[serde(default)]
+    pub key_classes: Vec<CacheClassEntry>,
 }
 
 /// Execution record emitted alongside [`StudyResults`].
@@ -296,6 +311,14 @@ impl RunManifest {
                 hits: cache.hits,
                 misses: cache.misses,
                 entries: cache.entries as u64,
+                key_classes: ramp_microarch::timing_cache_class_stats()
+                    .into_iter()
+                    .map(|c| CacheClassEntry {
+                        class: c.class,
+                        hits: c.hits,
+                        misses: c.misses,
+                    })
+                    .collect(),
             },
             event_file: ramp_obs::event_file_path()
                 .map(|p| p.display().to_string()),
@@ -481,6 +504,24 @@ mod tests {
         let err = manifest.write_json(path).unwrap_err();
         assert!(matches!(err, crate::RampError::Io(_)));
         assert!(err.to_string().contains("nonexistent-dir-ramp"));
+    }
+
+    #[test]
+    fn cache_key_classes_roundtrip_and_default() {
+        let mut manifest = tiny_manifest();
+        manifest.cache.key_classes.push(CacheClassEntry {
+            class: "len=i5000/ic=1100".to_string(),
+            hits: 3,
+            misses: 1,
+        });
+        let json = serde_json::to_string(&manifest).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, manifest);
+        // Pre-tracing manifests have no key_classes field; it defaults.
+        let old: ManifestCacheStats =
+            serde_json::from_str(r#"{"hits":4,"misses":2,"entries":1}"#).unwrap();
+        assert_eq!(old.hits, 4);
+        assert!(old.key_classes.is_empty());
     }
 
     #[test]

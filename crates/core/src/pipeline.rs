@@ -18,7 +18,7 @@ use crate::mechanisms::FailureModel;
 use crate::rates::{AveragedRates, RateAccumulator};
 use crate::{OperatingPoint, RampError, TechNode};
 use ramp_microarch::{
-    simulate_profile_cached, ActivityTrace, MachineConfig, PerStructure, SimulationLength,
+    simulate_profile_cached_traced, ActivityTrace, MachineConfig, PerStructure, SimulationLength,
     Structure,
 };
 use ramp_power::{
@@ -326,14 +326,19 @@ pub fn run_app_on_node(
     // ---- Timing pass ----------------------------------------------------
     // Cached: nodes sharing a clock frequency (and therefore an interval
     // length) replay the same timing result instead of re-simulating.
-    let timing_span = ramp_obs::span!("timing");
+    let mut timing_span = ramp_obs::span!("timing");
     let machine = MachineConfig::power4_180nm();
-    let out = simulate_profile_cached(
+    let (out, cache_outcome, cache_key) = simulate_profile_cached_traced(
         &machine,
         profile,
         SimulationLength::Instructions(cfg.instructions),
         interval_cycles(node),
     );
+    timing_span.set_detail(format!(
+        "node={} cache={} key={cache_key}",
+        node.id.label(),
+        cache_outcome.as_str()
+    ));
     let timing_elapsed = timing_span.finish();
     let activity: &ActivityTrace = &out.activity;
     if activity.intervals().is_empty() {

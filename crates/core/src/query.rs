@@ -261,6 +261,20 @@ impl QueryEngine {
     /// Returns [`RampError::UnknownBenchmark`] for an unrecognised
     /// benchmark, or any error the pipeline run produces.
     pub fn evaluate(&self, query: &ReliabilityQuery) -> Result<QueryOutcome, RampError> {
+        // Standalone evaluations (no server in front of us) still get a
+        // causal trace, rooted on the cache key so identical queries map
+        // to identical trace ids. Callers that already carry a trace —
+        // the serve dispatcher — keep theirs.
+        let _trace = ramp_obs::adopt_trace(
+            if ramp_obs::tracing_enabled() && ramp_obs::current_trace().is_none() {
+                Some(ramp_obs::trace_root(&format!(
+                    "query|{}",
+                    self.cache_key(query)
+                )))
+            } else {
+                None
+            },
+        );
         let span = ramp_obs::span!(
             "query_evaluate",
             "benchmark={} node={}",

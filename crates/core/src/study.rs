@@ -130,6 +130,17 @@ pub fn run_study(config: &StudyConfig) -> Result<StudyResults, RampError> {
     }
     let models = standard_models();
     let executor = Executor::new(config.threads);
+    // Root a causal trace on the config digest: the same study config
+    // always yields the same trace id, so traces are comparable across
+    // runs. Free when tracing is off (no ring installed).
+    let _trace = ramp_obs::adopt_trace(if ramp_obs::tracing_enabled() {
+        Some(ramp_obs::trace_root(&format!(
+            "study|{}",
+            crate::manifest::config_digest(config)
+        )))
+    } else {
+        None
+    });
     let study_span = ramp_obs::span!(
         "study",
         "benchmarks={} nodes={} threads={}",

@@ -156,6 +156,19 @@ pub fn run_fleet(engine: &QueryEngine, config: &FleetConfig) -> Result<FleetResu
         Some(n) => Executor::new(n),
         None => Executor::from_env(),
     };
+    // Root a causal trace on the fleet parameters when nobody upstream
+    // (e.g. the serve dispatcher) carries one already. Purely
+    // content-derived, so reruns of the same config share a trace id.
+    let _trace = ramp_obs::adopt_trace(
+        if ramp_obs::tracing_enabled() && ramp_obs::current_trace().is_none() {
+            Some(ramp_obs::trace_root(&format!(
+                "fleet|{}|{}|{}",
+                config.benchmark, config.seed, config.chips
+            )))
+        } else {
+            None
+        },
+    );
     let span = ramp_obs::span!(
         "fleet_run",
         "benchmark={} nodes={} chips={} threads={}",
@@ -181,12 +194,15 @@ pub fn run_fleet(engine: &QueryEngine, config: &FleetConfig) -> Result<FleetResu
             .collect();
         let partials: Vec<PopulationAccumulator> =
             executor.map(&chunks, |&(start, count)| {
+                let chunk_span =
+                    ramp_obs::span!("fleet_chunk", "start={start} count={count}");
                 let mut acc = PopulationAccumulator::new();
                 for chip in start..start + count {
                     let mut rng = chip_rng(config.seed, node_index as u64, chip);
                     let outcome = sampler.sample_chip(&mut rng);
                     acc.record(outcome.failure_years, outcome.killer);
                 }
+                chunk_span.finish();
                 acc
             });
         let mut merged = PopulationAccumulator::new();

@@ -41,6 +41,7 @@ pub use engine::{simulate, Engine, SimulationLength, SimulationOutput};
 pub use stats::SimStats;
 pub use structures::{PerStructure, Structure};
 pub use timing_cache::{
-    clear_timing_cache, simulate_profile_cached, timing_cache_stats, TimingCacheStats,
-    TIMING_CACHE_CAPACITY,
+    clear_timing_cache, simulate_profile_cached, simulate_profile_cached_traced,
+    timing_cache_class_stats, timing_cache_stats, CacheOutcome, TimingCacheClassStats,
+    TimingCacheStats, TIMING_CACHE_CAPACITY,
 };

@@ -20,6 +20,7 @@
 use crate::engine::{simulate, SimulationLength, SimulationOutput};
 use crate::MachineConfig;
 use ramp_trace::{BenchmarkProfile, TraceGenerator};
+use std::collections::BTreeMap;
 use std::collections::HashMap; // ramp-lint:allow(determinism) -- keyed lookup only; iteration order never reaches output
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -35,6 +36,35 @@ struct Key {
     profile: u64,
     length: (bool, u64),
     interval_cycles: u64,
+}
+
+impl Key {
+    /// Canonical printable form of the full key: the two config
+    /// fingerprints plus the scalar parameters. This is what run
+    /// manifests record so a surprising hit rate can be traced back to
+    /// the exact lookups that produced it.
+    fn normalized(&self) -> String {
+        format!(
+            "m={:016x}/p={:016x}/{}/ic={}",
+            self.machine,
+            self.profile,
+            length_label(self.length),
+            self.interval_cycles
+        )
+    }
+
+    /// The key *class*: the scalar parameters with the per-config
+    /// fingerprints dropped. Lookups in one class differ only by machine
+    /// or profile, so per-class hit/miss counters show which simulation
+    /// shapes share work (nodes with a common clock) and which never can.
+    fn class(&self) -> String {
+        format!("{}/ic={}", length_label(self.length), self.interval_cycles)
+    }
+}
+
+fn length_label(length: (bool, u64)) -> String {
+    let (cycles, n) = length;
+    format!("len={}{n}", if cycles { "c" } else { "i" })
 }
 
 /// FNV-1a over the canonical JSON encoding; collisions are astronomically
@@ -62,6 +92,60 @@ struct CacheState {
 static CACHE: Mutex<Option<CacheState>> = Mutex::new(None);
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+/// Per-key-class (hits, misses), keyed by [`Key::class`]. BTreeMap so
+/// snapshots come out in a stable order.
+static CLASS_STATS: Mutex<BTreeMap<String, (u64, u64)>> = Mutex::new(BTreeMap::new());
+
+/// Whether a [`simulate_profile_cached_traced`] lookup was served from
+/// the cache or had to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The key was already resident (or in flight on another worker).
+    Hit,
+    /// This lookup ran (or is running) the simulation.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Stable lowercase label (`"hit"` / `"miss"`), as used in span args.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// One key class's cache counters (see [`timing_cache_class_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingCacheClassStats {
+    /// The class label: simulation length + interval cycles, e.g.
+    /// `len=i200000/ic=1100`.
+    pub class: String,
+    /// Lookups in this class served from the cache.
+    pub hits: u64,
+    /// Lookups in this class that simulated.
+    pub misses: u64,
+}
+
+/// Per-key-class hit/miss counters, in stable (sorted) class order.
+/// A class groups lookups by simulation length and interval cycles —
+/// the parameters nodes can share — so a low aggregate hit rate
+/// decomposes into "which shapes never coalesce".
+pub fn timing_cache_class_stats() -> Vec<TimingCacheClassStats> {
+    let guard = CLASS_STATS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    guard
+        .iter()
+        .map(|(class, &(hits, misses))| TimingCacheClassStats {
+            class: class.clone(),
+            hits,
+            misses,
+        })
+        .collect()
+}
 
 /// Counters describing cache effectiveness, for study summaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -90,6 +174,10 @@ pub fn clear_timing_cache() {
     *guard = None;
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
+    CLASS_STATS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
 }
 
 /// Runs (or replays) the timing pass for a benchmark profile.
@@ -105,6 +193,18 @@ pub fn simulate_profile_cached(
     length: SimulationLength,
     interval_cycles: u64,
 ) -> Arc<SimulationOutput> {
+    simulate_profile_cached_traced(machine, profile, length, interval_cycles).0
+}
+
+/// [`simulate_profile_cached`] plus cache visibility: also returns
+/// whether this lookup hit, and the normalized cache key it resolved to
+/// (for span args and run-manifest cache stats).
+pub fn simulate_profile_cached_traced(
+    machine: &MachineConfig,
+    profile: &BenchmarkProfile,
+    length: SimulationLength,
+    interval_cycles: u64,
+) -> (Arc<SimulationOutput>, CacheOutcome, String) {
     let key = Key {
         machine: fingerprint(machine),
         profile: fingerprint(profile),
@@ -115,7 +215,7 @@ pub fn simulate_profile_cached(
         interval_cycles,
     };
 
-    let cell = {
+    let (cell, outcome) = {
         let mut guard = CACHE.lock().expect("timing cache lock"); // ramp-lint:allow(panic-hygiene) -- lock poisoning implies a worker already panicked
         let state = guard.get_or_insert_with(|| CacheState {
             map: HashMap::new(), // ramp-lint:allow(determinism) -- keyed lookup only; iteration order never reaches output
@@ -123,12 +223,12 @@ pub fn simulate_profile_cached(
         });
         state.tick += 1;
         let tick = state.tick;
-        let cell = match state.map.get_mut(&key) {
+        let (cell, outcome) = match state.map.get_mut(&key) {
             Some(entry) => {
                 HITS.fetch_add(1, Ordering::Relaxed);
                 ramp_obs::counter("timing_cache.hits").incr();
                 entry.last_used = tick;
-                Arc::clone(&entry.cell)
+                (Arc::clone(&entry.cell), CacheOutcome::Hit)
             }
             None => {
                 MISSES.fetch_add(1, Ordering::Relaxed);
@@ -141,9 +241,19 @@ pub fn simulate_profile_cached(
                         last_used: tick,
                     },
                 );
-                cell
+                (cell, CacheOutcome::Miss)
             }
         };
+        {
+            let mut classes = CLASS_STATS
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let slot = classes.entry(key.class()).or_insert((0, 0));
+            match outcome {
+                CacheOutcome::Hit => slot.0 += 1,
+                CacheOutcome::Miss => slot.1 += 1,
+            }
+        }
         while state.map.len() > TIMING_CACHE_CAPACITY {
             // Evict the least-recently-used completed entry; in-flight
             // entries survive because their `Arc` is held by a worker
@@ -162,12 +272,12 @@ pub fn simulate_profile_cached(
             }
         }
         ramp_obs::gauge("timing_cache.entries").set(state.map.len() as f64);
-        cell
+        (cell, outcome)
     };
 
     // The simulation itself runs outside the map lock so other keys
     // proceed in parallel; `get_or_init` serializes same-key callers.
-    Arc::clone(cell.get_or_init(|| {
+    let output = Arc::clone(cell.get_or_init(|| {
         let in_flight = ramp_obs::gauge("timing_cache.in_flight");
         in_flight.add(1.0);
         let span = ramp_obs::span!("timing_sim", "interval_cycles={interval_cycles}");
@@ -180,7 +290,8 @@ pub fn simulate_profile_cached(
         drop(span);
         in_flight.add(-1.0);
         output
-    }))
+    }));
+    (output, outcome, key.normalized())
 }
 
 #[cfg(test)]
@@ -275,6 +386,51 @@ mod tests {
         let stats = timing_cache_stats();
         assert_eq!(stats.misses, 1, "one thread simulated");
         assert_eq!(stats.hits, 7, "the rest shared it");
+    }
+
+    #[test]
+    fn traced_lookup_reports_outcome_key_and_classes() {
+        let _guard = locked();
+        clear_timing_cache();
+        let machine = MachineConfig::power4_180nm();
+        let profile = spec::profile("gzip").unwrap();
+        let (_, first, key_a) = simulate_profile_cached_traced(
+            &machine,
+            &profile,
+            SimulationLength::Instructions(5_000),
+            1_100,
+        );
+        let (_, second, key_b) = simulate_profile_cached_traced(
+            &machine,
+            &profile,
+            SimulationLength::Instructions(5_000),
+            1_100,
+        );
+        assert_eq!(first, CacheOutcome::Miss);
+        assert_eq!(second, CacheOutcome::Hit);
+        assert_eq!(first.as_str(), "miss");
+        assert_eq!(key_a, key_b, "same lookup normalizes to the same key");
+        assert!(key_a.contains("/len=i5000/ic=1100"), "{key_a}");
+        // A different interval is a different class.
+        let (_, _, key_c) = simulate_profile_cached_traced(
+            &machine,
+            &profile,
+            SimulationLength::Instructions(5_000),
+            1_650,
+        );
+        assert_ne!(key_a, key_c);
+        let classes = timing_cache_class_stats();
+        assert_eq!(classes.len(), 2);
+        let c1100 = classes
+            .iter()
+            .find(|c| c.class == "len=i5000/ic=1100")
+            .expect("class present");
+        assert_eq!((c1100.hits, c1100.misses), (1, 1));
+        let c1650 = classes
+            .iter()
+            .find(|c| c.class == "len=i5000/ic=1650")
+            .expect("class present");
+        assert_eq!((c1650.hits, c1650.misses), (0, 1));
     }
 
     #[test]

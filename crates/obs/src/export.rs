@@ -1,0 +1,437 @@
+//! Trace export and critical-path analysis.
+//!
+//! [`chrome_trace_json`] renders recorded spans as Chrome Trace Event /
+//! Perfetto JSON — complete (`"ph":"X"`) events with microsecond `ts`,
+//! sorted so timestamps are monotone, with the span's `k=v` detail string
+//! exploded into the event's `args` object. Load the file at
+//! <https://ui.perfetto.dev> or `chrome://tracing`.
+//!
+//! [`critical_path_report`] walks the same spans as a causal tree and
+//! attributes wall-clock: per-span *self time* (duration minus the
+//! duration of direct children) rolled up into a flamegraph by name path,
+//! plus a top-N attribution table keyed by stage × node × cache outcome —
+//! the question "where do the hot milliseconds actually go" answered from
+//! data instead of the aggregate span tree.
+//!
+//! The `RAMP_TRACE=<path>` environment variable (read by
+//! [`crate::init_from_env`]) installs the span ring and registers `path`;
+//! every [`crate::flush`] then rewrites the file from the current ring
+//! snapshot, so any binary that flushes on exit (all bench binaries, plus
+//! the panic hook) produces a loadable trace with no extra code.
+
+use crate::ring::{self, CompletedSpan};
+use crate::sink::write_json_str;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Environment variable naming the Chrome-trace output file.
+pub const TRACE_ENV: &str = "RAMP_TRACE";
+
+/// Environment variable overriding the span-ring capacity.
+pub const TRACE_CAPACITY_ENV: &str = "RAMP_TRACE_CAPACITY";
+
+static TRACE_FILE: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Installs the span ring (capacity slots) and, when `path` is given,
+/// registers it as the Chrome-trace file that [`flush_trace_file`] (and
+/// therefore [`crate::flush`]) rewrites. First installation wins, as with
+/// sinks.
+pub fn install_trace(path: Option<&Path>, capacity: usize) {
+    ring::install_ring(capacity);
+    if let Some(path) = path {
+        *TRACE_FILE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(path.to_path_buf());
+    }
+}
+
+/// The registered Chrome-trace output path, if any.
+#[must_use]
+pub fn trace_file_path() -> Option<PathBuf> {
+    TRACE_FILE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// Rewrites the registered `RAMP_TRACE` file from the current ring
+/// snapshot. No-op when no path is registered. Returns the number of
+/// spans written, or `None` when nothing was written.
+pub fn flush_trace_file() -> Option<usize> {
+    let path = trace_file_path()?;
+    let spans = ring::ring_snapshot();
+    match write_chrome_trace(&path, &spans) {
+        Ok(()) => Some(spans.len()),
+        Err(err) => {
+            crate::warn!("cannot write trace file {}: {err}", path.display());
+            None
+        }
+    }
+}
+
+/// Writes [`chrome_trace_json`] of `spans` to `path`, creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Returns the I/O error if the file cannot be created or written.
+pub fn write_chrome_trace(path: &Path, spans: &[CompletedSpan]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, chrome_trace_json(spans))
+}
+
+/// Renders spans as a Chrome Trace Event JSON object: complete `X`
+/// events sorted by `ts` (monotone), `args` carrying the causal ids
+/// (`trace`, `span`, `parent` as 16-hex-digit strings) plus every `k=v`
+/// pair from the span's detail string.
+#[must_use]
+pub fn chrome_trace_json(spans: &[CompletedSpan]) -> String {
+    let mut ordered: Vec<&CompletedSpan> = spans.iter().collect();
+    ordered.sort_by_key(|s| (s.start_us, s.seq));
+    let mut out = String::with_capacity(128 + 256 * ordered.len());
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, span) in ordered.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"ph\":\"X\",\"name\":");
+        write_json_str(&mut out, span.name);
+        out.push_str(",\"cat\":");
+        write_json_str(&mut out, span.target);
+        out.push_str(&format!(
+            ",\"ts\":{},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{",
+            span.start_us,
+            span.dur_ns as f64 / 1e3,
+            span.thread
+        ));
+        out.push_str(&format!(
+            "\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\"",
+            span.trace, span.span, span.parent
+        ));
+        for (key, value) in parse_args(&span.args) {
+            out.push(',');
+            write_json_str(&mut out, key);
+            out.push(':');
+            write_json_str(&mut out, value);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Splits a span detail string into `(key, value)` pairs: whitespace-
+/// separated tokens containing `=`. Tokens without `=` are ignored (they
+/// are prose, not args).
+fn parse_args(detail: &str) -> impl Iterator<Item = (&str, &str)> {
+    detail
+        .split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+}
+
+/// Looks up one key in a span's detail string.
+#[must_use]
+pub fn arg_value<'a>(detail: &'a str, key: &str) -> Option<&'a str> {
+    parse_args(detail).find(|(k, _)| *k == key).map(|(_, v)| v)
+}
+
+/// One row of the attribution table: self time grouped by
+/// stage (span name) × node label × cache outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionRow {
+    /// Span name (the pipeline stage).
+    pub stage: &'static str,
+    /// Node label from the nearest `node=` arg (own or ancestor), `"-"`
+    /// when none applies.
+    pub node: String,
+    /// Cache outcome from the span's own `cache=` arg, `"-"` when none.
+    pub cache: String,
+    /// Total self time attributed to this group, nanoseconds.
+    pub self_ns: u64,
+    /// Spans aggregated into this row.
+    pub count: u64,
+}
+
+/// The output of [`critical_path_report`].
+#[derive(Debug, Clone)]
+pub struct CriticalPathReport {
+    /// Total duration of the trace roots, nanoseconds (the wall-clock
+    /// being attributed).
+    pub total_ns: u64,
+    /// Fraction of root wall-clock covered by child spans (1 − root self
+    /// time / root duration). The acceptance bar for study traces is
+    /// ≥ 0.90.
+    pub coverage: f64,
+    /// Attribution rows, largest self time first, truncated to top-N.
+    pub rows: Vec<AttributionRow>,
+    /// Self-time flamegraph, indented by name path (rendered text).
+    pub flame: String,
+}
+
+impl CriticalPathReport {
+    /// Renders the attribution table (top-N rows with self-time shares).
+    #[must_use]
+    pub fn attribution_table(&self) -> String {
+        let mut out = String::from(
+            "stage                node        cache   self-ms    share  spans\n",
+        );
+        let total = self.total_ns.max(1) as f64;
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<20} {:<11} {:<7} {:>9.2} {:>7.1}% {:>6}\n",
+                row.stage,
+                row.node,
+                row.cache,
+                row.self_ns as f64 / 1e6,
+                100.0 * row.self_ns as f64 / total,
+                row.count
+            ));
+        }
+        out
+    }
+}
+
+/// Walks `spans` as a causal tree and attributes self time.
+///
+/// Self time is a span's duration minus the summed duration of its
+/// direct children (clamped at zero: parallel children legitimately
+/// overlap their parent). Roots are spans whose parent id is absent from
+/// the snapshot; their durations sum into `total_ns`.
+#[must_use]
+pub fn critical_path_report(spans: &[CompletedSpan], top: usize) -> CriticalPathReport {
+    let by_id: BTreeMap<u64, &CompletedSpan> =
+        spans.iter().map(|s| (s.span, s)).collect();
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for span in spans {
+        if by_id.contains_key(&span.parent) {
+            *child_ns.entry(span.parent).or_insert(0) += span.dur_ns;
+        }
+    }
+    let self_ns = |s: &CompletedSpan| {
+        s.dur_ns
+            .saturating_sub(child_ns.get(&s.span).copied().unwrap_or(0))
+    };
+
+    // Memoized name-path and nearest node label, walking parent links.
+    let mut paths: BTreeMap<u64, (String, String)> = BTreeMap::new();
+    fn resolve(
+        id: u64,
+        by_id: &BTreeMap<u64, &CompletedSpan>,
+        paths: &mut BTreeMap<u64, (String, String)>,
+        depth: usize,
+    ) -> (String, String) {
+        if let Some(hit) = paths.get(&id) {
+            return hit.clone();
+        }
+        let Some(span) = by_id.get(&id) else {
+            return (String::new(), "-".to_string());
+        };
+        let own_node = arg_value(&span.args, "node").map(str::to_string);
+        let (path, node) = if depth > 64 || !by_id.contains_key(&span.parent) {
+            (
+                span.name.to_string(),
+                own_node.unwrap_or_else(|| "-".to_string()),
+            )
+        } else {
+            let (ppath, pnode) = resolve(span.parent, by_id, paths, depth + 1);
+            let path = if ppath.is_empty() {
+                span.name.to_string()
+            } else {
+                format!("{ppath}/{}", span.name)
+            };
+            (path, own_node.unwrap_or(pnode))
+        };
+        paths.insert(id, (path.clone(), node.clone()));
+        (path, node)
+    }
+
+    let mut total_ns = 0u64;
+    let mut root_self_ns = 0u64;
+    let mut flame_agg: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    let mut table_agg: BTreeMap<(&'static str, String, String), (u64, u64)> = BTreeMap::new();
+    for span in spans {
+        let own = self_ns(span);
+        if !by_id.contains_key(&span.parent) {
+            total_ns += span.dur_ns;
+            root_self_ns += own;
+        }
+        let (path, node) = resolve(span.span, &by_id, &mut paths, 0);
+        let entry = flame_agg.entry(path).or_insert((0, 0, 0));
+        entry.0 += span.dur_ns;
+        entry.1 += own;
+        entry.2 += 1;
+        let cache = arg_value(&span.args, "cache").unwrap_or("-").to_string();
+        let cell = table_agg
+            .entry((span.name, node, cache))
+            .or_insert((0, 0));
+        cell.0 += own;
+        cell.1 += 1;
+    }
+
+    let mut flame = String::new();
+    let total = total_ns.max(1) as f64;
+    for (path, (dur, own, count)) in &flame_agg {
+        let depth = path.matches('/').count();
+        let name = path.rsplit('/').next().unwrap_or(path);
+        flame.push_str(&format!(
+            "{:indent$}{name:<24} total {:>9.2} ms  self {:>9.2} ms ({:>5.1}%)  n={count}\n",
+            "",
+            *dur as f64 / 1e6,
+            *own as f64 / 1e6,
+            100.0 * *own as f64 / total,
+            indent = depth * 2,
+        ));
+    }
+
+    let mut rows: Vec<AttributionRow> = table_agg
+        .into_iter()
+        .map(|((stage, node, cache), (ns, count))| AttributionRow {
+            stage,
+            node,
+            cache,
+            self_ns: ns,
+            count,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.stage.cmp(b.stage)));
+    rows.truncate(top);
+
+    let coverage = if total_ns == 0 {
+        0.0
+    } else {
+        1.0 - root_self_ns as f64 / total_ns as f64
+    };
+    CriticalPathReport {
+        total_ns,
+        coverage,
+        rows,
+        flame,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        id: u64,
+        parent: u64,
+        name: &'static str,
+        args: &str,
+        start_us: u64,
+        dur_ns: u64,
+    ) -> CompletedSpan {
+        CompletedSpan {
+            trace: 7,
+            span: id,
+            parent,
+            name,
+            target: "test",
+            args: args.to_string(),
+            start_us,
+            dur_ns,
+            thread: 1,
+            seq: id,
+        }
+    }
+
+    fn sample() -> Vec<CompletedSpan> {
+        vec![
+            span(1, 0, "study", "", 0, 1_000_000),
+            span(2, 1, "run", "app=gzip node=180nm", 10, 600_000),
+            span(3, 2, "timing", "cache=miss", 20, 500_000),
+            span(4, 1, "run", "app=vpr node=65nm", 700, 300_000),
+            span(5, 4, "timing", "cache=hit", 710, 100_000),
+        ]
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let report = critical_path_report(&sample(), 10);
+        assert_eq!(report.total_ns, 1_000_000);
+        // Root self = 1_000_000 - (600_000 + 300_000) = 100_000.
+        let study = report
+            .rows
+            .iter()
+            .find(|r| r.stage == "study")
+            .expect("study row");
+        assert_eq!(study.self_ns, 100_000);
+        assert!((report.coverage - 0.9).abs() < 1e-9);
+        // timing rows split by cache outcome.
+        let miss = report
+            .rows
+            .iter()
+            .find(|r| r.stage == "timing" && r.cache == "miss")
+            .expect("miss row");
+        assert_eq!(miss.self_ns, 500_000);
+        assert_eq!(miss.node, "180nm", "node label inherited from ancestor");
+        let hit = report
+            .rows
+            .iter()
+            .find(|r| r.stage == "timing" && r.cache == "hit")
+            .expect("hit row");
+        assert_eq!(hit.node, "65nm");
+    }
+
+    #[test]
+    fn rows_are_sorted_and_truncated() {
+        let report = critical_path_report(&sample(), 2);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows[0].self_ns >= report.rows[1].self_ns);
+        assert_eq!(report.rows[0].stage, "timing");
+    }
+
+    #[test]
+    fn flamegraph_indents_by_depth() {
+        let report = critical_path_report(&sample(), 10);
+        assert!(report.flame.contains("study"));
+        assert!(report.flame.contains("  run"), "{}", report.flame);
+        assert!(report.flame.contains("    timing"), "{}", report.flame);
+    }
+
+    #[test]
+    fn chrome_json_is_monotone_complete_events() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 5);
+        // ts values appear in sorted order.
+        let ts: Vec<u64> = json
+            .split("\"ts\":")
+            .skip(1)
+            .map(|rest| {
+                rest.split(',')
+                    .next()
+                    .unwrap()
+                    .parse::<u64>()
+                    .expect("ts is an integer")
+            })
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+        // Args explode into key/value pairs with causal ids alongside.
+        assert!(json.contains("\"cache\":\"miss\""));
+        assert!(json.contains("\"node\":\"180nm\""));
+        assert!(json.contains("\"trace\":\"0000000000000007\""));
+    }
+
+    #[test]
+    fn arg_value_finds_keys() {
+        assert_eq!(arg_value("a=1 b=two c=3", "b"), Some("two"));
+        assert_eq!(arg_value("plain words", "b"), None);
+        assert_eq!(arg_value("", "b"), None);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_but_valid() {
+        let json = chrome_trace_json(&[]);
+        assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+        let report = critical_path_report(&[], 5);
+        assert_eq!(report.total_ns, 0);
+        assert!(report.rows.is_empty());
+    }
+}

@@ -33,12 +33,20 @@
 
 #![warn(missing_docs)]
 
+mod export;
 mod level;
 mod metrics;
 pub mod profile;
+mod ring;
 mod sink;
 mod span;
+mod trace;
 
+pub use export::{
+    arg_value, chrome_trace_json, critical_path_report, flush_trace_file, install_trace,
+    trace_file_path, write_chrome_trace, AttributionRow, CriticalPathReport, TRACE_CAPACITY_ENV,
+    TRACE_ENV,
+};
 pub use level::{Filter, Level};
 pub use metrics::{
     bucket_percentile, bucket_percentile_with_sums, counter, counter_value,
@@ -46,14 +54,29 @@ pub use metrics::{
     Counter, Gauge, Histogram, MetricDelta, MetricSnapshot, MetricValue,
 };
 pub use profile::{profile_report, reset_spans, span_stats, span_tree, SpanNode, SpanPathStats};
+pub use ring::{ring_snapshot, ring_stats, tracing_enabled, CompletedSpan, RingStats, SpanRing,
+    DEFAULT_RING_CAPACITY};
 pub use sink::{
-    add_sink, enabled, event_file_path, flush, install_jsonl, install_stderr, reset_sinks,
+    add_sink, enabled, event_file_path, install_jsonl, install_stderr, reset_sinks,
     Event, EventKind, JsonlSink, Sink, StderrSink,
 };
 pub use span::{current_path, span_guard, with_root_path, SpanGuard};
+pub use trace::{
+    adopt_trace, current_trace, fnv1a_64, trace_root, with_trace, SpanId, TraceCtx, TraceId,
+    TraceScope,
+};
 
 /// Environment variable naming the JSONL event file ([`init_from_env`]).
 pub const EVENTS_ENV: &str = "RAMP_EVENTS";
+
+/// Flushes every sink and, when `RAMP_TRACE` (or [`install_trace`]) has
+/// registered a trace file, rewrites it from the current span-ring
+/// snapshot. Call before reading either file back; the panic hook calls
+/// it automatically.
+pub fn flush() {
+    sink::flush();
+    let _ = export::flush_trace_file();
+}
 
 /// One-time convenience initialisation for binaries:
 ///
@@ -67,6 +90,11 @@ pub const EVENTS_ENV: &str = "RAMP_EVENTS";
 ///
 /// Also installs the sink-flushing panic hook ([`install_panic_hook`]) so
 /// a mid-run panic cannot truncate a buffered `RAMP_EVENTS` stream.
+///
+/// When `RAMP_TRACE=<path>` is set, causal-trace recording is enabled
+/// (span ring of `RAMP_TRACE_CAPACITY` slots, default
+/// [`DEFAULT_RING_CAPACITY`]) and every [`flush`] rewrites `<path>` as
+/// Chrome Trace Event JSON loadable in Perfetto.
 pub fn init_from_env() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
@@ -79,6 +107,16 @@ pub fn init_from_env() {
                 if let Err(err) = install_jsonl(&path, filter) {
                     eprintln!("[ warn ramp_obs] cannot open {}: {err}", path.display());
                 }
+            }
+        }
+        if let Ok(path) = std::env::var(TRACE_ENV) {
+            if !path.trim().is_empty() {
+                let capacity = std::env::var(TRACE_CAPACITY_ENV)
+                    .ok()
+                    .and_then(|raw| raw.trim().parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or(DEFAULT_RING_CAPACITY);
+                install_trace(Some(std::path::Path::new(&path)), capacity);
             }
         }
     });

@@ -1,0 +1,239 @@
+//! Bounded span ring: the in-memory store behind causal tracing.
+//!
+//! Completed spans that carry a trace context (see [`crate::trace`]) are
+//! pushed into one process-wide [`SpanRing`]. The ring is bounded — its
+//! capacity is fixed at installation — so tracing memory cannot grow with
+//! run length: once full, each new span overwrites the oldest recorded
+//! one and the drop counter advances. Keeping the *newest* spans is
+//! deliberate: the interesting enclosing spans (`study`, `serve_request`)
+//! finish last, so they always survive a wrap-around.
+//!
+//! The hot path is one atomic slot reservation (`fetch_add`) plus a write
+//! into the reserved slot; the per-slot locks only serialize the rare
+//! wrap-around race where two writers land on the same slot `capacity`
+//! pushes apart. Readers take a point-in-time snapshot and never block
+//! writers for more than one slot copy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A finished span as recorded by the tracing layer: causal identity
+/// (trace / span / parent), the static name, the formatted detail string
+/// (`k=v` args), and monotonic timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedSpan {
+    /// Trace this span belongs to (deterministic, digest-derived).
+    pub trace: u64,
+    /// This span's id within the trace.
+    pub span: u64,
+    /// Parent span id (`0` for a trace root).
+    pub parent: u64,
+    /// Static span name (the `span!` literal).
+    pub name: &'static str,
+    /// Module path of the emitting code.
+    pub target: &'static str,
+    /// Detail string: space-separated `key=value` args.
+    pub args: String,
+    /// Start time, microseconds on the process observability clock.
+    pub start_us: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small per-process thread identifier.
+    pub thread: u64,
+    /// Global push order (ring-internal; survives snapshot sorting).
+    pub seq: u64,
+}
+
+/// Point-in-time counters describing a [`SpanRing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingStats {
+    /// Slot count the ring was installed with.
+    pub capacity: u64,
+    /// Total spans ever pushed.
+    pub recorded: u64,
+    /// Spans overwritten by wrap-around (oldest-first), i.e. no longer
+    /// retrievable from a snapshot.
+    pub dropped: u64,
+}
+
+/// The bounded span store. One process-wide instance is installed by
+/// [`install_ring`]; tests may build private rings directly.
+#[derive(Debug)]
+pub struct SpanRing {
+    slots: Vec<Mutex<Option<CompletedSpan>>>,
+    head: AtomicU64,
+}
+
+impl SpanRing {
+    /// A ring holding at most `capacity` spans (clamped to at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one span, overwriting the oldest entry when full.
+    pub fn push(&self, mut span: CompletedSpan) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        span.seq = seq;
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let mut guard = self.slots[slot]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // A slower writer from `capacity` pushes ago may arrive *after*
+        // us; never let it clobber a newer record.
+        if guard.as_ref().is_none_or(|prev| prev.seq < seq) {
+            *guard = Some(span);
+        }
+    }
+
+    /// The spans currently held, oldest first (push order).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<CompletedSpan> {
+        let mut out: Vec<CompletedSpan> = self
+            .slots
+            .iter()
+            .filter_map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone()
+            })
+            .collect();
+        out.sort_unstable_by_key(|s| s.seq);
+        out
+    }
+
+    /// Capacity / recorded / dropped counters.
+    #[must_use]
+    pub fn stats(&self) -> RingStats {
+        let capacity = self.slots.len() as u64;
+        let recorded = self.head.load(Ordering::Relaxed);
+        RingStats {
+            capacity,
+            recorded,
+            dropped: recorded.saturating_sub(capacity),
+        }
+    }
+}
+
+static RING: OnceLock<SpanRing> = OnceLock::new();
+
+/// Default ring capacity when none is configured (≈ a full study plus a
+/// large fleet run, a few MB of span records).
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Installs the process-wide span ring with the given capacity and turns
+/// span recording on. The first call fixes the capacity; later calls are
+/// no-ops (the ring is append-only global state, like sinks).
+pub fn install_ring(capacity: usize) {
+    let _ = RING.get_or_init(|| SpanRing::new(capacity));
+}
+
+/// Whether a ring is installed (the tracing fast-path check).
+#[must_use]
+pub fn tracing_enabled() -> bool {
+    RING.get().is_some()
+}
+
+pub(crate) fn record(span: CompletedSpan) {
+    if let Some(ring) = RING.get() {
+        ring.push(span);
+    }
+}
+
+/// Snapshot of the process-wide ring (empty when tracing is off).
+#[must_use]
+pub fn ring_snapshot() -> Vec<CompletedSpan> {
+    RING.get().map(SpanRing::snapshot).unwrap_or_default()
+}
+
+/// Counters of the process-wide ring (all zero when tracing is off).
+#[must_use]
+pub fn ring_stats() -> RingStats {
+    RING.get().map(SpanRing::stats).unwrap_or(RingStats {
+        capacity: 0,
+        recorded: 0,
+        dropped: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(n: u64) -> CompletedSpan {
+        CompletedSpan {
+            trace: 1,
+            span: n,
+            parent: 0,
+            name: "t",
+            target: "test",
+            args: String::new(),
+            start_us: n,
+            dur_ns: 10,
+            thread: 1,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let ring = SpanRing::new(4);
+        for n in 0..10 {
+            ring.push(span(n));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 4, "capacity bounds retained spans");
+        let ids: Vec<u64> = snap.iter().map(|s| s.span).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9], "oldest spans are overwritten first");
+        let stats = ring.stats();
+        assert_eq!(stats.capacity, 4);
+        assert_eq!(stats.recorded, 10);
+        assert_eq!(stats.dropped, 6);
+    }
+
+    #[test]
+    fn under_capacity_nothing_drops() {
+        let ring = SpanRing::new(8);
+        for n in 0..3 {
+            ring.push(span(n));
+        }
+        assert_eq!(ring.snapshot().len(), 3);
+        assert_eq!(ring.stats().dropped, 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = SpanRing::new(0);
+        ring.push(span(0));
+        ring.push(span(1));
+        assert_eq!(ring.stats().capacity, 1);
+        assert_eq!(ring.snapshot().len(), 1);
+        assert_eq!(ring.snapshot()[0].span, 1);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_exceed_capacity() {
+        let ring = std::sync::Arc::new(SpanRing::new(16));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let ring = std::sync::Arc::clone(&ring);
+                scope.spawn(move || {
+                    for n in 0..1000 {
+                        ring.push(span(t * 1000 + n));
+                    }
+                });
+            }
+        });
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 16);
+        let stats = ring.stats();
+        assert_eq!(stats.recorded, 4000);
+        assert_eq!(stats.dropped, 4000 - 16);
+        // Snapshot is strictly ordered by push sequence.
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

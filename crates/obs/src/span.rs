@@ -88,6 +88,9 @@ pub struct SpanGuard {
     path: String,
     start: Instant,
     finished: bool,
+    /// Causal-trace recording state: `Some` only when tracing is enabled
+    /// and a trace context was current at entry (see [`crate::trace`]).
+    trace: Option<crate::trace::SpanToken>,
 }
 
 impl SpanGuard {
@@ -121,6 +124,15 @@ impl SpanGuard {
         self.finished = true;
         PATH.with(|p| p.borrow_mut().pop());
         crate::profile::record_span(&self.path, dur);
+        if let Some(token) = self.trace.take() {
+            crate::trace::exit_span(
+                token,
+                self.name,
+                self.target,
+                &self.detail,
+                dur.as_nanos() as u64,
+            );
+        }
         if sink::any_sink() {
             sink::dispatch(&Event {
                 kind: EventKind::SpanEnd,
@@ -151,6 +163,7 @@ impl Drop for SpanGuard {
 #[must_use]
 pub fn span_guard(target: &'static str, name: &'static str, detail: String) -> SpanGuard {
     let path = PATH.with(|p| p.borrow_mut().push(name));
+    let trace = crate::trace::enter_span();
     if sink::any_sink() {
         sink::dispatch(&Event {
             kind: EventKind::SpanStart,
@@ -172,6 +185,7 @@ pub fn span_guard(target: &'static str, name: &'static str, detail: String) -> S
         path,
         start: Instant::now(),
         finished: false,
+        trace,
     }
 }
 

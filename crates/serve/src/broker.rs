@@ -15,6 +15,7 @@
 
 use crate::ServeError;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// The outcome slot one coalesced group shares: the serialized response
@@ -23,6 +24,9 @@ use std::sync::{Arc, Condvar, Mutex};
 pub struct Flight {
     state: Mutex<Option<Result<Arc<str>, ServeError>>>,
     done: Condvar,
+    /// Trace id of the leading request (0 when tracing is off), so a
+    /// follower's wait span can name the trace doing its work.
+    leader_trace: AtomicU64,
 }
 
 impl Flight {
@@ -30,7 +34,15 @@ impl Flight {
         Flight {
             state: Mutex::new(None),
             done: Condvar::new(),
+            leader_trace: AtomicU64::new(0),
         }
+    }
+
+    /// Trace id of the request leading this flight, 0 when the leader
+    /// carried no causal trace.
+    #[must_use]
+    pub fn leader_trace(&self) -> u64 {
+        self.leader_trace.load(Ordering::Relaxed)
     }
 
     /// Publishes the outcome and wakes every waiter.
@@ -106,6 +118,10 @@ impl Broker {
             return Role::Follower(Arc::clone(flight));
         }
         let flight = Arc::new(Flight::new());
+        flight.leader_trace.store(
+            ramp_obs::current_trace().map_or(0, |c| c.trace_id().as_u64()),
+            Ordering::Relaxed,
+        );
         map.insert(digest.to_string(), Arc::clone(&flight));
         Role::Leader(flight)
     }
@@ -196,6 +212,24 @@ mod tests {
             follow.wait().unwrap_err(),
             ServeError::Overloaded { queue_capacity: 4 }
         );
+    }
+
+    #[test]
+    fn leaders_trace_id_is_visible_to_followers() {
+        ramp_obs::install_trace(None, 1024);
+        let broker = Broker::new();
+        let root = ramp_obs::trace_root("broker-leader-trace-test");
+        let want = root.trace_id().as_u64();
+        let _t = ramp_obs::adopt_trace(Some(root));
+        let Role::Leader(lead) = broker.join_or_lead("traced") else {
+            panic!("first join must lead");
+        };
+        assert_eq!(lead.leader_trace(), want);
+        let Role::Follower(follow) = broker.join_or_lead("traced") else {
+            panic!("second join must follow");
+        };
+        assert_eq!(follow.leader_trace(), want);
+        broker.complete("traced", Ok(Arc::from("x")));
     }
 
     #[test]

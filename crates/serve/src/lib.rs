@@ -46,7 +46,10 @@ pub mod transport;
 
 pub use broker::{Broker, Flight, Role};
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
-pub use protocol::{FleetBody, MetricsBody, Request, Response, ServerStats, PROTOCOL_VERSION};
+pub use protocol::{
+    FleetBody, LatencyExemplar, LatencySummary, MetricsBody, Request, RequestTrace, Response,
+    ServerStats, TraceBody, TraceSpanBody, PROTOCOL_VERSION,
+};
 pub use server::{Server, ServeOptions};
 pub use transport::{ChannelConnection, Connection, InProcClient, UnixServer};
 

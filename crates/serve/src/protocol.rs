@@ -1,6 +1,6 @@
 //! The newline-delimited JSON wire protocol.
 //!
-//! One request per line, one response line per request. Four request
+//! One request per line, one response line per request. Five request
 //! kinds:
 //!
 //! * `query` — evaluate a `(benchmark, node)` pair; answers with the
@@ -10,7 +10,11 @@
 //!   a [`FleetBody`] under `"fleet"`, computed from a cached Monte Carlo
 //!   population run.
 //! * `metrics` — introspection; answers with a [`MetricsBody`] (live
-//!   metric snapshot plus cache/server stats) under `"metrics"`.
+//!   metric snapshot plus cache/server stats and request-latency
+//!   percentiles) under `"metrics"`.
+//! * `trace` — causal-trace introspection; answers with a [`TraceBody`]
+//!   (the last K completed request traces, read from the bounded span
+//!   ring) under `"trace"`.
 //! * `ping` — liveness; answers with a bare `ok` envelope.
 //!
 //! Responses carry the request's `id` back, `"status"` of `"ok"`,
@@ -65,6 +69,10 @@ pub struct Request {
     /// server-side).
     #[serde(default)]
     pub chips: Option<u64>,
+    /// How many recent request traces a `trace` request returns
+    /// (defaults to 4, clamped server-side).
+    #[serde(default)]
+    pub last: Option<u64>,
 }
 
 impl Request {
@@ -80,6 +88,7 @@ impl Request {
             trace_repeats: None,
             years: None,
             chips: None,
+            last: None,
         }
     }
 
@@ -97,6 +106,7 @@ impl Request {
             trace_repeats: None,
             years,
             chips: None,
+            last: None,
         }
     }
 
@@ -112,6 +122,24 @@ impl Request {
             trace_repeats: None,
             years: None,
             chips: None,
+            last: None,
+        }
+    }
+
+    /// A `trace` introspection request for the `last` most recent
+    /// completed request traces (server default when `None`).
+    #[must_use]
+    pub fn trace(id: u64, last: Option<u64>) -> Self {
+        Request {
+            id,
+            kind: "trace".to_string(),
+            benchmark: None,
+            node: None,
+            instructions: None,
+            trace_repeats: None,
+            years: None,
+            chips: None,
+            last,
         }
     }
 
@@ -127,6 +155,7 @@ impl Request {
             trace_repeats: None,
             years: None,
             chips: None,
+            last: None,
         }
     }
 
@@ -167,6 +196,9 @@ pub struct Response {
     /// Population answer (for `kind = "fleet"`, `status = "ok"`).
     #[serde(default)]
     pub fleet: Option<FleetBody>,
+    /// Causal-trace answer (for `kind = "trace"`).
+    #[serde(default)]
+    pub trace: Option<TraceBody>,
     /// Failure description (for non-`ok` statuses).
     #[serde(default)]
     pub error: Option<String>,
@@ -212,6 +244,9 @@ pub struct ServerStats {
     /// Fleet requests answered from an already-simulated population.
     #[serde(default)]
     pub fleet_cached: u64,
+    /// `trace` introspection requests handled.
+    #[serde(default)]
+    pub trace_requests: u64,
 }
 
 /// Body of a `fleet` response: the survival answer plus enough population
@@ -244,6 +279,35 @@ pub struct FleetBody {
     pub population_digest: String,
 }
 
+/// One latency exemplar: the most recent request that landed in a
+/// histogram bucket, identified by its causal trace id so an operator
+/// can pivot from "p99 is slow" straight to a concrete trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyExemplar {
+    /// Upper bound of the bucket the request landed in, microseconds.
+    pub bucket_us: f64,
+    /// Trace id of the exemplar request, 16 hex digits.
+    pub trace: String,
+    /// Measured latency of that request, microseconds.
+    pub latency_us: f64,
+}
+
+/// Request-latency summary for the `metrics` endpoint: percentiles from
+/// the `serve.latency_us` histogram plus per-bucket exemplar trace ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Most recent traced request per occupied bucket, slowest last.
+    pub exemplars: Vec<LatencyExemplar>,
+}
+
 /// Body of a `metrics` response: live metric snapshot plus cache and
 /// server stats, in the same [`MetricEntry`] shape BENCH snapshots use.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -258,6 +322,57 @@ pub struct MetricsBody {
     pub cache: crate::cache::CacheStats,
     /// Every registered metric, BENCH-compatible.
     pub metrics: Vec<MetricEntry>,
+    /// Request-latency percentiles with exemplar trace ids (absent in
+    /// pre-tracing servers).
+    #[serde(default)]
+    pub latency: Option<LatencySummary>,
+}
+
+/// One completed span inside a [`RequestTrace`], in ring order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpanBody {
+    /// Span name (static, dot-free, e.g. `"query_evaluate"`).
+    pub name: String,
+    /// Module path that opened the span.
+    pub target: String,
+    /// Span id, 16 hex digits.
+    pub span: String,
+    /// Parent span id, 16 hex digits (`"0"` for the trace root span).
+    pub parent: String,
+    /// Start offset since process start, microseconds.
+    pub start_us: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Free-form `key=value` span detail (cache outcome, node label…).
+    pub args: String,
+}
+
+/// One completed request trace: every span still resident in the
+/// bounded ring that belongs to the request's trace id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    /// Trace id, 16 hex digits.
+    pub trace: String,
+    /// Spans of this trace, in completion order.
+    pub spans: Vec<TraceSpanBody>,
+}
+
+/// Body of a `trace` response: the last K completed request traces plus
+/// ring health, so clients can tell "no spans" from "tracing disabled"
+/// from "spans overwritten".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceBody {
+    /// Whether causal tracing is enabled in this server process.
+    pub enabled: bool,
+    /// Span-ring capacity (slots).
+    pub ring_capacity: u64,
+    /// Spans recorded into the ring since startup.
+    pub spans_recorded: u64,
+    /// Spans overwritten (lost to the bounded ring) since startup.
+    pub spans_dropped: u64,
+    /// The requested number of most recent completed request traces,
+    /// oldest first.
+    pub traces: Vec<RequestTrace>,
 }
 
 /// JSON-quotes `text` (used for error messages inside spliced envelopes).
@@ -289,6 +404,14 @@ pub fn encode_fleet(id: u64, body: &FleetBody) -> String {
     let body_json = serde_json::to_string(body)
         .expect("fleet body is plain data, always serializable"); // ramp-lint:allow(panic-hygiene) -- schema has no fallible serialize cases
     format!("{{\"id\":{id},\"status\":\"ok\",\"fleet\":{body_json}}}")
+}
+
+/// Builds the ok envelope for a `trace` request.
+#[must_use]
+pub fn encode_trace(id: u64, body: &TraceBody) -> String {
+    let body_json = serde_json::to_string(body)
+        .expect("trace body is plain data, always serializable"); // ramp-lint:allow(panic-hygiene) -- schema has no fallible serialize cases
+    format!("{{\"id\":{id},\"status\":\"ok\",\"trace\":{body_json}}}")
 }
 
 /// Builds the ok envelope for a `ping`.

@@ -80,6 +80,7 @@ struct InsnTally {
 impl InsnTally {
     fn new(profile_name: &str) -> Self {
         InsnTally {
+            // ramp-lint:allow(span-hygiene) -- one name per benchmark profile; the profile set is the fixed paper suite
             counter: ramp_obs::counter(&format!("trace.instructions.{profile_name}")),
             pending: 0,
         }

@@ -15,9 +15,9 @@ echo "== tier 1: tests (locked) =="
 cargo test --release --workspace --locked -q
 
 echo "== static analysis: ramp-lint (workspace invariants) =="
-# Unit safety, determinism, obs hygiene, panic hygiene. Fails on any
-# finding not covered by lint-baseline.toml or an inline allow; the JSON
-# report lands in target/ for inspection and CI artifact upload.
+# Unit safety, determinism, obs hygiene, panic hygiene, span hygiene.
+# Fails on any finding not covered by lint-baseline.toml or an inline
+# allow; the JSON report lands in target/ for inspection and CI upload.
 mkdir -p target
 lint_status=0
 cargo run --release --locked -p ramp-analyze --bin ramp-lint -- \
@@ -48,6 +48,14 @@ echo "== observability: instrumented study, JSONL events, manifest =="
 # manifest's stage tree accounts for the wall-clock (within 10%).
 RAMP_LOG=debug RAMP_EVENTS=target/obs-smoke-events.jsonl \
     cargo run --release --locked -p ramp-bench --bin profile -- --check
+
+echo "== trace smoke: causal trace export + critical-path attribution =="
+# Runs a traced quick study, then validates the Chrome Trace Event export
+# (complete events, monotone timestamps, cache-outcome args) and that the
+# critical path attributes >=90% of study wall-clock to named spans. The
+# Perfetto-loadable trace lands in target/ for inspection and CI upload.
+cargo run --release --locked -p ramp-bench --bin trace -- \
+    --check --out target/trace-smoke.json
 
 echo "== benchmark gate: smoke run against the checked-in baseline =="
 # Measures the reference workload once (K=1, loose tolerances) and gates
