@@ -1,6 +1,7 @@
 //! Renders the trajectory across every checked-in `BENCH_<seq>.json`
-//! snapshot: wall-clock, cache effectiveness, and whether the numerical
-//! digest moved between consecutive baselines.
+//! snapshot: wall-clock, cache effectiveness, fleet throughput, heap
+//! allocation telemetry, and whether the numerical digest moved between
+//! consecutive baselines. Sections a snapshot predates render as `-`.
 //!
 //! ```text
 //! cargo run --release -p ramp-bench --bin benchtrend [-- --dir <path>]
@@ -50,10 +51,11 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "{:<6} {:>9} {:>9} {:>7} {:>5} {:>8}  {:<16}  note",
-        "seq", "wall(s)", "spread", "hit%", "K", "threads", "digest"
+        "{:<6} {:>9} {:>9} {:>7} {:>5} {:>8} {:>10} {:>9} {:>9}  {:<16}  note",
+        "seq", "wall(s)", "spread", "hit%", "K", "threads", "kchips/s", "allocs", "peak-mb", "digest"
     );
     let mut previous_digest: Option<String> = None;
+    let mut previous_alloc: Option<String> = None;
     for (seq, path) in files {
         let snap = match load_snapshot(&path) {
             Ok(s) => s,
@@ -62,23 +64,51 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let note = match &previous_digest {
-            None => "first baseline",
-            Some(prev) if *prev == snap.numerics.results_digest => "",
-            Some(_) => "NUMERICS CHANGED",
+        let mut note = match &previous_digest {
+            None => "first baseline".to_string(),
+            Some(prev) if *prev == snap.numerics.results_digest => String::new(),
+            Some(_) => "NUMERICS CHANGED".to_string(),
         };
+        let alloc_digest = snap.alloc.as_ref().map(|a| a.stage_digest.clone());
+        if let (Some(prev), Some(cur)) = (&previous_alloc, &alloc_digest) {
+            if prev != cur {
+                if !note.is_empty() {
+                    note.push_str(", ");
+                }
+                note.push_str("ALLOCS CHANGED");
+            }
+        }
+        let chips = snap
+            .fleet
+            .as_ref()
+            .map_or("-".to_string(), |f| format!("{:.0}", f.chips_per_sec / 1e3));
+        let (allocs, peak_mb) = snap.alloc.as_ref().map_or_else(
+            || ("-".to_string(), "-".to_string()),
+            |a| {
+                (
+                    format!("{}", a.allocs),
+                    format!("{:.1}", a.peak_live_bytes as f64 / (1024.0 * 1024.0)),
+                )
+            },
+        );
         println!(
-            "{:<6} {:>9.3} {:>9.3} {:>6.0}% {:>5} {:>8}  {:<16}  {}",
+            "{:<6} {:>9.3} {:>9.3} {:>6.0}% {:>5} {:>8} {:>10} {:>9} {:>9}  {:<16}  {}",
             seq,
             snap.total.median_seconds,
             snap.total.spread_seconds(),
             snap.cache.hit_rate * 100.0,
             snap.workload.samples,
             snap.executor.threads,
+            chips,
+            allocs,
+            peak_mb,
             snap.numerics.results_digest,
             note,
         );
         previous_digest = Some(snap.numerics.results_digest.clone());
+        if alloc_digest.is_some() {
+            previous_alloc = alloc_digest;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -10,9 +10,16 @@
 //! * `--capacity <n>` — span-ring capacity (default:
 //!   `RAMP_TRACE_CAPACITY` or 65 536)
 //! * `--full` — run the full 16 × 5 study instead of the quick subset
-//! * `--check` — validate the exported trace (well-formed complete
-//!   events, monotone timestamps, cache-outcome args, ≥ 90 % critical-path
-//!   coverage); non-zero exit on any failure
+//! * `--check` — validate the exported trace (well-formed complete and
+//!   counter events, monotone timestamps, cache-outcome args, ≥ 90 %
+//!   critical-path coverage, ≥ 90 % of allocated bytes attributed to
+//!   spans); non-zero exit on any failure
+//!
+//! The study runs with the tracking allocator on, so the attribution
+//! report carries self-alloc columns, the trace JSON carries a
+//! `memory.live_bytes` counter track, and the run manifest (written next
+//! to the trace as `<out>-manifest.json`) carries the per-stage
+//! allocation tree.
 //!
 //! The exit code is 0 on success and 1 when `--check` finds a violation,
 //! so CI can gate on it directly.
@@ -64,7 +71,21 @@ fn main() -> ExitCode {
         config.nodes.len(),
         out.display()
     );
+    // Track every heap allocation of the traced study so spans carry
+    // self-alloc attribution and the export gets live-byte samples.
+    let alloc_before = ramp_obs::alloc_stats();
+    ramp_obs::set_alloc_tracking(true);
     let results = run_study(&config).expect("traced study should run");
+
+    // The manifest rides along as a CI artifact: its stage tree carries
+    // the per-stage allocation attribution of this run, and its global
+    // ledger section only exists while tracking is still on — capture
+    // before the toggle flips back.
+    let manifest = ramp_core::RunManifest::capture(&config, &results);
+
+    ramp_obs::set_alloc_tracking(false);
+    let alloc_after = ramp_obs::alloc_stats();
+    let alloc_delta = alloc_after.delta_since(&alloc_before);
     ramp_bench::print_study_metrics(&results);
     ramp_obs::flush();
 
@@ -72,12 +93,32 @@ fn main() -> ExitCode {
     let stats = ramp_obs::ring_stats();
     let report = ramp_obs::critical_path_report(&spans, top);
 
+    let manifest_path = manifest_path(&out);
+    if let Err(e) = manifest.write_json(&manifest_path) {
+        eprintln!("trace: manifest write failed: {e}");
+    }
+
     println!("--- trace ---");
     println!(
         "ring: {} spans recorded, {} dropped (capacity {})",
         stats.recorded, stats.dropped, stats.capacity
     );
     println!("trace file: {}", out.display());
+    println!("manifest: {}", manifest_path.display());
+    println!();
+    println!("--- allocations ---");
+    println!(
+        "study allocated {} blocks / {:.1} MiB, peak live {:.1} MiB",
+        alloc_delta.allocs,
+        alloc_delta.alloc_bytes as f64 / (1024.0 * 1024.0),
+        alloc_after.peak_live_bytes as f64 / (1024.0 * 1024.0),
+    );
+    println!(
+        "span-attributed: {} blocks / {:.1} MiB ({:.1}% of allocated bytes)",
+        report.attributed_alloc_count,
+        report.attributed_alloc_bytes as f64 / (1024.0 * 1024.0),
+        alloc_share(&report, alloc_delta.alloc_bytes) * 100.0,
+    );
     println!();
     println!("--- critical path (self time) ---");
     println!(
@@ -91,9 +132,27 @@ fn main() -> ExitCode {
     print!("{}", report.flame);
 
     if has_flag("--check") {
-        return check(&out, &report, &spans);
+        return check(&out, &report, &spans, alloc_delta.alloc_bytes);
     }
     ExitCode::SUCCESS
+}
+
+/// `target/ramp-trace.json` → `target/ramp-trace-manifest.json`.
+fn manifest_path(out: &std::path::Path) -> PathBuf {
+    let stem = out
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("ramp-trace");
+    out.with_file_name(format!("{stem}-manifest.json"))
+}
+
+/// Fraction of the study's allocated bytes the report attributed to
+/// spans (1.0 when nothing was allocated).
+fn alloc_share(report: &ramp_obs::CriticalPathReport, allocated: u64) -> f64 {
+    if allocated == 0 {
+        return 1.0;
+    }
+    report.attributed_alloc_bytes as f64 / allocated as f64
 }
 
 /// Validates the exported trace end to end; prints one line per check.
@@ -101,6 +160,7 @@ fn check(
     out: &std::path::Path,
     report: &ramp_obs::CriticalPathReport,
     spans: &[ramp_obs::CompletedSpan],
+    allocated_bytes: u64,
 ) -> ExitCode {
     let mut failures = 0u32;
     let mut assert_that = |ok: bool, what: &str| {
@@ -127,6 +187,7 @@ fn check(
             assert_that(!events.is_empty(), "trace file has events");
             let mut complete = true;
             let mut monotone = true;
+            let mut counters = 0u64;
             let mut last_ts = 0u64;
             for event in &events {
                 let ph = event.field("ph").and_then(serde::Value::str).unwrap_or("");
@@ -137,16 +198,33 @@ fn check(
                         continue;
                     }
                 };
-                complete &= ph == "X"
-                    && event.field("dur").is_ok()
-                    && event.field("name").is_ok()
-                    && event.field("pid").is_ok()
-                    && event.field("tid").is_ok();
+                complete &= match ph {
+                    // Complete (duration) events: one per span.
+                    "X" => {
+                        event.field("dur").is_ok()
+                            && event.field("name").is_ok()
+                            && event.field("pid").is_ok()
+                            && event.field("tid").is_ok()
+                    }
+                    // Counter events: the memory track's samples.
+                    "C" => {
+                        counters += 1;
+                        event.field("name").and_then(serde::Value::str).unwrap_or("")
+                            == "memory.live_bytes"
+                            && event.field("pid").is_ok()
+                            && event
+                                .field("args")
+                                .and_then(|a| a.field("live_bytes"))
+                                .is_ok()
+                    }
+                    _ => false,
+                };
                 monotone &= ts >= last_ts;
                 last_ts = ts;
             }
-            assert_that(complete, "every event is a complete (ph=X) event");
+            assert_that(complete, "every event is a complete (ph=X) or counter (ph=C) event");
             assert_that(monotone, "event timestamps are monotone");
+            assert_that(counters > 0, "memory counter track has samples");
         }
         Err(e) => assert_that(false, &format!("trace file parses as JSON ({e})")),
     }
@@ -161,6 +239,15 @@ fn check(
         &format!(
             "critical path attributes >=90% of study wall-clock (got {:.1}%)",
             report.coverage * 100.0
+        ),
+    );
+    let share = alloc_share(report, allocated_bytes);
+    assert_that(
+        share >= 0.90,
+        &format!(
+            "spans attribute >=90% of allocated bytes (got {:.1}% of {:.1} MiB)",
+            share * 100.0,
+            allocated_bytes as f64 / (1024.0 * 1024.0)
         ),
     );
     if failures == 0 {

@@ -32,8 +32,8 @@
 //! producing meaningless deltas.
 
 use ramp_core::{
-    config_digest, results_digest, run_study, Provenance, RunManifest, StageNode, StudyConfig,
-    StudyResults,
+    config_digest, fnv1a_hex, results_digest, run_study, Provenance, RunManifest, StageNode,
+    StudyConfig, StudyResults,
 };
 use ramp_core::mechanisms::MechanismKind;
 use ramp_obs::{MetricSnapshot, MetricValue};
@@ -213,6 +213,42 @@ pub struct FleetSection {
     pub population_digest: String,
 }
 
+/// Heap allocations attributed to one span path during the allocation
+/// telemetry pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocStageStat {
+    /// Full `/`-joined span path.
+    pub path: String,
+    /// Heap allocations attributed to the path (own-thread, entry-to-exit).
+    pub allocs: u64,
+    /// Heap bytes allocated by the path's spans.
+    pub bytes: u64,
+}
+
+/// Allocation telemetry from a dedicated single-threaded pass over the
+/// workload with the tracking allocator on. Allocation *counts* are
+/// deterministic at one thread (the digest is exact-match gated);
+/// `peak_live_bytes` is a high-water gauge held to a budget rather than
+/// an exact match. Optional because snapshots captured before the
+/// tracking allocator existed lack the section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocSection {
+    /// Worker threads of the pass (always 1 — required for determinism).
+    pub threads: u64,
+    /// Total heap allocations during the pass.
+    pub allocs: u64,
+    /// Total heap bytes allocated during the pass.
+    pub alloc_bytes: u64,
+    /// High-water live heap bytes observed by the tracking allocator.
+    pub peak_live_bytes: u64,
+    /// FNV-1a digest of the canonical per-stage allocation-count
+    /// rendering (`path=count` lines, path-sorted) — exact-match gated
+    /// against baselines that carry an alloc section.
+    pub stage_digest: String,
+    /// Per-stage allocation attribution, path-sorted.
+    pub stages: Vec<AllocStageStat>,
+}
+
 /// One versioned benchmark snapshot (`BENCH_<seq>.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchSnapshot {
@@ -241,6 +277,9 @@ pub struct BenchSnapshot {
     /// Fleet population telemetry (absent in pre-fleet snapshots).
     #[serde(default)]
     pub fleet: Option<FleetSection>,
+    /// Allocation telemetry (absent in pre-allocator snapshots).
+    #[serde(default)]
+    pub alloc: Option<AllocSection>,
 }
 
 // ---------------------------------------------------------------------------
@@ -259,6 +298,10 @@ pub struct HarnessOptions {
     /// leaves the snapshot's fleet section empty). Runs after the study
     /// samples, so it never contaminates stage timings.
     pub fleet_chips: u64,
+    /// Run the allocation telemetry pass (a single-threaded study with
+    /// the tracking allocator on, after the timed samples, so allocator
+    /// bookkeeping never contaminates stage timings).
+    pub alloc_pass: bool,
 }
 
 impl Default for HarnessOptions {
@@ -267,19 +310,22 @@ impl Default for HarnessOptions {
             samples: 3,
             warmup: true,
             fleet_chips: 100_000,
+            alloc_pass: true,
         }
     }
 }
 
 impl HarnessOptions {
     /// CI smoke shape: one sample, no warmup, a smaller fleet — fast,
-    /// paired with the loose [`GateConfig::smoke`] tolerances.
+    /// paired with the loose [`GateConfig::smoke`] tolerances. The alloc
+    /// pass stays on: its digest is noise-free and carries the gate.
     #[must_use]
     pub fn smoke() -> Self {
         HarnessOptions {
             samples: 1,
             warmup: false,
             fleet_chips: 20_000,
+            alloc_pass: true,
         }
     }
 }
@@ -304,6 +350,8 @@ pub struct Measurement {
     pub numerics: NumericsSection,
     /// Fleet population telemetry.
     pub fleet: Option<FleetSection>,
+    /// Allocation telemetry.
+    pub alloc: Option<AllocSection>,
     /// Serialized [`StudyResults`] bytes — identical for every sample
     /// (the harness verifies this) and identical to a run without
     /// telemetry (the byte-determinism contract).
@@ -404,6 +452,15 @@ pub fn run_harness(config: &StudyConfig, opts: &HarnessOptions) -> Result<Measur
 
     let results = last_results.expect("samples >= 1");
     let results_json = results_json.expect("samples >= 1");
+
+    // Allocation telemetry pass — also after `metrics_after`, and last,
+    // so tracking-allocator bookkeeping touches neither the timed
+    // samples nor the fleet throughput number.
+    let alloc = if opts.alloc_pass {
+        Some(alloc_section(config, &results_json)?)
+    } else {
+        None
+    };
     let threads = manifests[0].threads;
 
     let total = timing_stat(&walls);
@@ -432,8 +489,72 @@ pub fn run_harness(config: &StudyConfig, opts: &HarnessOptions) -> Result<Measur
         histograms: histogram_stats(&metrics_before, &metrics_after),
         numerics: numerics_section(config, &results),
         fleet,
+        alloc,
         results_json,
         manifests,
+    })
+}
+
+/// Canonical rendering the alloc digest is taken over: one
+/// `path=count` line per stage, path-sorted. Counts only — byte totals
+/// can legitimately vary with allocator growth policy, counts cannot.
+fn alloc_stage_canonical(stages: &[AllocStageStat]) -> String {
+    let mut out = String::new();
+    for s in stages {
+        out.push_str(&s.path);
+        out.push('=');
+        out.push_str(&s.allocs.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs the allocation telemetry pass: the same workload, one worker
+/// thread, tracking allocator on. Single-threaded execution makes the
+/// per-stage allocation *counts* exactly reproducible, so the section's
+/// digest can be gated like the results digest. The pass also re-checks
+/// the byte-determinism contract: its results must match the timed
+/// samples bit for bit even though the thread count and the allocator
+/// instrumentation differ.
+fn alloc_section(config: &StudyConfig, expected_json: &str) -> Result<AllocSection, String> {
+    let mut cfg = config.clone();
+    cfg.threads = 1;
+    ramp_microarch::clear_timing_cache();
+    ramp_obs::reset_spans();
+    let before = ramp_obs::alloc_stats();
+    ramp_obs::set_alloc_tracking(true);
+    let outcome = run_study(&cfg);
+    ramp_obs::set_alloc_tracking(false);
+    let after = ramp_obs::alloc_stats();
+    let results = outcome.map_err(|e| format!("alloc pass failed: {e}"))?;
+
+    let json = serde_json::to_string(&results)
+        .map_err(|e| format!("alloc pass: results do not serialize: {e}"))?;
+    if json != expected_json {
+        return Err(format!(
+            "determinism violation: the alloc pass (threads=1, tracking on) produced \
+             different result bytes than the timed samples ({} vs {} bytes)",
+            json.len(),
+            expected_json.len()
+        ));
+    }
+
+    let delta = after.delta_since(&before);
+    let stages: Vec<AllocStageStat> = ramp_obs::span_stats()
+        .into_iter()
+        .map(|s| AllocStageStat {
+            path: s.path,
+            allocs: s.alloc_count,
+            bytes: s.alloc_bytes,
+        })
+        .collect();
+    Ok(AllocSection {
+        threads: 1,
+        allocs: delta.allocs,
+        alloc_bytes: delta.alloc_bytes,
+        peak_live_bytes: after.peak_live_bytes,
+        stage_digest: fnv1a_hex(&alloc_stage_canonical(&stages)),
+        stages,
     })
 }
 
@@ -493,6 +614,7 @@ pub fn capture_snapshot(measurement: &Measurement, seq: u32) -> BenchSnapshot {
         histograms: measurement.histograms.clone(),
         numerics: measurement.numerics.clone(),
         fleet: measurement.fleet.clone(),
+        alloc: measurement.alloc.clone(),
     }
 }
 
@@ -678,6 +800,11 @@ pub struct GateConfig {
     /// Stages whose baseline median is below this are reported but not
     /// gated: at that scale, timer jitter exceeds any real regression.
     pub min_stage_seconds: f64,
+    /// Multiplier on the baseline peak-live-bytes the current peak is
+    /// held to. Allocation *counts* are exact; the live-byte high-water
+    /// mark can shift slightly with allocator growth policy, so it gets
+    /// a budget instead of an exact match.
+    pub peak_live_slack: f64,
 }
 
 impl GateConfig {
@@ -689,6 +816,7 @@ impl GateConfig {
             tolerance: 3.0,
             spread_slack: 2.0,
             min_stage_seconds: 0.02,
+            peak_live_slack: 1.5,
         }
     }
 
@@ -701,6 +829,7 @@ impl GateConfig {
             tolerance: 10.0,
             spread_slack: 4.0,
             min_stage_seconds: 0.10,
+            peak_live_slack: 2.0,
         }
     }
 
@@ -789,6 +918,16 @@ pub struct GateReport {
     /// Human-readable fleet drift description (empty when
     /// `fleet_digest_match`).
     pub fleet_diff: Option<String>,
+    /// Whether the per-stage allocation-count digests matched. `true`
+    /// when the comparison does not apply (either side lacks an alloc
+    /// section or the pass thread counts differ).
+    pub alloc_digest_match: bool,
+    /// Whether the current peak-live-bytes sat within the baseline
+    /// budget (`peak × peak_live_slack`). `true` when not applicable.
+    pub alloc_peak_ok: bool,
+    /// Human-readable allocation drift localization (empty when both
+    /// alloc checks passed).
+    pub alloc_diffs: Vec<String>,
     /// Human-readable localization of numerical drift (empty when
     /// `digest_match`).
     pub numeric_diffs: Vec<String>,
@@ -805,6 +944,8 @@ impl GateReport {
         self.config_match
             && self.digest_match
             && self.fleet_digest_match
+            && self.alloc_digest_match
+            && self.alloc_peak_ok
             && !self.total.status.is_failure()
             && self.stages.iter().all(|s| !s.status.is_failure())
     }
@@ -873,6 +1014,52 @@ pub fn compare(baseline: &BenchSnapshot, current: &Measurement, gate: &GateConfi
             }
         }
         _ => (true, None),
+    };
+
+    // The alloc digest is exact (single-threaded counts are
+    // deterministic); the peak-live high-water mark gets a budget. Both
+    // apply only when the two sides ran comparable passes.
+    let mut alloc_diffs = Vec::new();
+    let (alloc_digest_match, alloc_peak_ok) = match (&baseline.alloc, &current.alloc) {
+        (Some(b), Some(c)) if b.threads == c.threads && config_match => {
+            let digest_ok = b.stage_digest == c.stage_digest;
+            if !digest_ok {
+                alloc_diffs.push(format!(
+                    "alloc stage digest {} -> {} ({} -> {} total allocations)",
+                    b.stage_digest, c.stage_digest, b.allocs, c.allocs
+                ));
+                for bs in &b.stages {
+                    match c.stages.iter().find(|cs| cs.path == bs.path) {
+                        Some(cs) if cs.allocs != bs.allocs => {
+                            alloc_diffs.push(format!(
+                                "  {}: {} -> {} allocs",
+                                bs.path, bs.allocs, cs.allocs
+                            ));
+                        }
+                        Some(_) => {}
+                        None => alloc_diffs.push(format!("  {}: stage vanished", bs.path)),
+                    }
+                }
+                for cs in &c.stages {
+                    if !b.stages.iter().any(|bs| bs.path == cs.path) {
+                        alloc_diffs.push(format!(
+                            "  {}: new stage ({} allocs)",
+                            cs.path, cs.allocs
+                        ));
+                    }
+                }
+            }
+            let peak_budget = (b.peak_live_bytes as f64 * gate.peak_live_slack) as u64;
+            let peak_ok = c.peak_live_bytes <= peak_budget;
+            if !peak_ok {
+                alloc_diffs.push(format!(
+                    "peak live bytes {} exceeds budget {} ({} baseline x {:.1})",
+                    c.peak_live_bytes, peak_budget, b.peak_live_bytes, gate.peak_live_slack
+                ));
+            }
+            (digest_ok, peak_ok)
+        }
+        _ => (true, true),
     };
 
     let total_budget = gate.budget(&baseline.total);
@@ -948,6 +1135,9 @@ pub fn compare(baseline: &BenchSnapshot, current: &Measurement, gate: &GateConfi
         digest_match,
         fleet_digest_match,
         fleet_diff,
+        alloc_digest_match,
+        alloc_peak_ok,
+        alloc_diffs,
         numeric_diffs,
         total,
         stages,
@@ -988,6 +1178,14 @@ pub fn render_report(report: &GateReport) -> String {
         } else {
             let _ = writeln!(out, "  fleet: POPULATION DRIFT");
             if let Some(d) = &report.fleet_diff {
+                let _ = writeln!(out, "    {d}");
+            }
+        }
+        if report.alloc_digest_match && report.alloc_peak_ok {
+            let _ = writeln!(out, "  alloc: stage digest and peak budget ok");
+        } else {
+            let _ = writeln!(out, "  alloc: ALLOCATION DRIFT");
+            for d in &report.alloc_diffs {
                 let _ = writeln!(out, "    {d}");
             }
         }
@@ -1167,6 +1365,30 @@ mod tests {
                 chips_per_sec: 1.0e5,
                 population_digest: "f".into(),
             }),
+            alloc: Some(alloc_fixture()),
+        }
+    }
+
+    fn alloc_fixture() -> AllocSection {
+        let stages = vec![
+            AllocStageStat {
+                path: "study".into(),
+                allocs: 100,
+                bytes: 10_000,
+            },
+            AllocStageStat {
+                path: "study/run".into(),
+                allocs: 80,
+                bytes: 8_000,
+            },
+        ];
+        AllocSection {
+            threads: 1,
+            allocs: 200,
+            alloc_bytes: 20_000,
+            peak_live_bytes: 1_000_000,
+            stage_digest: fnv1a_hex(&alloc_stage_canonical(&stages)),
+            stages,
         }
     }
 
@@ -1180,6 +1402,7 @@ mod tests {
             histograms: snapshot.histograms.clone(),
             numerics: snapshot.numerics.clone(),
             fleet: snapshot.fleet.clone(),
+            alloc: snapshot.alloc.clone(),
             results_json: String::new(),
             manifests: vec![],
         }
@@ -1267,6 +1490,70 @@ mod tests {
         let row = report.stages.iter().find(|s| s.path == "study/extra").unwrap();
         assert_eq!(row.status, StageStatus::New);
         assert!(report.passed());
+    }
+
+    #[test]
+    fn alloc_count_drift_fails_the_gate() {
+        let base = snapshot_fixture();
+        let mut cur = measurement_like(&base);
+        let alloc = cur.alloc.as_mut().unwrap();
+        alloc.stages[1].allocs += 1;
+        alloc.stage_digest = fnv1a_hex(&alloc_stage_canonical(&alloc.stages));
+        let report = compare(&base, &cur, &GateConfig::smoke());
+        assert!(!report.passed());
+        assert!(!report.alloc_digest_match);
+        assert!(report.alloc_peak_ok);
+        let rendered = render_report(&report);
+        assert!(rendered.contains("ALLOCATION DRIFT"), "{rendered}");
+        assert!(rendered.contains("study/run: 80 -> 81 allocs"), "{rendered}");
+    }
+
+    #[test]
+    fn peak_live_bytes_over_budget_fails_the_gate() {
+        let base = snapshot_fixture();
+        let mut cur = measurement_like(&base);
+        // 1.5x slack on a 1 MB baseline: 2 MB is over budget.
+        cur.alloc.as_mut().unwrap().peak_live_bytes = 2_000_000;
+        let report = compare(&base, &cur, &GateConfig::standard());
+        assert!(!report.passed());
+        assert!(report.alloc_digest_match);
+        assert!(!report.alloc_peak_ok);
+        assert!(render_report(&report).contains("peak live bytes"));
+    }
+
+    #[test]
+    fn missing_alloc_section_compares_as_not_applicable() {
+        let mut base = snapshot_fixture();
+        base.alloc = None;
+        let cur = measurement_like(&snapshot_fixture());
+        let report = compare(&base, &cur, &GateConfig::standard());
+        assert!(report.alloc_digest_match);
+        assert!(report.alloc_peak_ok);
+        assert!(report.passed(), "{}", render_report(&report));
+    }
+
+    #[test]
+    fn alloc_canonical_rendering_is_stable() {
+        let stages = vec![
+            AllocStageStat {
+                path: "a".into(),
+                allocs: 1,
+                bytes: 10,
+            },
+            AllocStageStat {
+                path: "b".into(),
+                allocs: 2,
+                bytes: 99,
+            },
+        ];
+        // Counts only: byte totals must not move the digest.
+        assert_eq!(alloc_stage_canonical(&stages), "a=1\nb=2\n");
+        let mut fatter = stages.clone();
+        fatter[0].bytes = 1_000_000;
+        assert_eq!(
+            fnv1a_hex(&alloc_stage_canonical(&stages)),
+            fnv1a_hex(&alloc_stage_canonical(&fatter))
+        );
     }
 
     #[test]

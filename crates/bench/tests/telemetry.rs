@@ -32,6 +32,7 @@ fn results_bytes_identical_with_telemetry_on_and_off() {
         samples: 2,
         warmup: false,
         fleet_chips: 0,
+        alloc_pass: false,
     };
     let measurement = run_harness(&config, &opts).expect("harness runs");
 
@@ -53,6 +54,7 @@ fn harness_produces_complete_telemetry() {
         samples: 2,
         warmup: false,
         fleet_chips: 2_000,
+        alloc_pass: true,
     };
     let m = run_harness(&small_config(), &opts).expect("harness runs");
 
@@ -104,6 +106,21 @@ fn harness_produces_complete_telemetry() {
     assert_eq!(fleet.chips_per_node, 2_000);
     assert!(fleet.chips_per_sec > 0.0);
     assert_eq!(fleet.population_digest.len(), 16);
+
+    // The alloc pass ran single-threaded, attributed real allocations to
+    // the pipeline stages, and pinned an exact stage digest.
+    let alloc = m.alloc.as_ref().expect("alloc section");
+    assert_eq!(alloc.threads, 1);
+    assert!(alloc.allocs > 0, "tracking allocator saw no allocations");
+    assert!(alloc.alloc_bytes > 0);
+    assert!(alloc.peak_live_bytes > 0);
+    assert_eq!(alloc.stage_digest.len(), 16);
+    let study = alloc
+        .stages
+        .iter()
+        .find(|s| s.path == "study")
+        .expect("study stage in alloc table");
+    assert!(study.allocs > 0, "study span attributed no allocations");
 }
 
 #[test]

@@ -107,6 +107,14 @@ pub struct StageNode {
     pub count: u64,
     /// Summed wall-clock across those spans, seconds.
     pub total_seconds: f64,
+    /// Heap allocations attributed to this stage's spans (own thread,
+    /// entry-to-exit). Zero unless `RAMP_ALLOC` tracking was on; absent
+    /// in pre-observatory manifests.
+    #[serde(default)]
+    pub alloc_count: u64,
+    /// Heap bytes allocated by this stage's spans (same attribution).
+    #[serde(default)]
+    pub alloc_bytes: u64,
     /// Child stages.
     pub children: Vec<StageNode>,
 }
@@ -118,6 +126,8 @@ impl StageNode {
             path: node.path.clone(),
             count: node.count,
             total_seconds: node.total_ns as f64 / 1e9,
+            alloc_count: node.alloc_count,
+            alloc_bytes: node.alloc_bytes,
             children: node.children.iter().map(Self::from_span).collect(),
         }
     }
@@ -172,6 +182,25 @@ pub struct ManifestCacheStats {
     pub key_classes: Vec<CacheClassEntry>,
 }
 
+/// Process-wide heap-allocation counters at manifest-capture time
+/// (present only when `RAMP_ALLOC` tracking was on; see
+/// [`ramp_obs::alloc_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ManifestAllocStats {
+    /// Total allocations recorded.
+    pub allocs: u64,
+    /// Total frees recorded.
+    pub frees: u64,
+    /// Total bytes allocated.
+    pub alloc_bytes: u64,
+    /// Total bytes freed.
+    pub free_bytes: u64,
+    /// Bytes live at capture time (clamped at zero).
+    pub live_bytes: u64,
+    /// High-water mark of live bytes.
+    pub peak_live_bytes: u64,
+}
+
 /// Execution record emitted alongside [`StudyResults`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
@@ -198,6 +227,10 @@ pub struct RunManifest {
     pub metrics: Vec<MetricEntry>,
     /// Timing-cache counters.
     pub cache: ManifestCacheStats,
+    /// Heap-allocation ledger, when `RAMP_ALLOC` tracking was on (the
+    /// per-stage tree carries the span-attributed breakdown).
+    #[serde(default)]
+    pub alloc: Option<ManifestAllocStats>,
     /// Path of the JSONL event file, when a sink was installed.
     pub event_file: Option<String>,
 }
@@ -320,6 +353,17 @@ impl RunManifest {
                     })
                     .collect(),
             },
+            alloc: ramp_obs::alloc_tracking_enabled().then(|| {
+                let stats = ramp_obs::alloc_stats();
+                ManifestAllocStats {
+                    allocs: stats.allocs,
+                    frees: stats.frees,
+                    alloc_bytes: stats.alloc_bytes,
+                    free_bytes: stats.free_bytes,
+                    live_bytes: stats.live_bytes,
+                    peak_live_bytes: stats.peak_live_bytes,
+                }
+            }),
             event_file: ramp_obs::event_file_path()
                 .map(|p| p.display().to_string()),
         }
@@ -391,6 +435,15 @@ impl RunManifest {
             "  cache: {} hits / {} misses ({} resident)",
             self.cache.hits, self.cache.misses, self.cache.entries
         );
+        if let Some(alloc) = &self.alloc {
+            let _ = writeln!(
+                out,
+                "  alloc: {} allocs / {:.1} MiB allocated, peak live {:.1} MiB",
+                alloc.allocs,
+                alloc.alloc_bytes as f64 / (1024.0 * 1024.0),
+                alloc.peak_live_bytes as f64 / (1024.0 * 1024.0),
+            );
+        }
         match &self.event_file {
             Some(path) => {
                 let _ = writeln!(out, "  events: {path}");
@@ -482,6 +535,7 @@ mod tests {
             stages: vec![],
             metrics: vec![],
             cache: ManifestCacheStats::default(),
+            alloc: None,
             event_file: None,
         }
     }
@@ -531,11 +585,15 @@ mod tests {
             path: "study".to_string(),
             count: 1,
             total_seconds: 1.5,
+            alloc_count: 12,
+            alloc_bytes: 4096,
             children: vec![StageNode {
                 name: "run".to_string(),
                 path: "study/run".to_string(),
                 count: 10,
                 total_seconds: 1.4,
+                alloc_count: 0,
+                alloc_bytes: 0,
                 children: vec![],
             }],
         };
@@ -543,5 +601,34 @@ mod tests {
         let back: StageNode = serde_json::from_str(&json).unwrap();
         assert_eq!(back, node);
         assert_eq!(back.find("study/run").unwrap().count, 10);
+        assert_eq!(back.alloc_bytes, 4096);
+    }
+
+    #[test]
+    fn alloc_section_roundtrips_and_defaults() {
+        let mut manifest = tiny_manifest();
+        manifest.alloc = Some(ManifestAllocStats {
+            allocs: 100,
+            frees: 90,
+            alloc_bytes: 65536,
+            free_bytes: 60000,
+            live_bytes: 5536,
+            peak_live_bytes: 40000,
+        });
+        let json = serde_json::to_string(&manifest).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, manifest);
+        // Pre-observatory manifests have no alloc section or per-stage
+        // alloc fields: both default cleanly.
+        let old: StageNode = serde_json::from_str(
+            r#"{"name":"study","path":"study","count":1,"total_seconds":1.0,"children":[]}"#,
+        )
+        .unwrap();
+        assert_eq!(old.alloc_count, 0);
+        assert_eq!(old.alloc_bytes, 0);
+        let plain = tiny_manifest();
+        let json = serde_json::to_string(&plain).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert!(back.alloc.is_none());
     }
 }

@@ -1,0 +1,352 @@
+//! Opt-in heap-allocation tracking: the resource observatory's ledger.
+//!
+//! [`TrackingAllocator`] wraps [`std::alloc::System`] and is installed as
+//! the workspace `#[global_allocator]` (see the crate root). It is **off
+//! by default**: while disabled, every allocation pays exactly one relaxed
+//! atomic load before forwarding to the system allocator — no counting,
+//! no thread-local traffic. Enable it with `RAMP_ALLOC=1` (read by
+//! [`crate::init_from_env`]) or programmatically via
+//! [`set_alloc_tracking`].
+//!
+//! While enabled, the allocator maintains two views:
+//!
+//! - a **process-wide [`AllocLedger`]** — allocations, frees, bytes in
+//!   each direction, live bytes (clamped at zero: frees of blocks that
+//!   predate tracking must not underflow), and the peak-live high-water
+//!   mark;
+//! - **per-thread counters** (allocation count + bytes) that spans
+//!   snapshot on entry and diff on exit, attributing heap churn to the
+//!   active [`crate::SpanGuard`] exactly like wall-clock self-time.
+//!
+//! Determinism contract: tracking never writes into simulation results.
+//! On a single-threaded run the allocation *counts* per stage are fully
+//! deterministic (no wall clock is involved in counting), which is what
+//! lets benchgate gate them with exact digests.
+//!
+//! Re-entrancy: the recording path allocates nothing — const-initialised
+//! `Cell<u64>` thread-locals and plain atomics only — so the allocator
+//! can never recurse into itself. Thread-local access uses `try_with`
+//! so allocations during thread teardown (after TLS destruction) still
+//! count in the global ledger and simply skip the per-thread view.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Environment variable that turns allocation tracking on
+/// ([`crate::init_from_env`]). Any non-empty value other than `0`
+/// enables it.
+pub const ALLOC_ENV: &str = "RAMP_ALLOC";
+
+/// A set of allocation accounting counters, shared-atomically updatable.
+///
+/// The process-wide instance backs [`alloc_stats`]; tests (including the
+/// accounting-identity proptests) build private ledgers and drive them
+/// directly, with no real heap traffic involved.
+#[derive(Debug, Default)]
+pub struct AllocLedger {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    alloc_bytes: AtomicU64,
+    free_bytes: AtomicU64,
+    live_bytes: AtomicU64,
+    peak_live_bytes: AtomicU64,
+}
+
+impl AllocLedger {
+    /// An empty ledger (all counters zero).
+    #[must_use]
+    pub const fn new() -> Self {
+        AllocLedger {
+            allocs: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+            alloc_bytes: AtomicU64::new(0),
+            free_bytes: AtomicU64::new(0),
+            live_bytes: AtomicU64::new(0),
+            peak_live_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one allocation of `size` bytes.
+    pub fn record_alloc(&self, size: u64) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.alloc_bytes.fetch_add(size, Ordering::Relaxed);
+        let live = self
+            .live_bytes
+            .fetch_add(size, Ordering::Relaxed)
+            .wrapping_add(size);
+        self.peak_live_bytes.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Records one free of `size` bytes. Live bytes clamp at zero rather
+    /// than underflow: a block allocated before tracking was enabled is
+    /// legitimately freed after.
+    pub fn record_free(&self, size: u64) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        self.free_bytes.fetch_add(size, Ordering::Relaxed);
+        let _ = self
+            .live_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+                Some(live.saturating_sub(size))
+            });
+    }
+
+    /// A point-in-time copy of every counter.
+    #[must_use]
+    pub fn stats(&self) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            alloc_bytes: self.alloc_bytes.load(Ordering::Relaxed),
+            free_bytes: self.free_bytes.load(Ordering::Relaxed),
+            live_bytes: self.live_bytes.load(Ordering::Relaxed),
+            peak_live_bytes: self.peak_live_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time allocation counters (see [`alloc_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Total allocations recorded.
+    pub allocs: u64,
+    /// Total frees recorded.
+    pub frees: u64,
+    /// Total bytes allocated.
+    pub alloc_bytes: u64,
+    /// Total bytes freed.
+    pub free_bytes: u64,
+    /// Bytes currently live (allocated − freed, clamped at zero).
+    pub live_bytes: u64,
+    /// High-water mark of [`AllocStats::live_bytes`].
+    pub peak_live_bytes: u64,
+}
+
+impl AllocStats {
+    /// Blocks currently live: allocations minus frees (clamped at zero,
+    /// matching the byte-side clamp for pre-tracking blocks).
+    #[must_use]
+    pub fn live_blocks(&self) -> u64 {
+        self.allocs.saturating_sub(self.frees)
+    }
+
+    /// The monotone counters' growth since `earlier` (saturating). The
+    /// gauges (`live_bytes`, `peak_live_bytes`) are **not** differenced —
+    /// the later snapshot's values carry over unchanged.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            frees: self.frees.saturating_sub(earlier.frees),
+            alloc_bytes: self.alloc_bytes.saturating_sub(earlier.alloc_bytes),
+            free_bytes: self.free_bytes.saturating_sub(earlier.free_bytes),
+            live_bytes: self.live_bytes,
+            peak_live_bytes: self.peak_live_bytes,
+        }
+    }
+}
+
+/// Per-thread allocation counters at one instant (see
+/// [`thread_alloc_snapshot`]). Spans snapshot on entry and diff on exit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadAllocSnapshot {
+    /// Allocations performed by this thread since tracking was enabled.
+    pub allocs: u64,
+    /// Bytes allocated by this thread since tracking was enabled.
+    pub bytes: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL_LEDGER: AllocLedger = AllocLedger::new();
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Turns allocation tracking on or off at runtime. Counters are never
+/// reset: toggling off and on again resumes from the previous totals,
+/// and live-byte gauges are only exact for blocks whose allocation *and*
+/// free both happened while tracking was on.
+pub fn set_alloc_tracking(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether allocation tracking is currently on (one relaxed load — the
+/// same check the allocator's hot path performs).
+#[must_use]
+pub fn alloc_tracking_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Process-wide allocation counters (all zero until tracking is enabled).
+#[must_use]
+pub fn alloc_stats() -> AllocStats {
+    GLOBAL_LEDGER.stats()
+}
+
+/// The calling thread's allocation counters. Zero until tracking is
+/// enabled; monotone afterwards, so two snapshots bracket a region's
+/// heap churn on this thread.
+#[must_use]
+pub fn thread_alloc_snapshot() -> ThreadAllocSnapshot {
+    ThreadAllocSnapshot {
+        allocs: THREAD_ALLOCS.try_with(Cell::get).unwrap_or(0),
+        bytes: THREAD_ALLOC_BYTES.try_with(Cell::get).unwrap_or(0),
+    }
+}
+
+/// Process live bytes when tracking is on, `0` otherwise (cheap enough
+/// for the span-exit path).
+pub(crate) fn live_bytes_if_enabled() -> u64 {
+    if ENABLED.load(Ordering::Relaxed) {
+        GLOBAL_LEDGER.stats().live_bytes
+    } else {
+        0
+    }
+}
+
+fn record_alloc(size: u64) {
+    GLOBAL_LEDGER.record_alloc(size);
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get().wrapping_add(1)));
+    let _ = THREAD_ALLOC_BYTES.try_with(|c| c.set(c.get().wrapping_add(size)));
+}
+
+/// The tracking `#[global_allocator]` wrapper around
+/// [`std::alloc::System`]. Installed once at the crate root; see the
+/// module docs for the enable/overhead contract.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrackingAllocator;
+
+// The `GlobalAlloc` contract is inherently unsafe to implement; this
+// wrapper forwards every call to `System` verbatim and only ever *reads*
+// layout metadata, so it upholds exactly the guarantees `System` does.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if ENABLED.load(Ordering::Relaxed) && !ptr.is_null() {
+            record_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if ENABLED.load(Ordering::Relaxed) && !ptr.is_null() {
+            record_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        if ENABLED.load(Ordering::Relaxed) {
+            GLOBAL_LEDGER.record_free(layout.size() as u64);
+        }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if ENABLED.load(Ordering::Relaxed) && !new_ptr.is_null() {
+            GLOBAL_LEDGER.record_free(layout.size() as u64);
+            record_alloc(new_size as u64);
+        }
+        new_ptr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that toggle the process-wide tracking flag.
+    static TOGGLE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn ledger_accounts_alloc_free_pairs() {
+        let ledger = AllocLedger::new();
+        ledger.record_alloc(100);
+        ledger.record_alloc(28);
+        ledger.record_free(100);
+        let stats = ledger.stats();
+        assert_eq!(stats.allocs, 2);
+        assert_eq!(stats.frees, 1);
+        assert_eq!(stats.alloc_bytes, 128);
+        assert_eq!(stats.free_bytes, 100);
+        assert_eq!(stats.live_bytes, 28);
+        assert_eq!(stats.peak_live_bytes, 128);
+        assert_eq!(stats.live_blocks(), 1);
+    }
+
+    #[test]
+    fn free_of_pre_tracking_block_clamps_at_zero() {
+        let ledger = AllocLedger::new();
+        ledger.record_free(4096);
+        let stats = ledger.stats();
+        assert_eq!(stats.live_bytes, 0, "no underflow");
+        assert_eq!(stats.frees, 1);
+        assert_eq!(stats.free_bytes, 4096);
+    }
+
+    #[test]
+    fn peak_is_a_high_water_mark() {
+        let ledger = AllocLedger::new();
+        ledger.record_alloc(10);
+        ledger.record_alloc(20);
+        ledger.record_free(30);
+        ledger.record_alloc(5);
+        let stats = ledger.stats();
+        assert_eq!(stats.live_bytes, 5);
+        assert_eq!(stats.peak_live_bytes, 30);
+    }
+
+    #[test]
+    fn delta_since_differences_monotone_counters_only() {
+        let ledger = AllocLedger::new();
+        ledger.record_alloc(64);
+        let before = ledger.stats();
+        ledger.record_alloc(32);
+        ledger.record_free(64);
+        let after = ledger.stats();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.allocs, 1);
+        assert_eq!(delta.frees, 1);
+        assert_eq!(delta.alloc_bytes, 32);
+        assert_eq!(delta.free_bytes, 64);
+        assert_eq!(delta.live_bytes, after.live_bytes, "gauge carries over");
+        assert_eq!(delta.peak_live_bytes, after.peak_live_bytes);
+    }
+
+    #[test]
+    fn real_allocations_are_counted_when_enabled() {
+        let _guard = TOGGLE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let before_thread = thread_alloc_snapshot();
+        let before = alloc_stats();
+        set_alloc_tracking(true);
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        drop(v);
+        set_alloc_tracking(false);
+        let after = alloc_stats();
+        let after_thread = thread_alloc_snapshot();
+        let delta = after.delta_since(&before);
+        assert!(delta.allocs >= 1, "the Vec allocation was recorded");
+        assert!(delta.alloc_bytes >= 4096, "at least the Vec's bytes");
+        assert!(delta.frees >= 1, "the drop was recorded");
+        assert!(
+            after_thread.allocs > before_thread.allocs,
+            "thread-local counter advanced"
+        );
+        assert!(after_thread.bytes >= before_thread.bytes + 4096);
+    }
+
+    #[test]
+    fn toggling_tracking_is_visible() {
+        let _guard = TOGGLE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_alloc_tracking(false);
+        assert!(!alloc_tracking_enabled());
+        set_alloc_tracking(true);
+        assert!(alloc_tracking_enabled());
+        set_alloc_tracking(false);
+    }
+}

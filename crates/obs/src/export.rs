@@ -89,15 +89,37 @@ pub fn write_chrome_trace(path: &Path, spans: &[CompletedSpan]) -> std::io::Resu
 /// events sorted by `ts` (monotone), `args` carrying the causal ids
 /// (`trace`, `span`, `parent` as 16-hex-digit strings) plus every `k=v`
 /// pair from the span's detail string.
+///
+/// Spans that carry a live-byte sample (allocation tracking was on; see
+/// [`crate::alloc_stats`]) additionally emit a `"ph":"C"` counter event
+/// named `memory.live_bytes` at their end timestamp — Perfetto renders
+/// these as a live memory track alongside the span rows. Timestamps stay
+/// globally monotone: complete and counter events are merge-sorted.
 #[must_use]
 pub fn chrome_trace_json(spans: &[CompletedSpan]) -> String {
-    let mut ordered: Vec<&CompletedSpan> = spans.iter().collect();
-    ordered.sort_by_key(|s| (s.start_us, s.seq));
+    // (ts, kind, seq): kind 1 = counter, sorted after a complete event
+    // sharing its timestamp so span rows open before the track updates.
+    let mut ordered: Vec<(u64, u8, u64, &CompletedSpan)> = Vec::new();
+    for span in spans {
+        ordered.push((span.start_us, 0, span.seq, span));
+        if span.live_bytes > 0 {
+            ordered.push((span.start_us + span.dur_ns / 1_000, 1, span.seq, span));
+        }
+    }
+    ordered.sort_by_key(|&(ts, kind, seq, _)| (ts, kind, seq));
     let mut out = String::with_capacity(128 + 256 * ordered.len());
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-    for (i, span) in ordered.iter().enumerate() {
+    for (i, &(ts, kind, _, span)) in ordered.iter().enumerate() {
         if i > 0 {
             out.push(',');
+        }
+        if kind == 1 {
+            out.push_str(&format!(
+                "{{\"ph\":\"C\",\"name\":\"memory.live_bytes\",\"ts\":{ts},\
+                 \"pid\":1,\"args\":{{\"live_bytes\":{}}}}}",
+                span.live_bytes
+            ));
+            continue;
         }
         out.push_str("{\"ph\":\"X\",\"name\":");
         write_json_str(&mut out, span.name);
@@ -155,6 +177,12 @@ pub struct AttributionRow {
     pub self_ns: u64,
     /// Spans aggregated into this row.
     pub count: u64,
+    /// Heap bytes self-allocated by this group: the spans' own-thread
+    /// allocation minus their direct children's (clamped at zero). Zero
+    /// unless allocation tracking was on.
+    pub self_alloc_bytes: u64,
+    /// Heap allocations self-performed by this group (same rule).
+    pub self_alloc_count: u64,
 }
 
 /// The output of [`critical_path_report`].
@@ -171,6 +199,13 @@ pub struct CriticalPathReport {
     pub rows: Vec<AttributionRow>,
     /// Self-time flamegraph, indented by name path (rendered text).
     pub flame: String,
+    /// Heap bytes attributed to spans: the sum of per-span self-alloc
+    /// bytes across the whole snapshot (not just the top-N rows). Compare
+    /// against the global [`crate::alloc_stats`] delta to measure what
+    /// fraction of real heap traffic the span tree explains.
+    pub attributed_alloc_bytes: u64,
+    /// Heap allocations attributed to spans (same summation).
+    pub attributed_alloc_count: u64,
 }
 
 impl CriticalPathReport {
@@ -178,17 +213,19 @@ impl CriticalPathReport {
     #[must_use]
     pub fn attribution_table(&self) -> String {
         let mut out = String::from(
-            "stage                node        cache   self-ms    share  spans\n",
+            "stage                node        cache   self-ms    share   alloc-kb   allocs  spans\n",
         );
         let total = self.total_ns.max(1) as f64;
         for row in &self.rows {
             out.push_str(&format!(
-                "{:<20} {:<11} {:<7} {:>9.2} {:>7.1}% {:>6}\n",
+                "{:<20} {:<11} {:<7} {:>9.2} {:>7.1}% {:>10.1} {:>8} {:>6}\n",
                 row.stage,
                 row.node,
                 row.cache,
                 row.self_ns as f64 / 1e6,
                 100.0 * row.self_ns as f64 / total,
+                row.self_alloc_bytes as f64 / 1024.0,
+                row.self_alloc_count,
                 row.count
             ));
         }
@@ -206,15 +243,27 @@ impl CriticalPathReport {
 pub fn critical_path_report(spans: &[CompletedSpan], top: usize) -> CriticalPathReport {
     let by_id: BTreeMap<u64, &CompletedSpan> =
         spans.iter().map(|s| (s.span, s)).collect();
-    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    // Per-parent sums of direct children: (dur_ns, alloc_bytes, allocs).
+    let mut child_sums: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
     for span in spans {
         if by_id.contains_key(&span.parent) {
-            *child_ns.entry(span.parent).or_insert(0) += span.dur_ns;
+            let cell = child_sums.entry(span.parent).or_insert((0, 0, 0));
+            cell.0 += span.dur_ns;
+            cell.1 += span.alloc_bytes;
+            cell.2 += span.alloc_count;
         }
     }
-    let self_ns = |s: &CompletedSpan| {
-        s.dur_ns
-            .saturating_sub(child_ns.get(&s.span).copied().unwrap_or(0))
+    let self_of = |s: &CompletedSpan| {
+        let (child_ns, child_bytes, child_count) =
+            child_sums.get(&s.span).copied().unwrap_or((0, 0, 0));
+        (
+            s.dur_ns.saturating_sub(child_ns),
+            // Cross-thread children count their own allocations, so a
+            // parent's inclusive figure can be *smaller* than its
+            // children's sum; clamping at zero avoids double counting.
+            s.alloc_bytes.saturating_sub(child_bytes),
+            s.alloc_count.saturating_sub(child_count),
+        )
     };
 
     // Memoized name-path and nearest node label, walking parent links.
@@ -252,14 +301,20 @@ pub fn critical_path_report(spans: &[CompletedSpan], top: usize) -> CriticalPath
 
     let mut total_ns = 0u64;
     let mut root_self_ns = 0u64;
+    let mut attributed_alloc_bytes = 0u64;
+    let mut attributed_alloc_count = 0u64;
     let mut flame_agg: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
-    let mut table_agg: BTreeMap<(&'static str, String, String), (u64, u64)> = BTreeMap::new();
+    // (name, node, cache) -> (self ns, span count, self alloc bytes, self allocs)
+    type TableKey = (&'static str, String, String);
+    let mut table_agg: BTreeMap<TableKey, (u64, u64, u64, u64)> = BTreeMap::new();
     for span in spans {
-        let own = self_ns(span);
+        let (own, own_bytes, own_count) = self_of(span);
         if !by_id.contains_key(&span.parent) {
             total_ns += span.dur_ns;
             root_self_ns += own;
         }
+        attributed_alloc_bytes += own_bytes;
+        attributed_alloc_count += own_count;
         let (path, node) = resolve(span.span, &by_id, &mut paths, 0);
         let entry = flame_agg.entry(path).or_insert((0, 0, 0));
         entry.0 += span.dur_ns;
@@ -268,9 +323,11 @@ pub fn critical_path_report(spans: &[CompletedSpan], top: usize) -> CriticalPath
         let cache = arg_value(&span.args, "cache").unwrap_or("-").to_string();
         let cell = table_agg
             .entry((span.name, node, cache))
-            .or_insert((0, 0));
+            .or_insert((0, 0, 0, 0));
         cell.0 += own;
         cell.1 += 1;
+        cell.2 += own_bytes;
+        cell.3 += own_count;
     }
 
     let mut flame = String::new();
@@ -290,12 +347,14 @@ pub fn critical_path_report(spans: &[CompletedSpan], top: usize) -> CriticalPath
 
     let mut rows: Vec<AttributionRow> = table_agg
         .into_iter()
-        .map(|((stage, node, cache), (ns, count))| AttributionRow {
+        .map(|((stage, node, cache), (ns, count, bytes, allocs))| AttributionRow {
             stage,
             node,
             cache,
             self_ns: ns,
             count,
+            self_alloc_bytes: bytes,
+            self_alloc_count: allocs,
         })
         .collect();
     rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.stage.cmp(b.stage)));
@@ -311,6 +370,8 @@ pub fn critical_path_report(spans: &[CompletedSpan], top: usize) -> CriticalPath
         coverage,
         rows,
         flame,
+        attributed_alloc_bytes,
+        attributed_alloc_count,
     }
 }
 
@@ -337,7 +398,22 @@ mod tests {
             dur_ns,
             thread: 1,
             seq: id,
+            alloc_count: 0,
+            alloc_bytes: 0,
+            live_bytes: 0,
         }
+    }
+
+    fn with_alloc(
+        mut base: CompletedSpan,
+        alloc_count: u64,
+        alloc_bytes: u64,
+        live_bytes: u64,
+    ) -> CompletedSpan {
+        base.alloc_count = alloc_count;
+        base.alloc_bytes = alloc_bytes;
+        base.live_bytes = live_bytes;
+        base
     }
 
     fn sample() -> Vec<CompletedSpan> {
@@ -417,6 +493,84 @@ mod tests {
         assert!(json.contains("\"cache\":\"miss\""));
         assert!(json.contains("\"node\":\"180nm\""));
         assert!(json.contains("\"trace\":\"0000000000000007\""));
+    }
+
+    #[test]
+    fn live_byte_samples_become_counter_events() {
+        let spans = vec![
+            with_alloc(span(1, 0, "study", "", 0, 1_000_000), 10, 4096, 8192),
+            with_alloc(span(2, 1, "run", "", 10, 600_000), 5, 1024, 6144),
+        ];
+        let json = chrome_trace_json(&spans);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 2);
+        assert_eq!(json.matches("\"name\":\"memory.live_bytes\"").count(), 2);
+        assert!(json.contains("\"live_bytes\":8192"));
+        assert!(json.contains("\"live_bytes\":6144"));
+        // Timestamps stay globally monotone across both event kinds.
+        let ts: Vec<u64> = json
+            .split("\"ts\":")
+            .skip(1)
+            .map(|rest| {
+                rest.split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .unwrap()
+                    .parse::<u64>()
+                    .expect("ts is an integer")
+            })
+            .collect();
+        assert_eq!(ts.len(), 4);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+        // The run's counter fires at its end (10 + 600_000 ns = 610 µs),
+        // before the study's (0 + 1_000_000 ns = 1000 µs).
+        assert!(json.contains("\"ts\":610,"));
+        assert!(json.contains("\"ts\":1000,"));
+    }
+
+    #[test]
+    fn spans_without_samples_emit_no_counters() {
+        let json = chrome_trace_json(&sample());
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 0);
+    }
+
+    #[test]
+    fn self_alloc_subtracts_direct_children() {
+        let spans = vec![
+            with_alloc(span(1, 0, "study", "", 0, 1_000_000), 100, 10_000, 1),
+            with_alloc(
+                span(2, 1, "run", "node=180nm", 10, 600_000),
+                60,
+                6_000,
+                1,
+            ),
+            with_alloc(span(3, 2, "timing", "cache=miss", 20, 500_000), 50, 5_000, 1),
+        ];
+        let report = critical_path_report(&spans, 10);
+        let study = report.rows.iter().find(|r| r.stage == "study").unwrap();
+        assert_eq!(study.self_alloc_bytes, 4_000, "10_000 - child 6_000");
+        assert_eq!(study.self_alloc_count, 40);
+        let timing = report.rows.iter().find(|r| r.stage == "timing").unwrap();
+        assert_eq!(timing.self_alloc_bytes, 5_000, "leaf keeps everything");
+        // Every byte is attributed somewhere: 4000 + 1000 + 5000.
+        assert_eq!(report.attributed_alloc_bytes, 10_000);
+        assert_eq!(report.attributed_alloc_count, 100);
+        let table = report.attribution_table();
+        assert!(table.contains("alloc-kb"), "{table}");
+    }
+
+    #[test]
+    fn cross_thread_children_clamp_self_alloc_at_zero() {
+        // The parent's inclusive count (main thread) is smaller than its
+        // worker children's sum — self-alloc must clamp, not wrap.
+        let spans = vec![
+            with_alloc(span(1, 0, "phase", "", 0, 1_000_000), 2, 100, 1),
+            with_alloc(span(2, 1, "worker", "", 10, 400_000), 50, 9_000, 1),
+            with_alloc(span(3, 1, "worker", "", 10, 400_000), 40, 8_000, 1),
+        ];
+        let report = critical_path_report(&spans, 10);
+        let phase = report.rows.iter().find(|r| r.stage == "phase").unwrap();
+        assert_eq!(phase.self_alloc_bytes, 0);
+        assert_eq!(report.attributed_alloc_bytes, 17_000);
     }
 
     #[test]

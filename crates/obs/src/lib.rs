@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+mod alloc;
 mod export;
 mod level;
 mod metrics;
@@ -42,6 +43,10 @@ mod sink;
 mod span;
 mod trace;
 
+pub use alloc::{
+    alloc_stats, alloc_tracking_enabled, set_alloc_tracking, thread_alloc_snapshot, AllocLedger,
+    AllocStats, ThreadAllocSnapshot, TrackingAllocator, ALLOC_ENV,
+};
 pub use export::{
     arg_value, chrome_trace_json, critical_path_report, flush_trace_file, install_trace,
     trace_file_path, write_chrome_trace, AttributionRow, CriticalPathReport, TRACE_CAPACITY_ENV,
@@ -69,6 +74,13 @@ pub use trace::{
 /// Environment variable naming the JSONL event file ([`init_from_env`]).
 pub const EVENTS_ENV: &str = "RAMP_EVENTS";
 
+/// The workspace-wide global allocator: every binary that links
+/// `ramp-obs` (all of them) routes heap traffic through the tracking
+/// wrapper. Costs one relaxed atomic load per allocation while tracking
+/// is off; see [`crate::alloc_stats`] and `RAMP_ALLOC`.
+#[global_allocator]
+static GLOBAL_ALLOCATOR: TrackingAllocator = TrackingAllocator;
+
 /// Flushes every sink and, when `RAMP_TRACE` (or [`install_trace`]) has
 /// registered a trace file, rewrites it from the current span-ring
 /// snapshot. Call before reading either file back; the panic hook calls
@@ -95,6 +107,10 @@ pub fn flush() {
 /// (span ring of `RAMP_TRACE_CAPACITY` slots, default
 /// [`DEFAULT_RING_CAPACITY`]) and every [`flush`] rewrites `<path>` as
 /// Chrome Trace Event JSON loadable in Perfetto.
+///
+/// When `RAMP_ALLOC` is set (non-empty and not `0`), heap-allocation
+/// tracking is enabled: the global allocator starts counting (see
+/// [`alloc_stats`]) and spans attribute per-thread allocation deltas.
 pub fn init_from_env() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
@@ -108,6 +124,11 @@ pub fn init_from_env() {
                     eprintln!("[ warn ramp_obs] cannot open {}: {err}", path.display());
                 }
             }
+        }
+        if std::env::var(ALLOC_ENV)
+            .is_ok_and(|raw| !raw.trim().is_empty() && raw.trim() != "0")
+        {
+            set_alloc_tracking(true);
         }
         if let Ok(path) = std::env::var(TRACE_ENV) {
             if !path.trim().is_empty() {

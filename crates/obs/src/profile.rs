@@ -14,6 +14,8 @@ use std::time::Duration;
 struct PathTotals {
     count: u64,
     total_ns: u64,
+    alloc_count: u64,
+    alloc_bytes: u64,
 }
 
 static SPANS: Mutex<BTreeMap<String, PathTotals>> = Mutex::new(BTreeMap::new());
@@ -22,11 +24,13 @@ fn spans() -> std::sync::MutexGuard<'static, BTreeMap<String, PathTotals>> {
     SPANS.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-pub(crate) fn record_span(path: &str, dur: Duration) {
+pub(crate) fn record_span(path: &str, dur: Duration, alloc_count: u64, alloc_bytes: u64) {
     let mut map = spans();
     let entry = map.entry(path.to_string()).or_default();
     entry.count += 1;
     entry.total_ns += dur.as_nanos() as u64;
+    entry.alloc_count += alloc_count;
+    entry.alloc_bytes += alloc_bytes;
 }
 
 /// Aggregate statistics for one collapsed span path.
@@ -38,6 +42,11 @@ pub struct SpanPathStats {
     pub count: u64,
     /// Summed duration across those spans, in nanoseconds.
     pub total_ns: u64,
+    /// Heap allocations attributed to those spans (their own thread,
+    /// entry-to-exit; zero unless allocation tracking was on).
+    pub alloc_count: u64,
+    /// Heap bytes allocated by those spans (same attribution rule).
+    pub alloc_bytes: u64,
 }
 
 /// Flat per-path totals, sorted by path.
@@ -49,6 +58,8 @@ pub fn span_stats() -> Vec<SpanPathStats> {
             path: path.clone(),
             count: t.count,
             total_ns: t.total_ns,
+            alloc_count: t.alloc_count,
+            alloc_bytes: t.alloc_bytes,
         })
         .collect()
 }
@@ -64,6 +75,11 @@ pub struct SpanNode {
     pub count: u64,
     /// Summed duration, nanoseconds.
     pub total_ns: u64,
+    /// Heap allocations attributed to this node's spans (zero unless
+    /// allocation tracking was on; inclusive of same-thread children).
+    pub alloc_count: u64,
+    /// Heap bytes allocated by this node's spans.
+    pub alloc_bytes: u64,
     /// Child nodes, sorted by path.
     pub children: Vec<SpanNode>,
 }
@@ -99,6 +115,8 @@ fn insert(nodes: &mut Vec<SpanNode>, parent_path: &str, rest: &str, stat: &SpanP
                 path: path.clone(),
                 count: 0,
                 total_ns: 0,
+                alloc_count: 0,
+                alloc_bytes: 0,
                 children: Vec::new(),
             });
             nodes.last_mut().expect("just pushed") // ramp-lint:allow(panic-hygiene) -- push on the line above guarantees a last element
@@ -108,6 +126,8 @@ fn insert(nodes: &mut Vec<SpanNode>, parent_path: &str, rest: &str, stat: &SpanP
         None => {
             node.count += stat.count;
             node.total_ns += stat.total_ns;
+            node.alloc_count += stat.alloc_count;
+            node.alloc_bytes += stat.alloc_bytes;
         }
         Some(tail) => insert(&mut node.children, &path, tail, stat),
     }
@@ -179,10 +199,10 @@ mod tests {
     // parallel tests cannot interfere.
     #[test]
     fn collapsed_paths_rebuild_into_a_tree() {
-        record_span("ptest/run/timing", Duration::from_millis(2));
-        record_span("ptest/run/timing", Duration::from_millis(3));
-        record_span("ptest/run", Duration::from_millis(10));
-        record_span("ptest", Duration::from_millis(11));
+        record_span("ptest/run/timing", Duration::from_millis(2), 3, 300);
+        record_span("ptest/run/timing", Duration::from_millis(3), 2, 200);
+        record_span("ptest/run", Duration::from_millis(10), 0, 0);
+        record_span("ptest", Duration::from_millis(11), 0, 0);
         let tree = span_tree();
         let root = tree.iter().find(|n| n.name == "ptest").unwrap();
         assert_eq!(root.count, 1);
@@ -192,12 +212,14 @@ mod tests {
         let timing = run.children.iter().find(|n| n.name == "timing").unwrap();
         assert_eq!(timing.count, 2);
         assert_eq!(timing.total_ns, 5_000_000);
+        assert_eq!(timing.alloc_count, 5, "alloc counts aggregate per path");
+        assert_eq!(timing.alloc_bytes, 500);
     }
 
     #[test]
     fn report_contains_every_path_segment() {
-        record_span("rtest/alpha", Duration::from_millis(1));
-        record_span("rtest/beta", Duration::from_millis(1));
+        record_span("rtest/alpha", Duration::from_millis(1), 0, 0);
+        record_span("rtest/beta", Duration::from_millis(1), 0, 0);
         let report = profile_report();
         assert!(report.contains("rtest"));
         assert!(report.contains("alpha"));
@@ -206,7 +228,7 @@ mod tests {
 
     #[test]
     fn synthetic_parents_get_zero_count() {
-        record_span("stest/worker/job", Duration::from_millis(4));
+        record_span("stest/worker/job", Duration::from_millis(4), 0, 0);
         let tree = span_tree();
         let root = tree.iter().find(|n| n.name == "stest").unwrap();
         assert_eq!(root.count, 0);

@@ -42,6 +42,14 @@ pub struct CompletedSpan {
     pub thread: u64,
     /// Global push order (ring-internal; survives snapshot sorting).
     pub seq: u64,
+    /// Heap allocations performed by the span's thread between entry and
+    /// exit (zero unless allocation tracking was on).
+    pub alloc_count: u64,
+    /// Heap bytes allocated by the span's thread between entry and exit.
+    pub alloc_bytes: u64,
+    /// Process-wide live heap bytes sampled at span exit (zero unless
+    /// allocation tracking was on) — the memory counter track's samples.
+    pub live_bytes: u64,
 }
 
 /// Point-in-time counters describing a [`SpanRing`].
@@ -176,6 +184,9 @@ mod tests {
             dur_ns: 10,
             thread: 1,
             seq: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
+            live_bytes: 0,
         }
     }
 

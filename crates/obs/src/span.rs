@@ -91,6 +91,10 @@ pub struct SpanGuard {
     /// Causal-trace recording state: `Some` only when tracing is enabled
     /// and a trace context was current at entry (see [`crate::trace`]).
     trace: Option<crate::trace::SpanToken>,
+    /// This thread's allocation counters at entry: `Some` only while
+    /// allocation tracking is on (see [`crate::alloc_stats`]). Diffed on
+    /// end to attribute heap churn to the span.
+    alloc_start: Option<crate::alloc::ThreadAllocSnapshot>,
 }
 
 impl SpanGuard {
@@ -122,8 +126,21 @@ impl SpanGuard {
             return dur;
         }
         self.finished = true;
+        // Measure the allocation delta before any end-of-span bookkeeping
+        // below allocates (profile registry, ring record, sink dispatch):
+        // that machinery belongs to the *enclosing* span, not this one.
+        let (alloc_count, alloc_bytes) = match self.alloc_start.take() {
+            Some(start) => {
+                let now = crate::alloc::thread_alloc_snapshot();
+                (
+                    now.allocs.saturating_sub(start.allocs),
+                    now.bytes.saturating_sub(start.bytes),
+                )
+            }
+            None => (0, 0),
+        };
         PATH.with(|p| p.borrow_mut().pop());
-        crate::profile::record_span(&self.path, dur);
+        crate::profile::record_span(&self.path, dur, alloc_count, alloc_bytes);
         if let Some(token) = self.trace.take() {
             crate::trace::exit_span(
                 token,
@@ -131,6 +148,8 @@ impl SpanGuard {
                 self.target,
                 &self.detail,
                 dur.as_nanos() as u64,
+                alloc_count,
+                alloc_bytes,
             );
         }
         if sink::any_sink() {
@@ -178,6 +197,11 @@ pub fn span_guard(target: &'static str, name: &'static str, detail: String) -> S
             thread: sink::thread_id(),
         });
     }
+    // Snapshot allocation counters *last* so the span-entry machinery
+    // above (path clone, trace id derivation, sink dispatch) is charged
+    // to the enclosing span rather than this one.
+    let alloc_start = crate::alloc::alloc_tracking_enabled()
+        .then(crate::alloc::thread_alloc_snapshot);
     SpanGuard {
         target,
         name,
@@ -186,6 +210,7 @@ pub fn span_guard(target: &'static str, name: &'static str, detail: String) -> S
         start: Instant::now(),
         finished: false,
         trace,
+        alloc_start,
     }
 }
 

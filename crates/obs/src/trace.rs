@@ -199,12 +199,17 @@ pub(crate) fn enter_span() -> Option<SpanToken> {
 }
 
 /// Called at span end: pops the parent and records the completed span.
+/// `alloc_count`/`alloc_bytes` are the span's own-thread allocation
+/// deltas (zero when tracking is off); the process live-byte gauge is
+/// sampled here so the export can render a memory counter track.
 pub(crate) fn exit_span(
     token: SpanToken,
     name: &'static str,
     target: &'static str,
     args: &str,
     dur_ns: u64,
+    alloc_count: u64,
+    alloc_bytes: u64,
 ) {
     CURRENT.with(|c| {
         if let Some(ctx) = c.borrow_mut().as_mut() {
@@ -224,6 +229,9 @@ pub(crate) fn exit_span(
         dur_ns,
         thread: sink::thread_id(),
         seq: 0,
+        alloc_count,
+        alloc_bytes,
+        live_bytes: crate::alloc::live_bytes_if_enabled(),
     });
 }
 

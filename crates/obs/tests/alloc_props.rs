@@ -1,0 +1,143 @@
+//! Property-based tests for the tracking allocator's ledger.
+//!
+//! The ledger is the source of truth behind every allocation digest,
+//! manifest section, and gauge this repo gates on, so its accounting
+//! identity gets the proptest treatment: under arbitrary interleavings
+//! of allocations and frees — balanced, unbalanced, or frees of blocks
+//! it never saw — the counters must stay internally consistent and the
+//! ledger must never panic or underflow.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ramp_obs::AllocLedger;
+
+/// An op stream element: `(kind, size)` where kind 0 allocates `size`
+/// bytes and kind 1 frees the most recent outstanding block (LIFO — the
+/// common shape of real programs). Sizes span 1 B to 1 MiB.
+fn ops() -> impl Strategy<Value = Vec<(u8, u32)>> {
+    vec((0u8..=1, 1u32..=1_048_576), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Balanced accounting: when every free corresponds to a block the
+    /// ledger tracked, `allocs − frees == live blocks` and
+    /// `alloc_bytes − free_bytes == live_bytes`, exactly.
+    #[test]
+    fn matched_interleavings_balance_exactly(ops in ops()) {
+        let ledger = AllocLedger::new();
+        let mut outstanding: Vec<u32> = Vec::new();
+        let mut max_live: u64 = 0;
+        let mut live: u64 = 0;
+        for (kind, size) in ops {
+            if kind == 0 {
+                ledger.record_alloc(u64::from(size));
+                outstanding.push(size);
+                live += u64::from(size);
+                max_live = max_live.max(live);
+            } else if let Some(size) = outstanding.pop() {
+                ledger.record_free(u64::from(size));
+                live -= u64::from(size);
+            }
+        }
+        let stats = ledger.stats();
+        let model_live: u64 = outstanding.iter().map(|&s| u64::from(s)).sum();
+        prop_assert_eq!(stats.allocs - stats.frees, outstanding.len() as u64);
+        prop_assert_eq!(stats.live_blocks(), outstanding.len() as u64);
+        prop_assert_eq!(stats.alloc_bytes - stats.free_bytes, model_live);
+        prop_assert_eq!(stats.live_bytes, model_live);
+        prop_assert_eq!(stats.peak_live_bytes, max_live, "peak is the exact high-water mark");
+        prop_assert!(stats.live_bytes <= stats.peak_live_bytes);
+    }
+
+    /// Hostile accounting: frees of arbitrary sizes the ledger never saw
+    /// (blocks allocated before tracking was enabled). The ledger must
+    /// clamp rather than underflow, keep monotone counters monotone, and
+    /// never panic.
+    #[test]
+    fn unmatched_frees_clamp_and_never_panic(
+        allocs in vec(1u32..=65_536, 0..50),
+        rogue_frees in vec(1u32..=1_048_576, 0..50),
+    ) {
+        let ledger = AllocLedger::new();
+        let mut allocated: u64 = 0;
+        // Interleave: each rogue free lands between tracked allocations.
+        let rounds = allocs.len().max(rogue_frees.len());
+        for i in 0..rounds {
+            if let Some(&size) = allocs.get(i) {
+                ledger.record_alloc(u64::from(size));
+                allocated += u64::from(size);
+            }
+            if let Some(&size) = rogue_frees.get(i) {
+                ledger.record_free(u64::from(size));
+            }
+        }
+        let stats = ledger.stats();
+        prop_assert_eq!(stats.allocs, allocs.len() as u64);
+        prop_assert_eq!(stats.frees, rogue_frees.len() as u64);
+        prop_assert_eq!(stats.alloc_bytes, allocated);
+        // The live gauge can only ever hold bytes the ledger tracked:
+        // clamped subtraction means rogue frees drain it to zero, never
+        // below, and never above what was allocated.
+        prop_assert!(stats.live_bytes <= allocated, "live exceeds allocated");
+        prop_assert!(stats.peak_live_bytes <= allocated);
+        prop_assert!(stats.live_bytes <= stats.peak_live_bytes);
+    }
+
+    /// Delta semantics: `delta_since` differences the monotone counters
+    /// and carries the gauges, so windowed readings (bench alloc pass,
+    /// span attribution) add up like the raw ledger does.
+    #[test]
+    fn delta_since_differences_monotone_counters(
+        first in vec(1u32..=4_096, 0..30),
+        second in vec(1u32..=4_096, 0..30),
+    ) {
+        let ledger = AllocLedger::new();
+        for &size in &first {
+            ledger.record_alloc(u64::from(size));
+        }
+        let mid = ledger.stats();
+        for &size in &second {
+            ledger.record_alloc(u64::from(size));
+        }
+        let end = ledger.stats();
+        let delta = end.delta_since(&mid);
+        prop_assert_eq!(delta.allocs, second.len() as u64);
+        prop_assert_eq!(
+            delta.alloc_bytes,
+            second.iter().map(|&s| u64::from(s)).sum::<u64>()
+        );
+        // Gauges are instantaneous, not differenced: the delta reports
+        // the *current* live and peak.
+        prop_assert_eq!(delta.live_bytes, end.live_bytes);
+        prop_assert_eq!(delta.peak_live_bytes, end.peak_live_bytes);
+    }
+}
+
+/// Concurrency: per-thread balanced traffic hammering one ledger still
+/// balances globally (atomics, no lost updates). Not a proptest — the
+/// schedule is the randomness.
+#[test]
+fn concurrent_balanced_traffic_balances_globally() {
+    let ledger = AllocLedger::new();
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let ledger = &ledger;
+            scope.spawn(move || {
+                for i in 0..1_000u64 {
+                    let size = (t * 1_000 + i) % 512 + 1;
+                    ledger.record_alloc(size);
+                    ledger.record_free(size);
+                }
+            });
+        }
+    });
+    let stats = ledger.stats();
+    assert_eq!(stats.allocs, 4_000);
+    assert_eq!(stats.frees, 4_000);
+    assert_eq!(stats.live_blocks(), 0);
+    assert_eq!(stats.alloc_bytes, stats.free_bytes);
+    assert_eq!(stats.live_bytes, 0, "balanced traffic leaves nothing live");
+    assert!(stats.peak_live_bytes <= stats.alloc_bytes);
+}

@@ -488,6 +488,15 @@ impl ServerState {
     }
 
     fn metrics_body(&self) -> MetricsBody {
+        // Refresh the allocator and span-ring gauges right before the
+        // snapshot so every metrics response reports current values, not
+        // whatever the last request left behind. The allocator gauges
+        // read zero unless `RAMP_ALLOC` enabled the tracking allocator.
+        let alloc = ramp_obs::alloc_stats();
+        ramp_obs::gauge("alloc.live_bytes").set(alloc.live_bytes as f64);
+        ramp_obs::gauge("alloc.peak_live_bytes").set(alloc.peak_live_bytes as f64);
+        ramp_obs::gauge("alloc.total_allocs").set(alloc.allocs as f64);
+        ramp_obs::gauge("obs.trace_spans_dropped").set(ramp_obs::ring_stats().dropped as f64);
         MetricsBody {
             schema_version: PROTOCOL_VERSION,
             calibration_digest: self.engine.calibration_digest().to_string(),
@@ -855,6 +864,51 @@ mod tests {
         assert!(body.server.requests >= 2);
         assert_eq!(body.calibration_digest, server.state.engine.calibration_digest());
         assert!(body.metrics.iter().any(|m| m.name == "serve.requests"));
+        // Allocator and span-ring observability travels over the wire:
+        // the gauges are always present (zero when tracking is off).
+        for gauge in [
+            "alloc.live_bytes",
+            "alloc.peak_live_bytes",
+            "alloc.total_allocs",
+            "obs.trace_spans_dropped",
+        ] {
+            assert!(
+                body.metrics.iter().any(|m| m.name == gauge),
+                "gauge {gauge} missing from metrics body"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_endpoint_tracks_live_allocator_state() {
+        // With tracking enabled, the gauges must reflect real allocator
+        // traffic by the time the response is assembled.
+        let server = Server::start(test_engine(), tiny_options());
+        ramp_obs::set_alloc_tracking(true);
+        // black_box keeps the buffer observable: the optimizer is allowed
+        // to elide an unused heap allocation outright, which would leave
+        // the peak gauge below the asserted size.
+        let held: Vec<u8> = std::hint::black_box(vec![7; 64 * 1024]);
+        let line = server.handle_line(&Request::metrics(3).to_line());
+        ramp_obs::set_alloc_tracking(false);
+        drop(std::hint::black_box(held));
+        let response = Response::parse(&line).unwrap();
+        let body = response.metrics.expect("metrics body present");
+        let value = |name: &str| {
+            body.metrics
+                .iter()
+                .find(|m| m.name == name)
+                .map(|m| m.value)
+                .unwrap_or_default()
+        };
+        assert!(
+            value("alloc.total_allocs") >= 1.0,
+            "tracking allocator saw no allocations"
+        );
+        assert!(
+            value("alloc.peak_live_bytes") >= 64.0 * 1024.0,
+            "peak gauge below the held buffer size"
+        );
     }
 
     #[test]

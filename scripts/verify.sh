@@ -57,11 +57,22 @@ echo "== trace smoke: causal trace export + critical-path attribution =="
 cargo run --release --locked -p ramp-bench --bin trace -- \
     --check --out target/trace-smoke.json
 
+echo "== alloc smoke: tracking allocator on end to end =="
+# Re-runs the traced study with RAMP_ALLOC=1 (whole-process tracking via
+# the env path, not just the programmatic toggle): every trace check must
+# still pass — memory counter track present, >=90% of allocated bytes
+# attributed to spans — and the allocation-annotated run manifest lands
+# in target/ for inspection and CI artifact upload.
+RAMP_ALLOC=1 cargo run --release --locked -p ramp-bench --bin trace -- \
+    --check --out target/trace-alloc-smoke.json
+
 echo "== benchmark gate: smoke run against the checked-in baseline =="
 # Measures the reference workload once (K=1, loose tolerances) and gates
 # it against the latest BENCH_<seq>.json: exact numerical-digest match,
-# advisory wall-clock budgets. A failure here means the simulation's
-# numbers drifted or a pipeline stage disappeared.
+# exact per-stage allocation-count digest from the single-threaded alloc
+# pass, peak-live-bytes budget, advisory wall-clock budgets. A failure
+# here means the simulation's numbers drifted, a pipeline stage
+# disappeared, or the allocation profile changed.
 cargo run --release --locked -p ramp-bench --bin benchgate -- \
     --smoke --emit target/bench-candidate.json
 

@@ -1,0 +1,125 @@
+//! Byte-level determinism under the tracking allocator.
+//!
+//! Allocation tracking is pure observation: atomics and thread-local
+//! counters beside the system allocator, never in the numeric path. The
+//! contract mirrors `parallel_determinism.rs` — turning `RAMP_ALLOC` on
+//! must not move a single output byte at any thread count, for either
+//! the study or the population fleet. This is what makes the benchgate
+//! results digest invariant to the observability configuration.
+
+use ramp_core::mechanisms::PerMechanism;
+use ramp_core::{run_study, PipelineConfig, Qualification, QueryEngine, RunManifest, StudyConfig};
+use ramp_fleet::{run_fleet, FleetConfig};
+
+/// The tracking flag is process-global; tests that toggle it must not
+/// overlap or one could switch it off under another.
+static TOGGLE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn study_config(threads: usize) -> StudyConfig {
+    let mut cfg = StudyConfig::quick()
+        .with_benchmarks(&["gzip", "ammp"])
+        .unwrap();
+    cfg.threads = threads;
+    cfg
+}
+
+#[test]
+fn study_json_is_byte_identical_with_tracking_on_at_any_thread_count() {
+    // Reference: tracking off, serial.
+    let reference =
+        serde_json::to_string(&run_study(&study_config(1)).unwrap()).unwrap();
+
+    let _toggle = TOGGLE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    ramp_obs::set_alloc_tracking(true);
+    for threads in [1, 2, 8] {
+        let tracked = serde_json::to_string(&run_study(&study_config(threads)).unwrap());
+        let tracked = match tracked {
+            Ok(json) => json,
+            Err(e) => {
+                ramp_obs::set_alloc_tracking(false);
+                panic!("serialization failed under tracking: {e}");
+            }
+        };
+        assert!(
+            tracked == reference,
+            "study bytes diverged with tracking on at {threads} threads \
+             (lengths {} vs {})",
+            tracked.len(),
+            reference.len()
+        );
+    }
+    ramp_obs::set_alloc_tracking(false);
+}
+
+#[test]
+fn fleet_population_json_is_byte_identical_with_tracking_on() {
+    let engine = QueryEngine::with_qualification(
+        Qualification::from_constants(PerMechanism::from_fn(|_| 1.0)).unwrap(),
+        PipelineConfig::quick(),
+        "alloc-determinism-tests",
+    );
+    let config = |threads: usize| FleetConfig {
+        benchmark: "gzip".to_string(),
+        chips: 2_000,
+        seed: 20_260_808,
+        threads: Some(threads),
+        ..FleetConfig::default()
+    };
+
+    let reference = run_fleet(&engine, &config(1)).unwrap().population_json();
+
+    let _toggle = TOGGLE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    ramp_obs::set_alloc_tracking(true);
+    for threads in [1, 2, 8] {
+        let tracked = run_fleet(&engine, &config(threads))
+            .map(|r| r.population_json());
+        let tracked = match tracked {
+            Ok(json) => json,
+            Err(e) => {
+                ramp_obs::set_alloc_tracking(false);
+                panic!("fleet failed under tracking: {e}");
+            }
+        };
+        assert!(
+            tracked == reference,
+            "population bytes diverged with tracking on at {threads} threads"
+        );
+    }
+    ramp_obs::set_alloc_tracking(false);
+}
+
+#[test]
+fn manifest_carries_the_allocation_tree_when_tracking_is_on() {
+    let config = study_config(1);
+
+    let _toggle = TOGGLE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    ramp_obs::set_alloc_tracking(true);
+    ramp_obs::reset_spans();
+    let results = run_study(&config).unwrap();
+    let manifest = RunManifest::capture(&config, &results);
+    ramp_obs::set_alloc_tracking(false);
+
+    let alloc = manifest.alloc.as_ref().expect("alloc section captured");
+    assert!(alloc.allocs > 0, "ledger saw no allocations");
+    assert!(alloc.alloc_bytes > 0);
+    assert!(alloc.peak_live_bytes > 0);
+
+    // The stage tree attributes real allocations to the study span.
+    let study = manifest
+        .stages
+        .iter()
+        .find(|s| s.path == "study")
+        .expect("study stage present");
+    assert!(
+        study.alloc_count > 0,
+        "study stage attributed no allocations"
+    );
+    assert!(study.alloc_bytes > 0);
+
+    // And the summary mentions the allocation line.
+    assert!(
+        manifest.summary().contains("alloc:"),
+        "summary omits the alloc line:\n{}",
+        manifest.summary()
+    );
+}
