@@ -163,6 +163,27 @@ impl Baseline {
         out
     }
 
+    /// Renders an explicit entry list as a baseline file (for
+    /// `--prune-baseline`, which keeps surviving entries verbatim
+    /// instead of regenerating from findings).
+    #[must_use]
+    pub fn render_entries(entries: &[BaselineEntry]) -> String {
+        let mut out = String::from(
+            "# ramp-lint baseline: accepted findings, keyed by (rule, file, symbol).\n\
+             # Entries survive line shifts; regenerate with `ramp-lint --write-baseline`.\n",
+        );
+        let mut keys: Vec<&BaselineEntry> = entries.iter().collect();
+        keys.sort_by_key(|e| (&e.rule, &e.file, &e.symbol));
+        keys.dedup();
+        for e in keys {
+            out.push_str(&format!(
+                "\n[[finding]]\nrule = \"{}\"\nfile = \"{}\"\nsymbol = \"{}\"\n",
+                e.rule, e.file, e.symbol
+            ));
+        }
+        out
+    }
+
     /// Entries that cover none of `findings` — stale after a cleanup,
     /// worth pruning so the baseline only ever shrinks meaningfully.
     #[must_use]
@@ -185,6 +206,7 @@ mod tests {
             severity: Severity::Warning,
             file: file.to_string(),
             line: 42,
+            col: 1,
             symbol: symbol.to_string(),
             message: String::new(),
         }
@@ -216,6 +238,28 @@ mod tests {
         let text = "# header\n\n[[finding]]\nrule = \"determinism\"\nfile = \"f.rs\"\nsymbol = \"s\"\n";
         let b = Baseline::parse(text).unwrap();
         assert_eq!(b.entries.len(), 1);
+    }
+
+    #[test]
+    fn entry_list_roundtrips_through_render_entries() {
+        let entries = vec![
+            BaselineEntry {
+                rule: "panic-reach".to_string(),
+                file: "crates/thermal/src/solve.rs".to_string(),
+                symbol: "solve".to_string(),
+            },
+            BaselineEntry {
+                rule: "alloc-hygiene".to_string(),
+                file: "crates/core/src/executor.rs".to_string(),
+                symbol: "Executor::map".to_string(),
+            },
+        ];
+        let text = Baseline::render_entries(&entries);
+        let parsed = Baseline::parse(&text).unwrap();
+        // Same set, sorted for stable diffs.
+        assert_eq!(parsed.entries.len(), 2);
+        assert!(entries.iter().all(|e| parsed.entries.contains(e)));
+        assert!(text.starts_with("# ramp-lint baseline"));
     }
 
     #[test]

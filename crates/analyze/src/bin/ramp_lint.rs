@@ -1,15 +1,18 @@
 //! `ramp-lint`: the workspace invariant checker CLI.
 //!
 //! ```text
-//! ramp-lint [--root DIR] [--format human|json] [--baseline FILE]
-//!           [--no-baseline] [--write-baseline]
+//! ramp-lint [--root DIR] [--format human|json|sarif] [--baseline FILE]
+//!           [--no-baseline] [--write-baseline] [--prune-baseline]
+//!           [--fail-stale] [--no-cache]
 //! ```
 //!
-//! Exit codes: `0` clean (modulo baseline), `1` findings, `2` usage or
-//! I/O error. The JSON format is a single object suitable for CI
-//! artifact upload; human format is grep-able one-line-per-finding.
+//! Exit codes: `0` clean (modulo baseline), `1` findings (or stale
+//! baseline entries under `--fail-stale`), `2` usage or I/O error. The
+//! JSON format is a single object suitable for CI artifact upload;
+//! human format is grep-able one-line-per-finding; SARIF 2.1.0 is what
+//! GitHub code scanning ingests.
 
-use ramp_analyze::{analyze_workspace, Baseline};
+use ramp_analyze::{analyze_workspace_with, AnalyzeOptions, Baseline};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -19,16 +22,21 @@ struct Options {
     baseline_path: Option<PathBuf>,
     use_baseline: bool,
     write_baseline: bool,
+    prune_baseline: bool,
+    fail_stale: bool,
+    use_cache: bool,
 }
 
 #[derive(PartialEq)]
 enum Format {
     Human,
     Json,
+    Sarif,
 }
 
-const USAGE: &str = "usage: ramp-lint [--root DIR] [--format human|json] \
-[--baseline FILE] [--no-baseline] [--write-baseline]";
+const USAGE: &str = "usage: ramp-lint [--root DIR] [--format human|json|sarif] \
+[--baseline FILE] [--no-baseline] [--write-baseline] [--prune-baseline] \
+[--fail-stale] [--no-cache]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -37,6 +45,9 @@ fn parse_args() -> Result<Options, String> {
         baseline_path: None,
         use_baseline: true,
         write_baseline: false,
+        prune_baseline: false,
+        fail_stale: false,
+        use_cache: true,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,7 +59,8 @@ fn parse_args() -> Result<Options, String> {
             "--format" => match args.next().as_deref() {
                 Some("human") => opts.format = Format::Human,
                 Some("json") => opts.format = Format::Json,
-                _ => return Err("--format needs `human` or `json`".to_string()),
+                Some("sarif") => opts.format = Format::Sarif,
+                _ => return Err("--format needs `human`, `json`, or `sarif`".to_string()),
             },
             "--baseline" => {
                 let file = args.next().ok_or("--baseline needs a file")?;
@@ -56,21 +68,30 @@ fn parse_args() -> Result<Options, String> {
             }
             "--no-baseline" => opts.use_baseline = false,
             "--write-baseline" => opts.write_baseline = true,
+            "--prune-baseline" => opts.prune_baseline = true,
+            "--fail-stale" => opts.fail_stale = true,
+            "--no-cache" => opts.use_cache = false,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if opts.write_baseline && opts.prune_baseline {
+        return Err("--write-baseline and --prune-baseline are mutually exclusive".to_string());
+    }
     Ok(opts)
+}
+
+fn baseline_path(opts: &Options) -> PathBuf {
+    opts.baseline_path
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint-baseline.toml"))
 }
 
 fn load_baseline(opts: &Options) -> Result<Baseline, String> {
     if !opts.use_baseline {
         return Ok(Baseline::default());
     }
-    let path = opts
-        .baseline_path
-        .clone()
-        .unwrap_or_else(|| opts.root.join("lint-baseline.toml"));
+    let path = baseline_path(opts);
     match std::fs::read_to_string(&path) {
         Ok(text) => Baseline::parse(&text)
             .map_err(|e| format!("{}: {e}", path.display())),
@@ -99,7 +120,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match analyze_workspace(&opts.root, &baseline) {
+    let analyze_opts = if opts.use_cache {
+        AnalyzeOptions::for_root(&opts.root)
+    } else {
+        AnalyzeOptions::uncached()
+    };
+    let report = match analyze_workspace_with(&opts.root, &baseline, &analyze_opts) {
         Ok(report) => report,
         Err(e) => {
             eprintln!(
@@ -110,10 +136,7 @@ fn main() -> ExitCode {
         }
     };
     if opts.write_baseline {
-        let path = opts
-            .baseline_path
-            .clone()
-            .unwrap_or_else(|| opts.root.join("lint-baseline.toml"));
+        let path = baseline_path(&opts);
         let text = Baseline::render(&report.findings);
         if let Err(e) = std::fs::write(&path, text) {
             eprintln!("ramp-lint: cannot write {}: {e}", path.display());
@@ -126,13 +149,43 @@ fn main() -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
+    if opts.prune_baseline {
+        let path = baseline_path(&opts);
+        let kept: Vec<_> = baseline
+            .entries
+            .iter()
+            .filter(|e| !report.stale_baseline.contains(e))
+            .cloned()
+            .collect();
+        let pruned = baseline.entries.len() - kept.len();
+        let text = Baseline::render_entries(&kept);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("ramp-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "ramp-lint: pruned {pruned} stale entr{} from {} ({} kept)",
+            if pruned == 1 { "y" } else { "ies" },
+            path.display(),
+            kept.len()
+        );
+        return ExitCode::SUCCESS;
+    }
     match opts.format {
         Format::Human => print!("{}", report.to_human()),
         Format::Json => println!("{}", report.to_json()),
+        Format::Sarif => println!("{}", ramp_analyze::to_sarif(&report)),
     }
-    if report.is_clean() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
+    if !report.is_clean() {
+        return ExitCode::from(1);
     }
+    if opts.fail_stale && !report.stale_baseline.is_empty() {
+        eprintln!(
+            "ramp-lint: {} stale baseline entr{} — run `ramp-lint --prune-baseline`",
+            report.stale_baseline.len(),
+            if report.stale_baseline.len() == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
 }

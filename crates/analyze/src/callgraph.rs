@@ -1,0 +1,232 @@
+//! Workspace symbol table and conservative call graph.
+//!
+//! Nodes are the non-test functions of every lib file; edges come from
+//! resolving each [`CallSite`] against the symbol table. Resolution is
+//! name-based and deliberately over-approximate — a call may link to
+//! several same-named candidates — because for panic reachability an
+//! extra edge costs a reviewable false positive while a missing edge
+//! hides a real panic path. Three site shapes resolve differently:
+//!
+//! * **free calls** (`helper()`) link only within the calling crate —
+//!   cross-crate calls in Rust always carry a path;
+//! * **path calls** (`Type::new()`, `ramp_thermal::solve::step()`)
+//!   use the last path segment: an uppercase segment selects methods of
+//!   that type anywhere in the workspace, a crate-like segment selects
+//!   free functions of that crate;
+//! * **method calls** (`sim.step_many()`) link to any workspace method
+//!   of that name, except names on the std stoplist (`map`, `get`,
+//!   `push`, …) which are overwhelmingly std calls and would wire the
+//!   graph into noise.
+
+use crate::summary::{CallSite, FileSummary, FnSummary};
+use std::collections::BTreeMap;
+
+/// Method names that are almost always `std` calls, never workspace
+/// edges. A workspace method sharing one of these names simply gets no
+/// incoming method-call edges (path calls still resolve).
+const STD_METHODS: [&str; 64] = [
+    "map", "map_err", "and_then", "or_else", "unwrap_or", "unwrap_or_else", "unwrap_or_default",
+    "ok_or", "ok_or_else", "get", "get_mut", "insert", "remove", "push", "pop", "len", "iter",
+    "iter_mut", "into_iter", "next", "clone", "to_string", "to_vec", "to_owned", "collect",
+    "extend", "contains", "contains_key", "sum", "min", "max", "abs", "sqrt", "powi", "powf",
+    "exp", "ln", "floor", "ceil", "round", "sort", "sort_by", "sort_by_key", "retain", "drain",
+    "clear", "join", "split", "trim", "parse", "fold", "filter", "any", "all", "find", "position",
+    "count", "last", "first", "take", "skip", "zip", "chain", "rev",
+];
+
+/// One graph node: a function plus where it lives.
+#[derive(Debug, Clone, Copy)]
+pub struct Node<'a> {
+    /// The file the function lives in.
+    pub file: &'a FileSummary,
+    /// The function itself.
+    pub func: &'a FnSummary,
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct Graph<'a> {
+    /// All nodes, in (file, function) discovery order.
+    pub nodes: Vec<Node<'a>>,
+    /// `edges[i]` = indices of nodes that node `i` may call.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Maps a path segment to a workspace crate name if it looks like one
+/// (`thermal`, `ramp_thermal` → `thermal`; `crate`/`self`/`super` → the
+/// caller's own crate).
+fn crate_hint<'a>(segment: &'a str, caller_crate: &'a str) -> Option<&'a str> {
+    match segment {
+        "crate" | "self" | "super" => Some(caller_crate),
+        s => Some(s.strip_prefix("ramp_").unwrap_or(s)),
+    }
+}
+
+/// Builds the symbol table and resolves every call site.
+#[must_use]
+pub fn build<'a>(summaries: &'a [FileSummary]) -> Graph<'a> {
+    let mut nodes: Vec<Node<'a>> = Vec::new();
+    for file in summaries {
+        for func in &file.fns {
+            nodes.push(Node { file, func });
+        }
+    }
+    // name → node indices (methods and free functions separately).
+    let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut free_fns: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut typed: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        match &node.func.self_type {
+            Some(ty) => {
+                methods.entry(&node.func.name).or_default().push(i);
+                typed
+                    .entry((ty.as_str(), node.func.name.as_str()))
+                    .or_default()
+                    .push(i);
+            }
+            None => {
+                free_fns
+                    .entry((node.file.crate_name.as_str(), node.func.name.as_str()))
+                    .or_default()
+                    .push(i);
+            }
+        }
+    }
+    let resolve = |caller: &Node<'a>, call: &CallSite| -> Vec<usize> {
+        if call.is_method {
+            if STD_METHODS.contains(&call.callee.as_str()) {
+                return Vec::new();
+            }
+            let candidates = methods.get(call.callee.as_str()).cloned().unwrap_or_default();
+            // A `self.x(…)` call stays within the caller's own type when
+            // that narrows the candidate set.
+            if call.qualifier.as_deref() == Some("self") {
+                if let Some(ty) = &caller.func.self_type {
+                    let narrowed: Vec<usize> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&i| nodes[i].func.self_type.as_deref() == Some(ty.as_str()))
+                        .collect();
+                    if !narrowed.is_empty() {
+                        return narrowed;
+                    }
+                }
+            }
+            return candidates;
+        }
+        if let Some(qual) = &call.qualifier {
+            let last = qual.rsplit("::").next().unwrap_or(qual);
+            let type_segment = if last == "Self" {
+                caller.func.self_type.as_deref()
+            } else if last.starts_with(|c: char| c.is_ascii_uppercase()) {
+                Some(last)
+            } else {
+                None
+            };
+            if let Some(ty) = type_segment {
+                return typed.get(&(ty, call.callee.as_str())).cloned().unwrap_or_default();
+            }
+            // Module/crate path: resolve against that crate's free fns.
+            let first = qual.split("::").next().unwrap_or(qual);
+            if let Some(krate) = crate_hint(first, &caller.file.crate_name) {
+                if let Some(hits) = free_fns.get(&(krate, call.callee.as_str())) {
+                    return hits.clone();
+                }
+                // A module path inside the caller's crate
+                // (`solve::step(…)`).
+                return free_fns
+                    .get(&(caller.file.crate_name.as_str(), call.callee.as_str()))
+                    .cloned()
+                    .unwrap_or_default();
+            }
+            return Vec::new();
+        }
+        // Bare call: same-crate free functions only.
+        free_fns
+            .get(&(caller.file.crate_name.as_str(), call.callee.as_str()))
+            .cloned()
+            .unwrap_or_default()
+    };
+    let mut edges: Vec<Vec<usize>> = Vec::with_capacity(nodes.len());
+    for node in &nodes {
+        let mut out: Vec<usize> = node
+            .func
+            .calls
+            .iter()
+            .flat_map(|call| resolve(node, call))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        edges.push(out);
+    }
+    Graph { nodes, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{FileContext, FileKind};
+    use crate::summary::summarize;
+
+    fn file(crate_name: &str, name: &str, src: &str) -> FileSummary {
+        summarize(&FileContext::new(
+            crate_name,
+            FileKind::Lib,
+            &format!("crates/{crate_name}/src/{name}.rs"),
+            src,
+        ))
+    }
+
+    #[test]
+    fn free_calls_link_within_crate_only() {
+        let a = file("core", "a", "pub fn top() { helper(); }\nfn helper() {}\n");
+        let b = file("fleet", "b", "fn helper() {}\n");
+        let g = build(std::slice::from_ref(&a));
+        assert_eq!(g.edges[0], vec![1]);
+        let both = [a, b];
+        let g = build(&both);
+        // `top` still links only to core's helper, not fleet's.
+        assert_eq!(g.edges[0], vec![1]);
+    }
+
+    #[test]
+    fn path_and_method_calls_link_across_crates() {
+        let thermal = file(
+            "thermal",
+            "sim",
+            "pub struct ThermalSimulator;\n\
+             impl ThermalSimulator { pub fn step_many(&self) {} }\n",
+        );
+        let fleet = file(
+            "fleet",
+            "run",
+            "pub fn run(sim: &ThermalSimulator) { sim.step_many(); }\n\
+             pub fn build() { ThermalSimulator::step_many(&s); }\n",
+        );
+        let all = [thermal, fleet];
+        let g = build(&all);
+        let step = g
+            .nodes
+            .iter()
+            .position(|n| n.func.qual_name == "ThermalSimulator::step_many")
+            .expect("node");
+        let run = g.nodes.iter().position(|n| n.func.name == "run").expect("node");
+        let build_pos = g.nodes.iter().position(|n| n.func.name == "build").expect("node");
+        assert!(g.edges[run].contains(&step), "method call links");
+        assert!(g.edges[build_pos].contains(&step), "typed path call links");
+    }
+
+    #[test]
+    fn std_method_names_do_not_link() {
+        let a = file(
+            "core",
+            "a",
+            "pub struct S;\n\
+             impl S { pub fn get(&self) {} }\n\
+             pub fn caller(m: &S) { m.get(); }\n",
+        );
+        let g = build(std::slice::from_ref(&a));
+        let caller = g.nodes.iter().position(|n| n.func.name == "caller").expect("node");
+        assert!(g.edges[caller].is_empty(), "`get` is stoplisted");
+    }
+}

@@ -37,6 +37,9 @@ pub struct Finding {
     pub file: String,
     /// 1-based line of the triggering token.
     pub line: u32,
+    /// 1-based character column of the triggering token (0 when the
+    /// rule could not anchor the finding to a single token).
+    pub col: u32,
     /// The enclosing function (or the matched construct when no function
     /// encloses the site). Together with `rule` and `file` this forms the
     /// line-independent baseline key.
@@ -49,11 +52,12 @@ impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}[{}] {}:{} ({}): {}",
+            "{}[{}] {}:{}:{} ({}): {}",
             self.severity.label(),
             self.rule,
             self.file,
             self.line,
+            self.col,
             self.symbol,
             self.message
         )
@@ -85,11 +89,12 @@ impl Finding {
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"symbol\":\"{}\",\"message\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"symbol\":\"{}\",\"message\":\"{}\"}}",
             json_escape(self.rule),
             self.severity.label(),
             json_escape(&self.file),
             self.line,
+            self.col,
             json_escape(&self.symbol),
             json_escape(&self.message),
         )
@@ -107,6 +112,7 @@ mod tests {
             severity: Severity::Warning,
             file: "crates/x/src/lib.rs".to_string(),
             line: 7,
+            col: 1,
             symbol: "run".to_string(),
             message: "println! in library code".to_string(),
         };
@@ -129,6 +135,7 @@ mod tests {
             severity: Severity::Error,
             file: "f.rs".to_string(),
             line: 1,
+            col: 1,
             symbol: "s".to_string(),
             message: "m \"quoted\"".to_string(),
         };

@@ -1,0 +1,129 @@
+//! The checked-in hot-path manifest (`lint-hotpaths.toml`).
+//!
+//! The alloc-hygiene rule needs to know which functions are hot. Two
+//! sources feed it: `// ramp-lint: hot` markers in source (picked up
+//! during summarization) and this manifest, seeded from the BENCH_0003
+//! critical-path/allocation attribution so the benchmarked hot stages
+//! stay allocation-clean without touching every file. The format is the
+//! same hand-parsed TOML subset as the baseline: `[[hot]]` tables with
+//! `crate` and `symbol` keys, where `symbol` is the function's qualified
+//! name (`ThermalSimulator::step_many`).
+
+/// One manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotEntry {
+    /// Crate directory name (`thermal`).
+    pub crate_name: String,
+    /// Qualified function name (`Type::method` or `free_fn`).
+    pub symbol: String,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotManifest {
+    /// Declared hot functions, in file order.
+    pub entries: Vec<HotEntry>,
+}
+
+impl HotManifest {
+    /// Parses the manifest subset of TOML. Mirrors
+    /// [`crate::baseline::Baseline::parse`]; returns the first malformed
+    /// line's number and a message on error.
+    ///
+    /// # Errors
+    ///
+    /// Returns `(line, message)` for the first malformed line.
+    pub fn parse(text: &str) -> Result<HotManifest, (u32, String)> {
+        let mut entries: Vec<HotEntry> = Vec::new();
+        let mut current: Option<HotEntry> = None;
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = (idx + 1) as u32;
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[hot]]" {
+                if let Some(entry) = current.take() {
+                    entries.push(entry);
+                }
+                current = Some(HotEntry {
+                    crate_name: String::new(),
+                    symbol: String::new(),
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err((line_no, format!("expected `key = \"value\"`, got `{line}`")));
+            };
+            let key = key.trim();
+            let unquoted = value
+                .trim()
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| (line_no, format!("value for `{key}` must be double-quoted")))?;
+            let Some(entry) = current.as_mut() else {
+                return Err((line_no, "key outside any [[hot]] table".to_string()));
+            };
+            match key {
+                "crate" => entry.crate_name = unquoted.to_string(),
+                "symbol" => entry.symbol = unquoted.to_string(),
+                other => return Err((line_no, format!("unknown key `{other}`"))),
+            }
+        }
+        if let Some(entry) = current.take() {
+            entries.push(entry);
+        }
+        if let Some(bad) = entries
+            .iter()
+            .find(|e| e.crate_name.is_empty() || e.symbol.is_empty())
+        {
+            return Err((
+                0,
+                format!(
+                    "incomplete entry (crate=`{}`, symbol=`{}`): every [[hot]] \
+                     needs crate and symbol",
+                    bad.crate_name, bad.symbol
+                ),
+            ));
+        }
+        Ok(HotManifest { entries })
+    }
+
+    /// True when the manifest declares `symbol` in `crate_name` hot.
+    #[must_use]
+    pub fn is_hot(&self, crate_name: &str, symbol: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.crate_name == crate_name && e.symbol == symbol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_answers_lookups() {
+        let text = "# seeded from BENCH_0003\n\n\
+                    [[hot]]\ncrate = \"thermal\"\nsymbol = \"ThermalSimulator::step_many\"\n\n\
+                    [[hot]]\ncrate = \"power\"\nsymbol = \"activity_power\"\n";
+        let m = HotManifest::parse(text).unwrap();
+        assert_eq!(m.entries.len(), 2);
+        assert!(m.is_hot("thermal", "ThermalSimulator::step_many"));
+        assert!(!m.is_hot("thermal", "activity_power"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(HotManifest::parse("crate = \"orphan\"\n").is_err());
+        assert!(HotManifest::parse("[[hot]]\ncrate = unquoted\n").is_err());
+        assert!(HotManifest::parse("[[hot]]\ncrate = \"thermal\"\n").is_err());
+        assert!(HotManifest::parse("[[hot]]\nrule = \"nope\"\n").is_err());
+    }
+
+    #[test]
+    fn empty_and_comment_only_files_parse_empty() {
+        assert!(HotManifest::parse("").unwrap().entries.is_empty());
+        assert!(HotManifest::parse("# nothing yet\n").unwrap().entries.is_empty());
+    }
+}

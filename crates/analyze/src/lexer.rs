@@ -34,7 +34,8 @@ pub enum TokenKind {
     Punct,
 }
 
-/// One lexed token: its class, verbatim text, and 1-based start line.
+/// One lexed token: its class, verbatim text, and 1-based start
+/// line:column position.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// Lexical class.
@@ -43,6 +44,8 @@ pub struct Token {
     pub text: String,
     /// 1-based line on which the token starts.
     pub line: u32,
+    /// 1-based character column at which the token starts.
+    pub col: u32,
 }
 
 impl Token {
@@ -63,6 +66,7 @@ pub fn lex(src: &str) -> Vec<Token> {
         chars: src.chars().collect(),
         pos: 0,
         line: 1,
+        col: 1,
     }
     .run()
 }
@@ -71,6 +75,7 @@ struct Lexer {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    col: u32,
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -90,6 +95,9 @@ impl Lexer {
         if let Some(c) = self.chars.get(self.pos).copied() {
             if c == '\n' {
                 self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
             }
             out.push(c);
             self.pos += 1;
@@ -126,13 +134,14 @@ impl Lexer {
             } else if c.is_ascii_digit() {
                 tokens.push(self.number());
             } else {
-                let line = self.line;
+                let (line, col) = (self.line, self.col);
                 let mut text = String::new();
                 self.bump(&mut text);
                 tokens.push(Token {
                     kind: TokenKind::Punct,
                     text,
                     line,
+                    col,
                 });
             }
         }
@@ -140,7 +149,7 @@ impl Lexer {
     }
 
     fn line_comment(&mut self) -> Token {
-        let line = self.line;
+        let (line, col) = (self.line, self.col);
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c == '\n' {
@@ -152,11 +161,12 @@ impl Lexer {
             kind: TokenKind::LineComment,
             text,
             line,
+            col,
         }
     }
 
     fn block_comment(&mut self) -> Token {
-        let line = self.line;
+        let (line, col) = (self.line, self.col);
         let mut text = String::new();
         // Opening `/*`.
         self.bump(&mut text);
@@ -182,12 +192,13 @@ impl Lexer {
             kind: TokenKind::BlockComment,
             text,
             line,
+            col,
         }
     }
 
     /// A plain (escaped) string literal starting at `"`.
     fn string(&mut self) -> Token {
-        let line = self.line;
+        let (line, col) = (self.line, self.col);
         let mut text = String::new();
         self.bump(&mut text); // opening quote
         while let Some(c) = self.peek(0) {
@@ -205,6 +216,7 @@ impl Lexer {
             kind: TokenKind::StrLit,
             text,
             line,
+            col,
         }
     }
 
@@ -242,7 +254,7 @@ impl Lexer {
     /// Consumes a `b'…'`, `b"…"`, `r"…"`, `br#"…"#`-style literal whose
     /// presence [`Lexer::literal_prefix_kind`] already established.
     fn prefixed_literal(&mut self) -> Token {
-        let line = self.line;
+        let (line, col) = (self.line, self.col);
         let mut text = String::new();
         // Consume prefix letters.
         if self.peek(0) == Some('b') {
@@ -255,6 +267,7 @@ impl Lexer {
                     kind: TokenKind::CharLit,
                     text,
                     line,
+                    col,
                 };
             }
         }
@@ -273,6 +286,7 @@ impl Lexer {
                 kind: TokenKind::Ident,
                 text,
                 line,
+                col,
             };
         }
         self.bump(&mut text); // opening quote
@@ -318,12 +332,13 @@ impl Lexer {
             kind: TokenKind::StrLit,
             text,
             line,
+            col,
         }
     }
 
     /// Disambiguates `'` into a lifetime/label or a char literal.
     fn quote(&mut self) -> Token {
-        let line = self.line;
+        let (line, col) = (self.line, self.col);
         let mut text = String::new();
         // Lifetime: `'` + ident-start + *not* a closing quote right after
         // the (full) identifier. `'a'` is a char, `'a` and `'static` are
@@ -345,6 +360,7 @@ impl Lexer {
                 kind: TokenKind::Lifetime,
                 text,
                 line,
+                col,
             };
         }
         // Char literal: consume to the closing quote, honouring escapes.
@@ -368,13 +384,14 @@ impl Lexer {
             kind: TokenKind::CharLit,
             text,
             line,
+            col,
         }
     }
 
     /// `r#ident` — the keyword-escape prefix is part of the token so
     /// rules see one name, not `r` `#` `ident`.
     fn raw_ident(&mut self) -> Token {
-        let line = self.line;
+        let (line, col) = (self.line, self.col);
         let mut text = String::new();
         self.bump(&mut text); // `r`
         self.bump(&mut text); // `#`
@@ -389,11 +406,12 @@ impl Lexer {
             kind: TokenKind::Ident,
             text,
             line,
+            col,
         }
     }
 
     fn ident(&mut self) -> Token {
-        let line = self.line;
+        let (line, col) = (self.line, self.col);
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if is_ident_continue(c) {
@@ -406,11 +424,12 @@ impl Lexer {
             kind: TokenKind::Ident,
             text,
             line,
+            col,
         }
     }
 
     fn number(&mut self) -> Token {
-        let line = self.line;
+        let (line, col) = (self.line, self.col);
         let mut text = String::new();
         self.bump(&mut text);
         while let Some(c) = self.peek(0) {
@@ -442,6 +461,7 @@ impl Lexer {
             kind: TokenKind::NumLit,
             text,
             line,
+            col,
         }
     }
 }
@@ -490,6 +510,30 @@ mod tests {
         let tokens = lex("a\nb\n\nc");
         let lines: Vec<u32> = tokens.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn columns_track_within_and_across_lines() {
+        let toks = lex("ab cd\n  ef(gh)");
+        let pos: Vec<(u32, u32, &str)> =
+            toks.iter().map(|t| (t.line, t.col, t.text.as_str())).collect();
+        assert_eq!(
+            pos,
+            vec![
+                (1, 1, "ab"),
+                (1, 4, "cd"),
+                (2, 3, "ef"),
+                (2, 5, "("),
+                (2, 6, "gh"),
+                (2, 8, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn columns_reset_after_multiline_tokens() {
+        let toks = lex("/* a\nb */ x");
+        assert_eq!((toks[1].line, toks[1].col), (2, 6));
     }
 
     #[test]

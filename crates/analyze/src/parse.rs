@@ -1,0 +1,636 @@
+//! A lightweight, *total* item-level parser on top of the lexer.
+//!
+//! The cross-file rules need structure the token stream alone cannot
+//! give: which function a call site lives in, whether that function is
+//! `pub`, which `impl` block owns it, and where its body starts and
+//! ends. This module recovers exactly that — `fn`, `impl`, `struct`,
+//! `enum`, `mod`, `static`, and `const` items with visibility,
+//! attributes, and token-tree bodies — and deliberately nothing more
+//! (no expressions, no types, no name resolution).
+//!
+//! Like the lexer, the parser is total: any token stream, including the
+//! output of lexing arbitrary byte soup, produces a (possibly empty)
+//! item list without panicking or looping. Malformed nesting simply
+//! truncates the surrounding item at end-of-stream.
+
+use crate::context::FileContext;
+use crate::lexer::TokenKind;
+
+/// Item visibility, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// `pub` — workspace API surface.
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)` — restricted.
+    Restricted,
+    /// No visibility qualifier.
+    Private,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name (`step_many`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` self type (`ThermalSimulator`), if any.
+    pub self_type: Option<String>,
+    /// Visibility of the `fn` itself.
+    pub vis: Vis,
+    /// 1-based position of the name token.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// True under `#[cfg(test)]` / `#[test]` (directly or via an
+    /// enclosing module or impl block).
+    pub in_test: bool,
+    /// Half-open range of **code**-token positions of the body,
+    /// excluding the outer braces. `None` for bodiless declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, plain `name` for free functions.
+    #[must_use]
+    pub fn qual_name(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One parsed type-or-value declaration that can own state (`struct`,
+/// `enum`, `union`, `static`, `const`). The atomic-ordering rule scans
+/// these for `Atomic*` fields.
+#[derive(Debug, Clone)]
+pub struct DeclItem {
+    /// Declared name.
+    pub name: String,
+    /// Item keyword (`struct`, `enum`, `union`, `static`, `const`).
+    pub keyword: &'static str,
+    /// 1-based position of the name token.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// True under `#[cfg(test)]`.
+    pub in_test: bool,
+    /// Half-open code-token range of the whole item (keyword through
+    /// closing brace or `;`), so scans see field types and initializers.
+    pub span: (usize, usize),
+}
+
+/// Everything the parser recovered from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Function items, in source order (free functions and methods).
+    pub fns: Vec<FnItem>,
+    /// State-owning declarations, in source order.
+    pub decls: Vec<DeclItem>,
+}
+
+impl ParsedFile {
+    /// The function whose body contains code position `pos`, preferring
+    /// the innermost (last-starting) match.
+    #[must_use]
+    pub fn enclosing_fn(&self, pos: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(s, e)| pos >= s && pos < e))
+            .max_by_key(|f| f.body.map_or(0, |(s, _)| s))
+    }
+}
+
+/// Parses the item structure of `ctx`. Total: never panics on any
+/// token stream.
+#[must_use]
+pub fn parse_items(ctx: &FileContext) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let end = ctx.code.len();
+    parse_block(ctx, 0, end, None, false, &mut out, 0);
+    out
+}
+
+/// Recursion guard: deeper nesting than this is not real code.
+const MAX_DEPTH: usize = 64;
+
+/// Advances past a balanced `open`…`close` group starting anywhere at or
+/// after `pos` (the first token must be `open`); returns the position
+/// just after the matching close. Always returns `> pos`.
+pub(crate) fn skip_balanced(ctx: &FileContext, pos: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut p = pos;
+    while p < ctx.code.len() {
+        let t = ctx.code_text(p);
+        if t == open {
+            depth += 1;
+        } else if t == close {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return p + 1;
+            }
+        }
+        p += 1;
+    }
+    p.max(pos + 1)
+}
+
+/// Collected attribute info for one item.
+struct Attrs {
+    /// `#[cfg(test)]` or `#[test]` present.
+    test: bool,
+    /// Position just past the last attribute.
+    end: usize,
+}
+
+/// Scans `#[…]` / `#![…]` attributes starting at `pos`.
+fn scan_attrs(ctx: &FileContext, mut pos: usize) -> Attrs {
+    let mut test = false;
+    while ctx.code_text(pos) == "#" {
+        let mut open = pos + 1;
+        if ctx.code_text(open) == "!" {
+            open += 1;
+        }
+        if ctx.code_text(open) != "[" {
+            break;
+        }
+        let close = skip_balanced(ctx, open, "[", "]");
+        // `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]` all mark
+        // the item as test-only for rule purposes.
+        for p in open..close {
+            if ctx.code_text(p) == "test" {
+                test = true;
+            }
+        }
+        pos = close;
+    }
+    Attrs { test, end: pos }
+}
+
+/// Parses items in `start..end`, appending into `out`.
+#[allow(clippy::too_many_lines)]
+fn parse_block(
+    ctx: &FileContext,
+    start: usize,
+    end: usize,
+    self_type: Option<&str>,
+    in_test: bool,
+    out: &mut ParsedFile,
+    depth: usize,
+) {
+    if depth > MAX_DEPTH {
+        return;
+    }
+    let mut pos = start;
+    while pos < end {
+        let attrs = scan_attrs(ctx, pos);
+        let item_test = in_test || attrs.test;
+        let mut cursor = attrs.end.max(pos);
+        // Visibility.
+        let vis = if ctx.code_text(cursor) == "pub" {
+            cursor += 1;
+            if ctx.code_text(cursor) == "(" {
+                cursor = skip_balanced(ctx, cursor, "(", ")");
+                Vis::Restricted
+            } else {
+                Vis::Pub
+            }
+        } else {
+            Vis::Private
+        };
+        // Qualifiers between visibility and `fn` (`const fn`,
+        // `unsafe fn`, `async fn`, `extern "C" fn`, combinations). A
+        // `const` not followed by another qualifier or `fn` is a const
+        // *item*; a bare `unsafe` may also prefix `impl`/`trait`.
+        loop {
+            match ctx.code_text(cursor) {
+                "unsafe" | "async" => cursor += 1,
+                "extern"
+                    if ctx.code_text(cursor + 1) == "fn"
+                        || ctx
+                            .code_token(cursor + 1)
+                            .is_some_and(|t| t.kind == TokenKind::StrLit) =>
+                {
+                    cursor += 1;
+                    if ctx
+                        .code_token(cursor)
+                        .is_some_and(|t| t.kind == TokenKind::StrLit)
+                    {
+                        cursor += 1;
+                    }
+                }
+                "const"
+                    if matches!(
+                        ctx.code_text(cursor + 1),
+                        "fn" | "unsafe" | "extern" | "async"
+                    ) =>
+                {
+                    cursor += 1;
+                }
+                _ => break,
+            }
+        }
+        match ctx.code_text(cursor) {
+            "fn" => {
+                pos = parse_fn(ctx, cursor, end, vis, self_type, item_test, out).max(pos + 1);
+            }
+            "impl" | "trait" => {
+                pos = parse_impl(ctx, cursor, end, item_test, out, depth).max(pos + 1);
+            }
+            "mod" => {
+                // `mod name;` or `mod name { … }`.
+                let mut p = cursor + 2;
+                while p < end && !matches!(ctx.code_text(p), "{" | ";") {
+                    p += 1;
+                }
+                if ctx.code_text(p) == "{" {
+                    let close = skip_balanced(ctx, p, "{", "}");
+                    parse_block(
+                        ctx,
+                        p + 1,
+                        close.saturating_sub(1).min(end),
+                        self_type,
+                        item_test,
+                        out,
+                        depth + 1,
+                    );
+                    pos = close.max(pos + 1);
+                } else {
+                    pos = (p + 1).max(pos + 1);
+                }
+            }
+            kw @ ("struct" | "enum" | "union" | "static") => {
+                pos = parse_decl(ctx, cursor, end, keyword_static(kw), item_test, out)
+                    .max(pos + 1);
+            }
+            "const" => {
+                // A `const NAME: T = …;` item (const fns were consumed
+                // by the qualifier loop above).
+                pos = parse_decl(ctx, cursor, end, "const", item_test, out).max(pos + 1);
+            }
+            "macro_rules" => {
+                // `macro_rules! name { … }` — skip the whole definition.
+                let mut p = cursor;
+                while p < end && !matches!(ctx.code_text(p), "{" | "(" | "[") {
+                    p += 1;
+                }
+                pos = match ctx.code_text(p) {
+                    "{" => skip_balanced(ctx, p, "{", "}"),
+                    "(" => skip_balanced(ctx, p, "(", ")"),
+                    "[" => skip_balanced(ctx, p, "[", "]"),
+                    _ => p,
+                }
+                .max(pos + 1);
+            }
+            "use" | "type" => {
+                let mut p = cursor;
+                while p < end && ctx.code_text(p) != ";" {
+                    p += 1;
+                }
+                pos = (p + 1).max(pos + 1);
+            }
+            "{" => {
+                // A stray block at item position (e.g. inside malformed
+                // input): skip it whole so we never misparse its guts as
+                // items.
+                pos = skip_balanced(ctx, cursor, "{", "}").max(pos + 1);
+            }
+            _ => {
+                pos = (cursor + 1).max(pos + 1);
+            }
+        }
+    }
+}
+
+/// Maps a borrowed keyword to its `'static` spelling.
+fn keyword_static(kw: &str) -> &'static str {
+    match kw {
+        "struct" => "struct",
+        "enum" => "enum",
+        "union" => "union",
+        "static" => "static",
+        _ => "const",
+    }
+}
+
+/// Parses a `fn` item whose `fn` keyword sits at `fn_pos`. Returns the
+/// position just past the item.
+fn parse_fn(
+    ctx: &FileContext,
+    fn_pos: usize,
+    end: usize,
+    vis: Vis,
+    self_type: Option<&str>,
+    in_test: bool,
+    out: &mut ParsedFile,
+) -> usize {
+    let Some(name_tok) = ctx.code_token(fn_pos + 1) else {
+        return fn_pos + 1;
+    };
+    if name_tok.kind != TokenKind::Ident {
+        return fn_pos + 1;
+    }
+    let (name, line, col) = (name_tok.text.clone(), name_tok.line, name_tok.col);
+    let mut cursor = fn_pos + 2;
+    if ctx.code_text(cursor) == "<" {
+        cursor = skip_balanced(ctx, cursor, "<", ">");
+    }
+    if ctx.code_text(cursor) == "(" {
+        cursor = skip_balanced(ctx, cursor, "(", ")");
+    }
+    // Return type and where clause: scan to the body `{` or a `;`,
+    // ignoring braces/parens nested inside `(…)`/`[…]` groups (e.g.
+    // `-> [f64; N]`, `-> impl Fn(usize)`).
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    while cursor < end {
+        match ctx.code_text(cursor) {
+            "(" => paren += 1,
+            ")" => paren = paren.saturating_sub(1),
+            "[" => bracket += 1,
+            "]" => bracket = bracket.saturating_sub(1),
+            "{" if paren == 0 && bracket == 0 => break,
+            ";" if paren == 0 && bracket == 0 => {
+                out.fns.push(FnItem {
+                    name,
+                    self_type: self_type.map(str::to_string),
+                    vis,
+                    line,
+                    col,
+                    in_test,
+                    body: None,
+                });
+                return cursor + 1;
+            }
+            _ => {}
+        }
+        cursor += 1;
+    }
+    if ctx.code_text(cursor) != "{" {
+        out.fns.push(FnItem {
+            name,
+            self_type: self_type.map(str::to_string),
+            vis,
+            line,
+            col,
+            in_test,
+            body: None,
+        });
+        return cursor.max(fn_pos + 2);
+    }
+    let close = skip_balanced(ctx, cursor, "{", "}");
+    out.fns.push(FnItem {
+        name,
+        self_type: self_type.map(str::to_string),
+        vis,
+        line,
+        col,
+        in_test,
+        body: Some((cursor + 1, close.saturating_sub(1))),
+    });
+    close
+}
+
+/// Parses an `impl`/`trait` block header at `kw_pos` and recurses into
+/// its body with the self type bound. Returns the position past the
+/// block.
+fn parse_impl(
+    ctx: &FileContext,
+    kw_pos: usize,
+    end: usize,
+    in_test: bool,
+    out: &mut ParsedFile,
+    depth: usize,
+) -> usize {
+    let mut cursor = kw_pos + 1;
+    if ctx.code_text(cursor) == "<" {
+        cursor = skip_balanced(ctx, cursor, "<", ">");
+    }
+    // Walk the header to `{`, tracking the last path identifier seen
+    // outside generics. A `for` resets the tracker, so for trait impls
+    // (`impl Index<S> for PerStructure<T>`) the survivor is the self
+    // type's last segment, and for inherent impls it is the type itself.
+    let mut type_name: Option<String> = None;
+    while cursor < end {
+        match ctx.code_text(cursor) {
+            "{" => break,
+            ";" => return cursor + 1, // degenerate header — bail
+            "for" => {
+                type_name = None;
+                cursor += 1;
+            }
+            "<" => {
+                cursor = skip_balanced(ctx, cursor, "<", ">");
+            }
+            "where" => {
+                // Bounds until `{`.
+                while cursor < end && ctx.code_text(cursor) != "{" {
+                    cursor += 1;
+                }
+            }
+            _ => {
+                if let Some(tok) = ctx.code_token(cursor) {
+                    if tok.kind == TokenKind::Ident
+                        && !matches!(tok.text.as_str(), "dyn" | "mut" | "const")
+                    {
+                        type_name = Some(tok.text.clone());
+                    }
+                }
+                cursor += 1;
+            }
+        }
+    }
+    let self_type = type_name;
+    if ctx.code_text(cursor) != "{" {
+        return cursor.max(kw_pos + 1);
+    }
+    let close = skip_balanced(ctx, cursor, "{", "}");
+    parse_block(
+        ctx,
+        cursor + 1,
+        close.saturating_sub(1).min(end),
+        self_type.as_deref(),
+        in_test,
+        out,
+        depth + 1,
+    );
+    close
+}
+
+/// Parses a `struct`/`enum`/`union`/`static`/`const` declaration at
+/// `kw_pos`. Returns the position past the item.
+fn parse_decl(
+    ctx: &FileContext,
+    kw_pos: usize,
+    end: usize,
+    keyword: &'static str,
+    in_test: bool,
+    out: &mut ParsedFile,
+) -> usize {
+    let mut name_pos = kw_pos + 1;
+    if matches!(ctx.code_text(name_pos), "mut") {
+        name_pos += 1; // `static mut NAME`
+    }
+    let Some(name_tok) = ctx.code_token(name_pos) else {
+        return kw_pos + 1;
+    };
+    if name_tok.kind != TokenKind::Ident {
+        return kw_pos + 1;
+    }
+    let (name, line, col) = (name_tok.text.clone(), name_tok.line, name_tok.col);
+    let mut cursor = name_pos + 1;
+    if ctx.code_text(cursor) == "<" {
+        cursor = skip_balanced(ctx, cursor, "<", ">");
+    }
+    // Struct/enum bodies `{…}` end the item directly; tuple structs,
+    // unit structs, statics, and consts run to a top-level `;`.
+    while cursor < end {
+        match ctx.code_text(cursor) {
+            "{" => {
+                cursor = skip_balanced(ctx, cursor, "{", "}");
+                if matches!(keyword, "struct" | "enum" | "union") {
+                    break;
+                }
+            }
+            "(" => cursor = skip_balanced(ctx, cursor, "(", ")"),
+            "[" => cursor = skip_balanced(ctx, cursor, "[", "]"),
+            ";" => {
+                cursor += 1;
+                break;
+            }
+            _ => cursor += 1,
+        }
+    }
+    let cursor = cursor.max(kw_pos + 1);
+    out.decls.push(DeclItem {
+        name,
+        keyword,
+        line,
+        col,
+        in_test,
+        span: (kw_pos, cursor.min(end)),
+    });
+    cursor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{FileContext, FileKind};
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse_items(&FileContext::new("core", FileKind::Lib, "crates/core/src/x.rs", src))
+    }
+
+    #[test]
+    fn free_and_method_fns_with_visibility() {
+        let src = "pub fn alpha(x: u32) -> u32 { x }\n\
+                   fn beta() {}\n\
+                   impl Gamma {\n\
+                       pub fn delta(&self) -> f64 { 0.0 }\n\
+                       pub(crate) fn eps(&self) {}\n\
+                   }\n";
+        let p = parsed(src);
+        let names: Vec<(String, Vis)> =
+            p.fns.iter().map(|f| (f.qual_name(), f.vis)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("alpha".to_string(), Vis::Pub),
+                ("beta".to_string(), Vis::Private),
+                ("Gamma::delta".to_string(), Vis::Pub),
+                ("Gamma::eps".to_string(), Vis::Restricted),
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_impl_self_type_comes_after_for() {
+        let src = "impl<T> std::ops::Index<Structure> for PerStructure<T> {\n\
+                       fn index(&self, s: Structure) -> &T { &self.0 }\n\
+                   }\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].qual_name(), "PerStructure::index");
+    }
+
+    #[test]
+    fn cfg_test_marks_items_recursively() {
+        let src = "fn live() {}\n\
+                   #[cfg(test)]\nmod tests {\n  fn helper() {}\n  #[test]\n  fn case() {}\n}\n";
+        let p = parsed(src);
+        let test_flags: Vec<(String, bool)> =
+            p.fns.iter().map(|f| (f.name.clone(), f.in_test)).collect();
+        assert_eq!(
+            test_flags,
+            vec![
+                ("live".to_string(), false),
+                ("helper".to_string(), true),
+                ("case".to_string(), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn bodies_exclude_braces_and_enclosing_fn_resolves() {
+        let src = "fn outer() { inner_call(); }";
+        let p = parsed(src);
+        let (s, e) = p.fns[0].body.expect("has body");
+        assert!(e > s);
+        assert!(p.enclosing_fn(s).is_some());
+        assert_eq!(p.enclosing_fn(s).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn decls_capture_structs_and_statics() {
+        let src = "pub struct Stats { requests: AtomicU64 }\n\
+                   static HITS: AtomicU64 = AtomicU64::new(0);\n\
+                   const K: usize = 3;\n\
+                   enum E { A, B }\n";
+        let p = parsed(src);
+        let got: Vec<(&'static str, String)> =
+            p.decls.iter().map(|d| (d.keyword, d.name.clone())).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("struct", "Stats".to_string()),
+                ("static", "HITS".to_string()),
+                ("const", "K".to_string()),
+                ("enum", "E".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_with_return_type_and_where_clause() {
+        let src = "pub fn f<T>(x: T) -> Result<(), String> where T: Clone { Ok(()) }";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 1);
+        assert!(p.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn bodiless_trait_methods_are_recorded() {
+        let src = "trait T { fn required(&self) -> u32; fn given(&self) -> u32 { 1 } }";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert!(p.fns[0].body.is_none());
+        assert!(p.fns[1].body.is_some());
+        assert_eq!(p.fns[0].qual_name(), "T::required");
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl {",
+            "pub pub pub fn f(",
+            "struct",
+            "mod m {",
+            "fn f() { {{{{ }",
+            "impl<T for {}",
+        ] {
+            let _ = parsed(src);
+        }
+    }
+}

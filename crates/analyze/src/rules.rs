@@ -6,14 +6,73 @@ use crate::context::{FileContext, FileKind};
 use crate::findings::{Finding, Severity};
 use crate::lexer::TokenKind;
 
-/// Names of every rule, in reporting order.
-pub const RULE_NAMES: [&str; 5] = [
-    "unit-safety",
-    "determinism",
-    "obs-hygiene",
-    "panic-hygiene",
-    "span-hygiene",
+/// Metadata for one rule: fixed severity plus a one-line description
+/// (surfaced in the SARIF `rules` array and the README rule table).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    /// Rule name as it appears in findings and allow directives.
+    pub name: &'static str,
+    /// The severity every finding of this rule carries.
+    pub severity: Severity,
+    /// One-line description of what the rule catches.
+    pub summary: &'static str,
+}
+
+/// Every rule, token-local and cross-file, in reporting order.
+pub const RULES: [RuleMeta; 9] = [
+    RuleMeta {
+        name: "unit-safety",
+        severity: Severity::Error,
+        summary: "raw f64 in pub fn signatures of the model crates",
+    },
+    RuleMeta {
+        name: "determinism",
+        severity: Severity::Error,
+        summary: "wall clocks, OS entropy, hash-order iteration in simulation code",
+    },
+    RuleMeta {
+        name: "obs-hygiene",
+        severity: Severity::Warning,
+        summary: "println!/eprintln!/dbg! bypassing the ramp-obs sinks",
+    },
+    RuleMeta {
+        name: "panic-hygiene",
+        severity: Severity::Warning,
+        summary: "unwrap()/expect()/panic! on library paths",
+    },
+    RuleMeta {
+        name: "span-hygiene",
+        severity: Severity::Warning,
+        summary: "dynamic or malformed span/metric names",
+    },
+    RuleMeta {
+        name: "panic-reach",
+        severity: Severity::Error,
+        summary: "pub model-crate APIs transitively reaching a panic site",
+    },
+    RuleMeta {
+        name: "float-determinism",
+        severity: Severity::Error,
+        summary: "f64/f32 accumulation inside Executor closures or merge callbacks",
+    },
+    RuleMeta {
+        name: "atomic-ordering",
+        severity: Severity::Warning,
+        summary: "Relaxed stores paired with Acquire loads; atomics outside obs/core",
+    },
+    RuleMeta {
+        name: "alloc-hygiene",
+        severity: Severity::Warning,
+        summary: "allocation-prone constructs in declared hot paths",
+    },
 ];
+
+/// Looks a rule up by name (used to rehydrate `&'static` rule names from
+/// the incremental cache).
+#[must_use]
+pub fn rule_named(name: &str) -> Option<&'static RuleMeta> {
+    RULES.iter().find(|r| r.name == name)
+}
 
 /// Crates whose public APIs must use `ramp-units` newtypes instead of
 /// raw `f64` (the model crates, where a bare double is a latent
@@ -172,14 +231,15 @@ fn unit_safety(ctx: &FileContext, findings: &mut Vec<Finding>) {
             if raw_return {
                 what.push("a raw f64 return".to_string());
             }
-            let line = ctx
+            let (line, col) = ctx
                 .code_token(pub_pos)
-                .map_or(0, |t| t.line);
+                .map_or((0, 0), |t| (t.line, t.col));
             findings.push(Finding {
                 rule: "unit-safety",
                 severity: Severity::Error,
                 file: ctx.rel_path.clone(),
                 line,
+                col,
                 symbol: fn_name.clone(),
                 message: format!(
                     "pub fn `{fn_name}` exposes {}; use a ramp-units newtype (Kelvin, Watts, …) \
@@ -237,6 +297,7 @@ fn determinism(ctx: &FileContext, findings: &mut Vec<Finding>) {
                 severity: Severity::Error,
                 file: ctx.rel_path.clone(),
                 line: tok.line,
+                col: tok.col,
                 symbol: ctx.enclosing_fn(pos),
                 message,
             });
@@ -272,6 +333,7 @@ fn obs_hygiene(ctx: &FileContext, findings: &mut Vec<Finding>) {
             severity: Severity::Warning,
             file: ctx.rel_path.clone(),
             line: tok.line,
+            col: tok.col,
             symbol: ctx.enclosing_fn(pos),
             message: format!(
                 "`{}!` in library code bypasses the observability sinks; use \
@@ -321,6 +383,7 @@ fn panic_hygiene(ctx: &FileContext, findings: &mut Vec<Finding>) {
             severity: Severity::Warning,
             file: ctx.rel_path.clone(),
             line: tok.line,
+            col: tok.col,
             symbol: ctx.enclosing_fn(pos),
             message,
         });
@@ -411,6 +474,7 @@ fn span_hygiene(ctx: &FileContext, findings: &mut Vec<Finding>) {
             severity: Severity::Warning,
             file: ctx.rel_path.clone(),
             line: tok.line,
+            col: tok.col,
             symbol: ctx.enclosing_fn(pos),
             message,
         });

@@ -1,0 +1,130 @@
+//! SARIF 2.1.0 output (`ramp-lint --format sarif`).
+//!
+//! One run, one driver (`ramp-lint`), the full rule registry in
+//! `tool.driver.rules`, and one `result` per finding with a physical
+//! location (`uri` + `region.startLine/startColumn`). The shape is the
+//! minimal subset GitHub code scanning ingests, so the CI lint job can
+//! upload the artifact and surface findings as PR annotations. Rendered
+//! by hand like every other JSON in this workspace — same escaping
+//! helper, no dependencies.
+
+use crate::findings::{json_escape, Severity};
+use crate::rules::RULES;
+use crate::Report;
+
+/// SARIF severity level for a finding severity.
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    }
+}
+
+/// Renders the whole report as one SARIF 2.1.0 document.
+#[must_use]
+pub fn render(report: &Report) -> String {
+    let rules: Vec<String> = RULES
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\
+                 \"defaultConfiguration\":{{\"level\":\"{}\"}}}}",
+                json_escape(r.name),
+                json_escape(r.summary),
+                level(r.severity)
+            )
+        })
+        .collect();
+    let results: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let rule_index = RULES
+                .iter()
+                .position(|r| r.name == f.rule)
+                .unwrap_or_default();
+            format!(
+                "{{\"ruleId\":\"{}\",\"ruleIndex\":{},\"level\":\"{}\",\
+                 \"message\":{{\"text\":\"{}\"}},\"locations\":[{{\
+                 \"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\",\
+                 \"uriBaseId\":\"SRCROOT\"}},\"region\":{{\"startLine\":{},\
+                 \"startColumn\":{}}}}}}}]}}",
+                json_escape(f.rule),
+                rule_index,
+                level(f.severity),
+                json_escape(&f.message),
+                json_escape(&f.file),
+                f.line.max(1),
+                f.col.max(1)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\
+         \"name\":\"ramp-lint\",\
+         \"informationUri\":\"https://github.com/ramp-repro/ramp\",\
+         \"rules\":[{}]}}}},\"columnKind\":\"utf16CodeUnits\",\
+         \"originalUriBaseIds\":{{\"SRCROOT\":{{\"uri\":\"file:///\"}}}},\
+         \"results\":[{}]}}]}}",
+        rules.join(","),
+        results.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::Finding;
+
+    #[test]
+    fn sarif_document_has_schema_rules_and_locations() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "panic-reach",
+                severity: Severity::Error,
+                file: "crates/thermal/src/solve.rs".to_string(),
+                line: 12,
+                col: 5,
+                symbol: "solve".to_string(),
+                message: "pub fn `solve` reaches a panic via `solve -> step`".to_string(),
+            }],
+            ..Report::default()
+        };
+        let sarif = render(&report);
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"name\":\"ramp-lint\""));
+        assert!(sarif.contains("\"id\":\"panic-reach\""));
+        assert!(sarif.contains("\"startLine\":12"));
+        assert!(sarif.contains("\"startColumn\":5"));
+        assert!(sarif.contains("crates/thermal/src/solve.rs"));
+        // Every registered rule is described exactly once.
+        assert_eq!(sarif.matches("\"shortDescription\"").count(), RULES.len());
+    }
+
+    #[test]
+    fn zero_columns_clamp_to_one() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "unit-safety",
+                severity: Severity::Error,
+                file: "f.rs".to_string(),
+                line: 0,
+                col: 0,
+                symbol: "s".to_string(),
+                message: "m".to_string(),
+            }],
+            ..Report::default()
+        };
+        let sarif = render(&report);
+        assert!(sarif.contains("\"startLine\":1"));
+        assert!(sarif.contains("\"startColumn\":1"));
+    }
+
+    #[test]
+    fn empty_report_is_still_a_valid_run() {
+        let sarif = render(&Report::default());
+        assert!(sarif.contains("\"results\":[]"));
+        assert!(sarif.ends_with("}]}"));
+    }
+}

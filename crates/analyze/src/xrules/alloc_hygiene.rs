@@ -1,0 +1,124 @@
+//! alloc-hygiene: declared hot paths must not allocate.
+//!
+//! The allocation-tracking work (BENCH_0003) pinned per-stage
+//! allocation budgets; this rule moves the same pressure to the source
+//! level. A function is *hot* when it carries a `// ramp-lint: hot`
+//! marker or appears in the checked-in `lint-hotpaths.toml` manifest.
+//! Any allocation-prone construct inside a hot function — `Vec::new`,
+//! `.push()`, `Box::new`, `format!`, `.clone()`, `.collect()`, … — is a
+//! warning, with one finding per function anchored at the first site.
+
+use crate::findings::{Finding, Severity};
+use crate::hotpaths::HotManifest;
+use crate::summary::FileSummary;
+
+/// Runs the rule over the workspace summaries.
+#[must_use]
+pub fn check(summaries: &[FileSummary], manifest: &HotManifest) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in summaries {
+        for func in &file.fns {
+            let hot = func.hot || manifest.is_hot(&file.crate_name, &func.qual_name);
+            if !hot || func.allocs.is_empty() {
+                continue;
+            }
+            let first = &func.allocs[0];
+            let extra = func.allocs.len() - 1;
+            let more = if extra > 0 {
+                format!(" (+{extra} more site{})", if extra == 1 { "" } else { "s" })
+            } else {
+                String::new()
+            };
+            findings.push(Finding {
+                rule: "alloc-hygiene",
+                severity: Severity::Warning,
+                file: file.rel_path.clone(),
+                line: first.line,
+                col: first.col,
+                symbol: func.qual_name.clone(),
+                message: format!(
+                    "hot path `{}` allocates: `{}`{more}; hoist allocations \
+                     out of the per-step loop, reuse buffers, or drop the \
+                     function from the hot-path set",
+                    func.qual_name, first.what
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{FileContext, FileKind};
+    use crate::summary::summarize;
+
+    fn file(src: &str) -> FileSummary {
+        summarize(&FileContext::new(
+            "thermal",
+            FileKind::Lib,
+            "crates/thermal/src/x.rs",
+            src,
+        ))
+    }
+
+    #[test]
+    fn marker_hot_fn_with_allocations_is_flagged_once() {
+        let s = file(
+            "// ramp-lint: hot\n\
+             pub fn step(&mut self) {\n\
+                 let scratch = Vec::new();\n\
+                 let label = format!(\"x\");\n\
+                 drop((scratch, label));\n\
+             }\n",
+        );
+        let all = [s];
+        let findings = check(&all, &HotManifest::default());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("Vec::new"));
+        assert!(findings[0].message.contains("+1 more"));
+    }
+
+    #[test]
+    fn manifest_hot_fn_is_flagged_and_cold_fn_is_not() {
+        let s = file(
+            "impl Sim {\n\
+                 pub fn step_many(&mut self) { let v = vec![1]; drop(v); }\n\
+             }\n\
+             pub fn cold() { let v = Vec::new(); drop(v); }\n",
+        );
+        let manifest =
+            HotManifest::parse("[[hot]]\ncrate = \"thermal\"\nsymbol = \"Sim::step_many\"\n")
+                .unwrap();
+        let all = [s];
+        let findings = check(&all, &manifest);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].symbol, "Sim::step_many");
+    }
+
+    #[test]
+    fn inline_allow_on_the_site_clears_the_fn() {
+        let s = file(
+            "// ramp-lint: hot\n\
+             pub fn step(&mut self) {\n\
+                 let once = Vec::new(); // ramp-lint:allow(alloc-hygiene) -- one-time warmup\n\
+                 drop(once);\n\
+             }\n",
+        );
+        let all = [s];
+        assert!(check(&all, &HotManifest::default()).is_empty());
+    }
+
+    #[test]
+    fn alloc_free_hot_fn_is_clean() {
+        let s = file(
+            "// ramp-lint: hot\n\
+             pub fn step(&mut self, xs: &mut [f64]) {\n\
+                 for x in xs.iter_mut() { *x *= 2.0; }\n\
+             }\n",
+        );
+        let all = [s];
+        assert!(check(&all, &HotManifest::default()).is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! atomic-ordering: cross-file checks on `std::sync::atomic` usage.
+//!
+//! Two checks, both warnings:
+//!
+//! 1. **Mismatched pairs** — a `Relaxed` store-side operation (`store`,
+//!    `swap`, `fetch_*`, `compare_exchange`) on a field that some other
+//!    site loads with `Acquire`. The `Acquire` load synchronizes with
+//!    nothing (there is no `Release` store to pair with), which usually
+//!    means the author believed the load orders *data* writes it does
+//!    not order. Fields are matched by name across the whole workspace —
+//!    over-approximate, but atomics are rare enough here that name
+//!    collisions are reviewable.
+//! 2. **Stray atomics** — `Atomic*`-owning declarations outside `obs`
+//!    (the metric registry) and `core` (executor internals). The
+//!    workspace routes shared counters through `ramp-obs`; an atomic
+//!    anywhere else is either a missing metric or an undocumented
+//!    lock-free protocol, and both deserve an inline justification.
+
+use crate::findings::{Finding, Severity};
+use crate::summary::FileSummary;
+
+/// Crates whose internals legitimately own atomics.
+const ATOMIC_HOME_CRATES: [&str; 2] = ["obs", "core"];
+
+/// Runs both checks over the workspace summaries.
+#[must_use]
+pub fn check(summaries: &[FileSummary]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Pass 1: collect every Acquire load, keyed by field-name hint.
+    let acquire_loads: Vec<(&FileSummary, &crate::summary::AtomicOp)> = summaries
+        .iter()
+        .flat_map(|s| s.atomic_ops.iter().map(move |op| (s, op)))
+        .filter(|(_, op)| {
+            op.method == "load" && op.orderings.iter().any(|o| o == "Acquire")
+        })
+        .collect();
+    for file in summaries {
+        for op in &file.atomic_ops {
+            let is_relaxed_store = op.method != "load"
+                && op.orderings.iter().any(|o| o == "Relaxed")
+                && !op.field.is_empty();
+            if !is_relaxed_store {
+                continue;
+            }
+            if let Some((load_file, load_op)) = acquire_loads
+                .iter()
+                .find(|(_, l)| l.field == op.field)
+            {
+                findings.push(Finding {
+                    rule: "atomic-ordering",
+                    severity: Severity::Warning,
+                    file: file.rel_path.clone(),
+                    line: op.line,
+                    col: op.col,
+                    symbol: op.field.clone(),
+                    message: format!(
+                        "Relaxed `{}` of `{}` is paired with an Acquire load at \
+                         {}:{}; the Acquire synchronizes with nothing — make \
+                         this store Release (or both sides Relaxed) and state \
+                         the protocol",
+                        op.method, op.field, load_file.rel_path, load_op.line
+                    ),
+                });
+            }
+        }
+        // Pass 2: stray atomic declarations.
+        if ATOMIC_HOME_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for decl in &file.atomic_decls {
+            findings.push(Finding {
+                rule: "atomic-ordering",
+                severity: Severity::Warning,
+                file: file.rel_path.clone(),
+                line: decl.line,
+                col: decl.col,
+                symbol: decl.name.clone(),
+                message: format!(
+                    "{} `{}` owns Atomic* state outside obs/core; route shared \
+                     counters through ramp-obs metrics, or allow with the \
+                     lock-free protocol it implements",
+                    decl.keyword, decl.name
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{FileContext, FileKind};
+    use crate::summary::summarize;
+
+    fn file(crate_name: &str, name: &str, src: &str) -> FileSummary {
+        summarize(&FileContext::new(
+            crate_name,
+            FileKind::Lib,
+            &format!("crates/{crate_name}/src/{name}.rs"),
+            src,
+        ))
+    }
+
+    #[test]
+    fn relaxed_store_with_acquire_load_is_flagged_across_files() {
+        let writer = file(
+            "core",
+            "w",
+            "impl S { fn bump(&self) { self.hits.fetch_add(1, Ordering::Relaxed); } }\n",
+        );
+        let reader = file(
+            "core",
+            "r",
+            "impl S { fn read(&self) -> u64 { self.hits.load(Ordering::Acquire) } }\n",
+        );
+        let all = [writer, reader];
+        let findings = check(&all);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].symbol, "hits");
+        assert!(findings[0].message.contains("crates/core/src/r.rs"));
+    }
+
+    #[test]
+    fn matched_orderings_and_all_relaxed_pass() {
+        let a = file(
+            "core",
+            "a",
+            "impl S {\n\
+                 fn bump(&self) { self.n.fetch_add(1, Ordering::Relaxed); }\n\
+                 fn read(&self) -> u64 { self.n.load(Ordering::Relaxed) }\n\
+                 fn publish(&self) { self.m.store(1, Ordering::Release); }\n\
+                 fn consume(&self) -> u64 { self.m.load(Ordering::Acquire) }\n\
+             }\n",
+        );
+        let all = [a];
+        assert!(check(&all).is_empty());
+    }
+
+    #[test]
+    fn stray_atomics_flagged_outside_home_crates_with_allow_escape() {
+        let stray = file(
+            "serve",
+            "s",
+            "pub struct Stats { hits: AtomicU64 }\n\
+             // ramp-lint:allow(atomic-ordering) -- single-writer metrics mirror\n\
+             pub struct Quiet { misses: AtomicU64 }\n",
+        );
+        let home = file("obs", "h", "pub struct Registry { gauges: AtomicU64 }\n");
+        let all = [stray, home];
+        let findings = check(&all);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].symbol, "Stats");
+    }
+}

@@ -1,0 +1,262 @@
+//! float-determinism: floating-point accumulation must not happen in a
+//! thread-dependent order.
+//!
+//! The whole stack is pinned to byte-identical digests at any
+//! `RAMP_THREADS`, and the one bug class that silently breaks that is a
+//! parallel `f64` reduction: `+=` / `.sum()` / `.fold()` over floats
+//! inside a closure handed to `Executor::map`/`map_indexed`, or inside
+//! a population `merge` callback. Integer accumulators are associative
+//! and stay exempt.
+//!
+//! Detection is token-level and evidence-based: an accumulation site
+//! fires only when the surrounding region also shows *float evidence*
+//! (`f64`/`f32` tokens or a float literal). `self.total += other.total`
+//! over untyped fields therefore passes — the analyzer cannot see
+//! types — which is the documented precision limit; the merge-invariant
+//! test suite remains the backstop for that shape.
+
+use crate::context::FileContext;
+use crate::findings::{Finding, Severity};
+use crate::lexer::TokenKind;
+use crate::parse::{skip_balanced, ParsedFile};
+
+/// One detected accumulation site.
+struct Accum {
+    /// Code position of the anchor token.
+    pos: usize,
+    /// What accumulates (`+=`, `.sum()`, `.fold()`).
+    what: &'static str,
+}
+
+/// Runs the rule over one file. Returns surviving findings and the
+/// count suppressed by inline allows.
+#[must_use]
+pub fn check(ctx: &FileContext, parsed: &ParsedFile) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    let mut emit = |ctx: &FileContext, pos: usize, what: &str, where_: &str| {
+        let Some(tok) = ctx.code_token(pos) else { return };
+        if ctx.is_allowed(tok.line, "float-determinism") {
+            suppressed += 1;
+            return;
+        }
+        let symbol = parsed
+            .enclosing_fn(pos)
+            .map_or_else(|| ctx.enclosing_fn(pos), |f| f.qual_name());
+        findings.push(Finding {
+            rule: "float-determinism",
+            severity: Severity::Error,
+            file: ctx.rel_path.clone(),
+            line: tok.line,
+            col: tok.col,
+            symbol,
+            message: format!(
+                "f64/f32 accumulation (`{what}`) {where_} makes the reduction \
+                 order thread-dependent and breaks byte-identical digests; \
+                 accumulate into integer counters, reduce in the deterministic \
+                 merge step, or allow with proof of order-independence"
+            ),
+        });
+    };
+    // Closures passed to Executor parallel entry points. `.map(&items,
+    // …)` is the Executor shape (slice by reference); iterator `.map`
+    // takes a bare closure and does not match.
+    for pos in 0..ctx.code.len() {
+        if ctx.in_test_span(ctx.code[pos]) {
+            continue;
+        }
+        let prev = if pos > 0 { ctx.code_text(pos - 1) } else { "" };
+        let is_exec_map = prev == "."
+            && ctx.code_text(pos + 1) == "("
+            && (ctx.code_text(pos) == "map_indexed"
+                || (ctx.code_text(pos) == "map" && ctx.code_text(pos + 2) == "&"));
+        if !is_exec_map {
+            continue;
+        }
+        let args_end = skip_balanced(ctx, pos + 1, "(", ")");
+        let Some(body_start) = closure_body_start(ctx, pos + 2, args_end) else {
+            continue;
+        };
+        let region = body_start..args_end.saturating_sub(1);
+        if !float_evidence(ctx, region.clone()) {
+            continue;
+        }
+        for acc in accumulation_sites(ctx, region) {
+            emit(ctx, acc.pos, acc.what, "inside an Executor parallel closure");
+        }
+    }
+    // Merge callbacks: the population accumulators combine per-worker
+    // results here, and this is the last place order-dependence can
+    // sneak back in.
+    for f in parsed.fns.iter().filter(|f| !f.in_test) {
+        if !(f.name == "merge" || f.name.starts_with("merge_")) {
+            continue;
+        }
+        let Some((start, end)) = f.body else { continue };
+        for acc in accumulation_sites(ctx, start..end) {
+            // Statement-level evidence keeps integer merges clean.
+            let stmt = statement_around(ctx, acc.pos, start, end);
+            if float_evidence(ctx, stmt) {
+                emit(ctx, acc.pos, acc.what, "inside a merge callback");
+            }
+        }
+    }
+    (findings, suppressed)
+}
+
+/// Finds the code position just after the closure's parameter list
+/// (`|…|`) in `start..end`, if a closure argument exists.
+fn closure_body_start(ctx: &FileContext, start: usize, end: usize) -> Option<usize> {
+    let mut pos = start;
+    while pos < end {
+        let t = ctx.code_text(pos);
+        if t == "|" {
+            let prev = if pos > 0 { ctx.code_text(pos - 1) } else { "" };
+            if matches!(prev, "(" | "," | "move") {
+                // Parameter list runs to the matching `|`.
+                let mut p = pos + 1;
+                while p < end && ctx.code_text(p) != "|" {
+                    p += 1;
+                }
+                return (p + 1 < end).then_some(p + 1);
+            }
+        }
+        pos += 1;
+    }
+    None
+}
+
+/// True when the region shows float involvement: an `f64`/`f32` token or
+/// a float-looking literal (`0.5`, `1.0f64`). Integer-only regions stay
+/// exempt by construction.
+fn float_evidence(ctx: &FileContext, region: std::ops::Range<usize>) -> bool {
+    region.clone().any(|p| {
+        let Some(tok) = ctx.code_token(p) else { return false };
+        match tok.kind {
+            TokenKind::Ident => tok.text == "f64" || tok.text == "f32",
+            TokenKind::NumLit => {
+                tok.text.contains('.')
+                    || tok.text.ends_with("f64")
+                    || tok.text.ends_with("f32")
+            }
+            _ => false,
+        }
+    })
+}
+
+/// Accumulation anchors in the region: `+=` (lexed as `+` `=`),
+/// `.sum(`/`.sum::<`, and `.fold(`.
+fn accumulation_sites(ctx: &FileContext, region: std::ops::Range<usize>) -> Vec<Accum> {
+    let mut out = Vec::new();
+    for pos in region {
+        let t = ctx.code_text(pos);
+        let prev = if pos > 0 { ctx.code_text(pos - 1) } else { "" };
+        if t == "+" && ctx.code_text(pos + 1) == "=" {
+            out.push(Accum { pos, what: "+=" });
+        } else if t == "sum"
+            && prev == "."
+            && matches!(ctx.code_text(pos + 1), "(" | ":")
+        {
+            out.push(Accum { pos, what: ".sum()" });
+        } else if t == "fold" && prev == "." && ctx.code_text(pos + 1) == "(" {
+            out.push(Accum { pos, what: ".fold()" });
+        }
+    }
+    out
+}
+
+/// The statement containing `pos`: back to the previous `;`/`{`/`}` and
+/// forward to the next `;`/`}`, clamped to `lo..hi`.
+fn statement_around(
+    ctx: &FileContext,
+    pos: usize,
+    lo: usize,
+    hi: usize,
+) -> std::ops::Range<usize> {
+    let mut start = pos;
+    while start > lo && !matches!(ctx.code_text(start - 1), ";" | "{" | "}") {
+        start -= 1;
+    }
+    let mut end = pos;
+    while end < hi && !matches!(ctx.code_text(end), ";" | "}") {
+        end += 1;
+    }
+    start..end.min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{FileContext, FileKind};
+    use crate::parse::parse_items;
+
+    fn run(src: &str) -> (Vec<Finding>, usize) {
+        let ctx = FileContext::new("fleet", FileKind::Lib, "crates/fleet/src/x.rs", src);
+        let parsed = parse_items(&ctx);
+        check(&ctx, &parsed)
+    }
+
+    #[test]
+    fn float_accumulation_in_executor_closure_is_caught() {
+        let src = "fn reduce(exec: &Executor, chunks: &[Vec<f64>]) -> Vec<f64> {\n\
+                       exec.map(&chunks, |c| {\n\
+                           let mut s = 0.0f64;\n\
+                           for v in c { s += v; }\n\
+                           s\n\
+                       })\n\
+                   }\n";
+        let (findings, _) = run(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "float-determinism");
+        assert!(findings[0].message.contains("+="));
+        assert_eq!(findings[0].symbol, "reduce");
+    }
+
+    #[test]
+    fn integer_accumulation_is_exempt() {
+        let src = "fn reduce(exec: &Executor, chunks: &[Vec<u64>]) -> Vec<u64> {\n\
+                       exec.map(&chunks, |c| {\n\
+                           let mut s = 0u64;\n\
+                           for v in c { s += v; }\n\
+                           s\n\
+                       })\n\
+                   }\n\
+                   fn merge(a: &mut Acc, b: &Acc) { a.failures += b.failures; }\n";
+        let (findings, suppressed) = run(src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 0);
+    }
+
+    #[test]
+    fn float_merge_callback_is_caught_and_allow_suppresses() {
+        let src = "fn merge(a: &mut Acc, b: &Acc) {\n\
+                       a.total += b.scale * 0.5;\n\
+                   }\n\
+                   fn merge_other(a: &mut Acc, b: &Acc) {\n\
+                       a.total += b.scale * 0.5; // ramp-lint:allow(float-determinism) -- compensated sum\n\
+                   }\n";
+        let (findings, suppressed) = run(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].symbol, "merge");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn iterator_map_is_not_an_executor_entry() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n\
+                       xs.iter().map(|x| x * 2.0).next().unwrap_or(0.0)\n\
+                   }\n";
+        let (findings, _) = run(src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn float_sum_in_executor_closure_is_caught() {
+        let src = "fn f(exec: &Executor, xs: &[Vec<f64>]) -> Vec<f64> {\n\
+                       exec.map(&xs, |c| c.iter().sum::<f64>())\n\
+                   }\n";
+        let (findings, _) = run(src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains(".sum()"));
+    }
+}

@@ -1,0 +1,155 @@
+//! panic-reach: `pub` APIs of the model crates must not transitively
+//! reach a panic site through workspace-local calls.
+//!
+//! Sources are the [`crate::summary::PanicSite`]s each function carries:
+//! `unwrap`/`expect`/`panic!`-family/indexing **without** an inline
+//! allow. An allow for `panic-hygiene` (the token-local rule) states the
+//! invariant that makes the site total, which is exactly the proof this
+//! rule wants, so justified sites do not propagate. The finding prints
+//! the full call chain from the API to the panicking function, so the
+//! reader can decide where on the path to return a `Result` instead.
+
+use crate::callgraph::Graph;
+use crate::findings::{Finding, Severity};
+use std::collections::VecDeque;
+
+/// Crates whose `pub` functions are reliability API surface.
+const MODEL_CRATES: [&str; 5] = ["power", "thermal", "core", "microarch", "fleet"];
+
+/// Runs the rule over the workspace call graph.
+#[must_use]
+pub fn check(graph: &Graph<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (entry, node) in graph.nodes.iter().enumerate() {
+        if node.func.vis != crate::parse::Vis::Pub
+            || !MODEL_CRATES.contains(&node.file.crate_name.as_str())
+        {
+            continue;
+        }
+        let Some(chain) = shortest_panic_chain(graph, entry) else {
+            continue;
+        };
+        let last = chain[chain.len() - 1];
+        let sink = &graph.nodes[last];
+        // Shortest chain ⇒ only the last node panics directly.
+        let site = &sink.func.panics[0];
+        let path: Vec<&str> = chain
+            .iter()
+            .map(|&i| graph.nodes[i].func.qual_name.as_str())
+            .collect();
+        let via = if chain.len() == 1 {
+            "panics directly".to_string()
+        } else {
+            format!("reaches a panic via `{}`", path.join(" -> "))
+        };
+        findings.push(Finding {
+            rule: "panic-reach",
+            severity: Severity::Error,
+            file: node.file.rel_path.clone(),
+            line: node.func.line,
+            col: node.func.col,
+            symbol: node.func.qual_name.clone(),
+            message: format!(
+                "pub fn `{}` {via}: {} at {}:{}; return a Result along the \
+                 path, or allow the site with the invariant that makes it total",
+                node.func.qual_name, site.what, sink.file.rel_path, site.line
+            ),
+        });
+    }
+    findings
+}
+
+/// BFS from `entry` to the nearest function with a direct panic site.
+/// Returns the node chain `entry..=panicking_fn`, or `None` when every
+/// reachable function is panic-free.
+fn shortest_panic_chain(graph: &Graph<'_>, entry: usize) -> Option<Vec<usize>> {
+    let n = graph.nodes.len();
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    parent[entry] = entry;
+    queue.push_back(entry);
+    while let Some(at) = queue.pop_front() {
+        if !graph.nodes[at].func.panics.is_empty() {
+            let mut chain = vec![at];
+            let mut cursor = at;
+            while cursor != entry {
+                cursor = parent[cursor];
+                chain.push(cursor);
+            }
+            chain.reverse();
+            return Some(chain);
+        }
+        for &next in &graph.edges[at] {
+            if parent[next] == usize::MAX {
+                parent[next] = at;
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+    use crate::context::{FileContext, FileKind};
+    use crate::summary::{summarize, FileSummary};
+
+    fn file(crate_name: &str, name: &str, src: &str) -> FileSummary {
+        summarize(&FileContext::new(
+            crate_name,
+            FileKind::Lib,
+            &format!("crates/{crate_name}/src/{name}.rs"),
+            src,
+        ))
+    }
+
+    #[test]
+    fn transitive_panic_is_reported_with_the_chain() {
+        let a = file(
+            "thermal",
+            "api",
+            "pub fn solve() { step(); }\nfn step() { deep(); }\nfn deep(x: Option<u32>) { x.unwrap(); }\n",
+        );
+        let all = [a];
+        let g = build(&all);
+        let findings = check(&g);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].symbol, "solve");
+        assert!(
+            findings[0].message.contains("solve -> step -> deep"),
+            "chain printed: {}",
+            findings[0].message
+        );
+        assert!(findings[0].message.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn justified_sites_do_not_propagate() {
+        let a = file(
+            "thermal",
+            "api",
+            "pub fn solve() { step(); }\n\
+             fn step(x: Option<u32>) {\n\
+                 x.unwrap(); // ramp-lint:allow(panic-hygiene) -- always Some by construction\n\
+             }\n",
+        );
+        let all = [a];
+        let g = build(&all);
+        assert!(check(&g).is_empty());
+    }
+
+    #[test]
+    fn non_model_crates_and_private_fns_are_not_entry_points() {
+        let a = file(
+            "serve",
+            "api",
+            "pub fn handler(x: Option<u32>) { x.unwrap(); }\n",
+        );
+        let b = file("thermal", "b", "fn internal(x: Option<u32>) { x.unwrap(); }\n");
+        let all = [a, b];
+        let g = build(&all);
+        assert!(check(&g).is_empty());
+    }
+}

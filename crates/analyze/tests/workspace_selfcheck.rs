@@ -48,6 +48,26 @@ fn baseline_stays_small() {
 }
 
 #[test]
+fn v2_rules_stay_at_baseline_or_zero() {
+    // The four structural rules landed with the live tree fully burned
+    // down (inline allows carry the invariants; three call sites were
+    // refactored index-free). Pin that: any new cross-file finding must
+    // be fixed or justified inline, never silently accumulated — and
+    // with the baseline pinned empty above, "baseline-or-zero" is zero.
+    let root = workspace_root();
+    let report = analyze_workspace(&root, &Baseline::default()).expect("workspace analyzable");
+    for rule in ["panic-reach", "float-determinism", "atomic-ordering", "alloc-hygiene"] {
+        let hits: Vec<_> = report.findings.iter().filter(|f| f.rule == rule).collect();
+        assert!(
+            hits.is_empty(),
+            "{rule} regressed with {} unbaselined finding(s):\n{}",
+            hits.len(),
+            hits.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+    }
+}
+
+#[test]
 fn no_baseline_run_reports_exactly_the_baselined_findings() {
     let root = workspace_root();
     let report = analyze_workspace(&root, &Baseline::default()).expect("workspace analyzable");

@@ -141,6 +141,7 @@ impl Executor {
                                     break;
                                 }
                                 queue_depth.add(-1.0);
+                                // ramp-lint:allow(panic-reach) -- `idx` comes from the shared counter and is checked against `items.len()`
                                 local.push((idx, f(idx, &items[idx])));
                                 jobs_completed.incr();
                             }

@@ -270,7 +270,7 @@ fn first_pass(
             .map_err(RampError::ThermalSolve)?;
         let max_delta = Structure::ALL
             .iter()
-            .map(|&s| state.structures[s].abs_diff(temps[s]))
+            .map(|&s| state.structures[s].abs_diff(temps[s])) // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
             .fold(KelvinDelta::ZERO, KelvinDelta::max);
         tracker.observe(max_delta);
         temps = state.structures;
@@ -401,6 +401,7 @@ pub fn run_app_on_node(
             let sample = power.sample(&interval.factors, &state.structures);
             state = sim.step_many(&state, &sample.per_structure_total(), dt, substeps);
             let ops = PerStructure::from_fn(|s| {
+                // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
                 OperatingPoint::new(state.structures[s], node.vdd, interval.factors[s])
             });
             acc.observe(&ops, 1.0);

@@ -73,6 +73,7 @@ impl Qualification {
             if !(mean.is_finite() && mean > 0.0) {
                 return Err(format!("mechanism {m} has degenerate mean rate {mean}"));
             }
+            // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism` is total
             constants[m] = fit_per_mechanism.value() / mean;
         }
         Ok(Qualification { constants })
@@ -118,6 +119,7 @@ impl Qualification {
     #[must_use]
     // ramp-lint:allow(unit-safety) -- dimensionless calibration constant
     pub fn constant(&self, m: MechanismKind) -> f64 {
+        // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism` is total
         self.constants[m]
     }
 
@@ -127,6 +129,7 @@ impl Qualification {
         FitReport {
             fits: PerMechanism::from_fn(|m| {
                 PerStructure::from_fn(|s| {
+                    // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism`/`PerStructure` are total
                     Fit::new(self.constants[m] * rates.rate(m, s))
                         .expect("calibrated rate is non-negative and finite") // ramp-lint:allow(panic-hygiene) -- calibration keeps rates finite and non-negative
                 })
@@ -146,6 +149,7 @@ impl FitReport {
     /// FIT of one (mechanism, structure) pair.
     #[must_use]
     pub fn fit(&self, m: MechanismKind, s: Structure) -> Fit {
+        // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism`/`PerStructure` are total
         self.fits[m][s]
     }
 

@@ -26,6 +26,7 @@ impl AveragedRates {
     #[must_use]
     // ramp-lint:allow(unit-safety) -- relative failure rate, dimensionless
     pub fn rate(&self, m: MechanismKind, s: Structure) -> f64 {
+        // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism`/`PerStructure` are total
         self.per_mechanism[m][s]
     }
 
@@ -55,6 +56,7 @@ impl AveragedRates {
     pub fn max_temperature(&self) -> Kelvin {
         *Structure::ALL
             .iter()
+            // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
             .map(|&s| &self.peak_temperature[s])
             .max_by(|a, b| a.value().total_cmp(&b.value()))
             .expect("non-empty structure set") // ramp-lint:allow(panic-hygiene) -- structures are a non-empty static enum
@@ -118,18 +120,19 @@ impl<'m> RateAccumulator<'m> {
                 continue; // evaluated on the average temperature at finish
             }
             for s in Structure::ALL {
+                // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
                 let r = model.relative_rate(&ops[s], &self.node);
                 assert!(
                     r.is_finite() && r >= 0.0,
                     "{kind} produced invalid rate {r}"
                 );
-                self.rate_sums[kind][s] += r * dt_weight;
+                self.rate_sums[kind][s] += r * dt_weight; // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism`/`PerStructure` are total
             }
         }
         for s in Structure::ALL {
-            let t = ops[s].temperature.value();
+            let t = ops[s].temperature.value(); // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism`/`PerStructure` are total
             self.temp_sums[s] += t * dt_weight;
-            if t > self.temp_peaks[s] {
+            if t > self.temp_peaks[s] { // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism`/`PerStructure` are total
                 self.temp_peaks[s] = t;
             }
         }
@@ -145,21 +148,22 @@ impl<'m> RateAccumulator<'m> {
     pub fn finish(self) -> AveragedRates {
         assert!(self.weight > 0.0, "no intervals observed");
         let avg_temp = PerStructure::from_fn(|s| {
+            // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
             Kelvin::new(self.temp_sums[s] / self.weight)
                 .expect("average of valid temperatures is valid") // ramp-lint:allow(panic-hygiene) -- mean of valid temperatures stays valid
         });
         let mut per_mechanism =
-            PerMechanism::from_fn(|m| PerStructure::from_fn(|s| self.rate_sums[m][s] / self.weight));
+            PerMechanism::from_fn(|m| PerStructure::from_fn(|s| self.rate_sums[m][s] / self.weight)); // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism`/`PerStructure` are total
         // Thermal cycling: one evaluation at the average temperature.
         for model in self.models {
             if model.kind() == MechanismKind::Tc {
                 for s in Structure::ALL {
                     let op = OperatingPoint::new(
-                        avg_temp[s],
+                        avg_temp[s], // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism`/`PerStructure` are total
                         self.node.vdd,
                         ramp_units::ActivityFactor::IDLE,
                     );
-                    per_mechanism[MechanismKind::Tc][s] = model.relative_rate(&op, &self.node);
+                    per_mechanism[MechanismKind::Tc][s] = model.relative_rate(&op, &self.node); // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism`/`PerStructure` are total
                 }
             }
         }
@@ -167,7 +171,7 @@ impl<'m> RateAccumulator<'m> {
             per_mechanism,
             average_temperature: avg_temp,
             peak_temperature: PerStructure::from_fn(|s| {
-                Kelvin::new(self.temp_peaks[s].max(1e-6))
+                Kelvin::new(self.temp_peaks[s].max(1e-6)) // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism`/`PerStructure` are total
                     .expect("peak of valid temperatures is valid") // ramp-lint:allow(panic-hygiene) -- max of valid temperatures stays valid
             }),
         }

@@ -69,6 +69,7 @@ impl AppNodeResult {
     pub fn max_temperature(&self) -> Kelvin {
         *ramp_microarch::Structure::ALL
             .iter()
+            // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
             .map(|&s| &self.peak_temperature[s])
             .max_by(|a, b| a.value().total_cmp(&b.value()))
             .expect("non-empty structure set") // ramp-lint:allow(panic-hygiene) -- structures are a non-empty static enum

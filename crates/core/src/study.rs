@@ -276,14 +276,14 @@ fn worst_case_for_node(
     let per_structure_temp = PerStructure::from_fn(|s| {
         node_results
             .iter()
-            .map(|r| r.peak_temperature[s])
+            .map(|r| r.peak_temperature[s]) // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
             .max_by(|a, b| a.value().total_cmp(&b.value()))
             .expect("non-empty results") // ramp-lint:allow(panic-hygiene) -- a study always produces at least one run
     });
     let per_structure_activity = PerStructure::from_fn(|s| {
         node_results
             .iter()
-            .map(|r| r.peak_activity[s])
+            .map(|r| r.peak_activity[s]) // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
             .fold(ActivityFactor::IDLE, ActivityFactor::max)
     });
     let (worst_temp, worst_activity) = match mode {
@@ -291,12 +291,12 @@ fn worst_case_for_node(
         WorstCaseMode::GlobalPeak => {
             let t_max = *Structure::ALL
                 .iter()
-                .map(|&s| &per_structure_temp[s])
+                .map(|&s| &per_structure_temp[s]) // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
                 .max_by(|a, b| a.value().total_cmp(&b.value()))
                 .expect("non-empty structure set"); // ramp-lint:allow(panic-hygiene) -- structures are a non-empty static enum
             let p_max = Structure::ALL
                 .iter()
-                .map(|&s| per_structure_activity[s])
+                .map(|&s| per_structure_activity[s]) // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
                 .fold(ActivityFactor::IDLE, ActivityFactor::max);
             (
                 PerStructure::from_fn(|_| t_max),
@@ -305,7 +305,7 @@ fn worst_case_for_node(
         }
     };
     let ops = PerStructure::from_fn(|s| {
-        OperatingPoint::new(worst_temp[s], tech.vdd, worst_activity[s])
+        OperatingPoint::new(worst_temp[s], tech.vdd, worst_activity[s]) // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
     });
     let mut acc = RateAccumulator::new(models, tech);
     acc.observe(&ops, 1.0);

@@ -69,6 +69,7 @@ impl ChipSampler {
             .expect("static constant is a valid activity"); // ramp-lint:allow(panic-hygiene) -- static constant is valid by construction
         let base_ops = PerStructure::from_fn(|s| {
             OperatingPoint::new(
+                // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
                 anchor.rates.average_temperature()[s],
                 anchor.node.vdd,
                 activity,
@@ -124,15 +125,16 @@ impl ChipSampler {
             .expect("standard model set covers every mechanism"); // ramp-lint:allow(panic-hygiene) -- standard_models() is total over MechanismKind
         let mut chip_fit = 0.0;
         for s in Structure::ALL {
+            // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism`/`PerStructure` are total
             let base = self.base_rate[m][s];
             if base <= 0.0 {
                 continue;
             }
-            let mut op = self.base_ops[s];
+            let mut op = self.base_ops[s]; // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism`/`PerStructure` are total
             op.temperature = Kelvin::new(op.temperature.value() + temp_offset)
                 .unwrap_or(op.temperature);
             let ratio = model.relative_rate(&op, chip_node) / base;
-            chip_fit += self.base_fit[m][s] * ratio;
+            chip_fit += self.base_fit[m][s] * ratio; // ramp-lint:allow(panic-reach) -- enum-indexed `PerMechanism`/`PerStructure` are total
         }
         if chip_fit <= 0.0 {
             return f64::MAX;

@@ -22,15 +22,15 @@ pub fn default_capacities(config: &crate::MachineConfig) -> PerStructure<u64> {
         config.int_units + config.fp_units + config.ls_units + config.branch_units
             + config.cr_units,
     );
-    let mut caps = PerStructure::default();
-    caps[Structure::Ifu] = u64::from(config.fetch_width);
-    caps[Structure::Idu] = u64::from(config.dispatch_width);
-    caps[Structure::Isu] = issue_width;
-    caps[Structure::Fxu] = u64::from(config.int_units);
-    caps[Structure::Fpu] = u64::from(config.fp_units);
-    caps[Structure::Lsu] = u64::from(config.ls_units);
-    caps[Structure::Bxu] = u64::from(config.branch_units + config.cr_units);
-    caps
+    PerStructure::from_fn(|s| match s {
+        Structure::Ifu => u64::from(config.fetch_width),
+        Structure::Idu => u64::from(config.dispatch_width),
+        Structure::Isu => issue_width,
+        Structure::Fxu => u64::from(config.int_units),
+        Structure::Fpu => u64::from(config.fp_units),
+        Structure::Lsu => u64::from(config.ls_units),
+        Structure::Bxu => u64::from(config.branch_units + config.cr_units),
+    })
 }
 
 /// One interval's activity factors plus utilisation metadata.
@@ -96,6 +96,7 @@ impl ActivityTrace {
             let sum: f64 = self
                 .intervals
                 .iter()
+                // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
                 .map(|r| r.factors[s].value())
                 .sum();
             ActivityFactor::new(sum / self.intervals.len() as f64)
@@ -110,6 +111,7 @@ impl ActivityTrace {
         PerStructure::from_fn(|s| {
             self.intervals
                 .iter()
+                // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
                 .map(|r| r.factors[s])
                 .fold(ActivityFactor::IDLE, ActivityFactor::max)
         })
@@ -160,12 +162,14 @@ impl ActivityCollector {
     /// Records `count` work events on `structure` at `cycle`.
     pub fn record(&mut self, structure: Structure, cycle: u64, count: u64) {
         let b = self.bucket_mut(cycle);
+        // ramp-lint:allow(panic-reach) -- the bucket index is clamped to the bucket count
         self.events[b][structure] += count;
     }
 
     /// Records an instruction retirement at `cycle`.
     pub fn record_retire(&mut self, cycle: u64, count: u64) {
         let b = self.bucket_mut(cycle);
+        // ramp-lint:allow(panic-reach) -- the bucket index is clamped to the bucket count
         self.retired[b] += count;
     }
 
@@ -187,6 +191,7 @@ impl ActivityCollector {
             .zip(self.retired.iter())
             .map(|(ev, &ret)| ActivityRecord {
                 factors: PerStructure::from_fn(|s| {
+                    // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
                     ActivityFactor::from_events(ev[s], self.capacities[s] * denom)
                 }),
                 retired: ret,

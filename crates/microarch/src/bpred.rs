@@ -78,6 +78,7 @@ impl GsharePredictor {
     /// Predicts the direction of the branch at `pc`.
     #[must_use]
     pub fn predict(&self, pc: u64) -> bool {
+        // ramp-lint:allow(panic-reach) -- `index()` masks into the table length
         self.table[self.index(pc)] >= 2
     }
 
@@ -86,8 +87,9 @@ impl GsharePredictor {
     /// prediction was correct.
     pub fn update(&mut self, pc: u64, taken: bool) -> bool {
         let idx = self.index(pc);
+        // ramp-lint:allow(panic-reach) -- `index()` masks into the table length
         let predicted = self.table[idx] >= 2;
-        let counter = &mut self.table[idx];
+        let counter = &mut self.table[idx]; // ramp-lint:allow(panic-reach) -- `index()` masks into the table length
         if taken {
             *counter = (*counter + 1).min(3);
         } else {

@@ -54,6 +54,7 @@ impl Cache {
         let line = addr >> self.line_shift;
         let set_idx = (line & self.set_mask) as usize;
         let tag = line >> self.set_mask.count_ones();
+        // ramp-lint:allow(panic-reach) -- `set_idx` is masked by the set count
         let set = &mut self.sets[set_idx];
         if let Some(pos) = set.iter().position(|&t| t == tag) {
             // Move to MRU position.

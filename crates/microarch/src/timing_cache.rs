@@ -90,8 +90,8 @@ struct CacheState {
 }
 
 static CACHE: Mutex<Option<CacheState>> = Mutex::new(None);
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
+static HITS: AtomicU64 = AtomicU64::new(0); // ramp-lint:allow(atomic-ordering) -- monotone Relaxed telemetry counters
+static MISSES: AtomicU64 = AtomicU64::new(0); // ramp-lint:allow(atomic-ordering) -- monotone Relaxed telemetry counters
 /// Per-key-class (hits, misses), keyed by [`Key::class`]. BTreeMap so
 /// snapshots come out in a stable order.
 static CLASS_STATS: Mutex<BTreeMap<String, (u64, u64)>> = Mutex::new(BTreeMap::new());

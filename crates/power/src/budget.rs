@@ -39,14 +39,15 @@ impl StructureBudgets {
     #[must_use]
     pub fn power4_reference() -> Self {
         let watts = |v: f64| Watts::new(v).expect("static budget is valid"); // ramp-lint:allow(panic-hygiene) -- static budget table is valid by construction
-        let mut budgets = PerStructure::from_fn(|_| Watts::ZERO);
-        budgets[Structure::Ifu] = watts(9.0);
-        budgets[Structure::Idu] = watts(4.8);
-        budgets[Structure::Isu] = watts(8.4);
-        budgets[Structure::Fxu] = watts(8.4);
-        budgets[Structure::Fpu] = watts(10.8);
-        budgets[Structure::Lsu] = watts(12.6);
-        budgets[Structure::Bxu] = watts(3.6);
+        let budgets = PerStructure::from_fn(|s| match s {
+            Structure::Ifu => watts(9.0),
+            Structure::Idu => watts(4.8),
+            Structure::Isu => watts(8.4),
+            Structure::Fxu => watts(8.4),
+            Structure::Fpu => watts(10.8),
+            Structure::Lsu => watts(12.6),
+            Structure::Bxu => watts(3.6),
+        });
         StructureBudgets {
             budgets,
             clock_gate_floor: 0.30,
@@ -77,6 +78,7 @@ impl StructureBudgets {
     /// Unconstrained budget of one structure.
     #[must_use]
     pub fn budget(&self, s: Structure) -> Watts {
+        // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
         self.budgets[s]
     }
 

@@ -88,6 +88,7 @@ impl DynamicPowerModel {
         PerStructure::from_fn(|s| {
             self.budgets
                 .budget(s)
+                // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
                 .scaled(self.budgets.utilisation(activity[s]) * factor)
         })
     }

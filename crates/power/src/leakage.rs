@@ -83,6 +83,7 @@ impl LeakageModel {
     /// Per-structure leakage for a full temperature map.
     #[must_use]
     pub fn power(&self, temps: &PerStructure<Kelvin>) -> PerStructure<Watts> {
+        // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
         PerStructure::from_fn(|s| self.structure_power(s, temps[s]))
     }
 

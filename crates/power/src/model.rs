@@ -18,6 +18,7 @@ impl PowerSample {
     /// Total (dynamic + leakage) power of one structure.
     #[must_use]
     pub fn structure_total(&self, s: ramp_microarch::Structure) -> Watts {
+        // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
         self.dynamic[s] + self.leakage[s]
     }
 
@@ -112,6 +113,7 @@ impl PowerModel {
     ) -> PowerSample {
         let mut dynamic = self.dynamic.power(activity);
         for s in ramp_microarch::Structure::ALL {
+            // ramp-lint:allow(panic-reach) -- enum-indexed `PerStructure` is total
             dynamic[s] = dynamic[s].scaled(self.residual);
         }
         PowerSample {

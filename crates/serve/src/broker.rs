@@ -21,7 +21,8 @@ use std::sync::{Arc, Condvar, Mutex};
 /// The outcome slot one coalesced group shares: the serialized response
 /// payload, or the error that befell the leader.
 #[derive(Debug)]
-pub struct Flight {
+pub struct Flight { // ramp-lint:allow(atomic-ordering) -- one-shot coalescing slot; atomics are a Relaxed waiter tally
+
     state: Mutex<Option<Result<Arc<str>, ServeError>>>,
     done: Condvar,
     /// Trace id of the leading request (0 when tracing is off), so a

@@ -108,7 +108,7 @@ struct Job {
 
 /// Monotone server counters (mirrored to `serve.*` obs counters).
 #[derive(Debug, Default)]
-struct Stats {
+struct Stats { // ramp-lint:allow(atomic-ordering) -- monotone Relaxed counters, mirrored to obs at snapshot time
     requests: AtomicU64,
     queries: AtomicU64,
     cache_served: AtomicU64,
@@ -173,7 +173,7 @@ impl LatencyRecorder {
             .insert(
                 bucket,
                 LatencyExemplar {
-                    bucket_us: LATENCY_BUCKETS_US[bucket],
+                    bucket_us: LATENCY_BUCKETS_US[bucket], // ramp-lint:allow(panic-reach) -- `bucket` is below the fixed bucket-table length by construction
                     trace: trace.to_string(),
                     latency_us,
                 },

@@ -205,7 +205,7 @@ impl Connection for UnixConnection {
 /// Handle to a running unix-socket listener. Stops accepting (and
 /// removes the socket file) on [`UnixServer::stop`] or drop.
 #[derive(Debug)]
-pub struct UnixServer {
+pub struct UnixServer { // ramp-lint:allow(atomic-ordering) -- shutdown flag is a one-way Relaxed latch
     path: PathBuf,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,

@@ -15,19 +15,27 @@ echo "== tier 1: tests (locked) =="
 cargo test --release --workspace --locked -q
 
 echo "== static analysis: ramp-lint (workspace invariants) =="
-# Unit safety, determinism, obs hygiene, panic hygiene, span hygiene.
-# Fails on any finding not covered by lint-baseline.toml or an inline
-# allow; the JSON report lands in target/ for inspection and CI upload.
+# Token rules (unit safety, determinism, obs/panic/span hygiene) plus
+# the structural v2 rules (panic-reach, float-determinism,
+# atomic-ordering, alloc-hygiene). Fails on any finding not covered by
+# lint-baseline.toml or an inline allow, and — via --fail-stale — on
+# baseline entries that no longer match a finding (prune with
+# `ramp-lint --prune-baseline`). The JSON report and the SARIF file for
+# code scanning both land in target/ for inspection and CI upload.
 mkdir -p target
 lint_status=0
 cargo run --release --locked -p ramp-analyze --bin ramp-lint -- \
-    --root . --format json > target/ramp-lint-report.json || lint_status=$?
+    --root . --fail-stale --format json \
+    > target/ramp-lint-report.json || lint_status=$?
 if [ "${lint_status}" -ne 0 ]; then
     # Re-run in human format so the failure is readable in the log.
-    cargo run --release --locked -p ramp-analyze --bin ramp-lint -- --root . || true
+    cargo run --release --locked -p ramp-analyze --bin ramp-lint -- \
+        --root . --fail-stale || true
     exit "${lint_status}"
 fi
-echo "ramp-lint: clean (report at target/ramp-lint-report.json)"
+cargo run --release --locked -p ramp-analyze --bin ramp-lint -- \
+    --root . --fail-stale --format sarif > target/ramp-lint.sarif
+echo "ramp-lint: clean (report at target/ramp-lint-report.json, SARIF at target/ramp-lint.sarif)"
 
 echo "== static analysis: clippy (workspace lint table, warnings are errors) =="
 cargo clippy --release --workspace --all-targets --locked -- -D warnings
